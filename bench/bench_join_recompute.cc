@@ -1,0 +1,94 @@
+// E3 — Join re-computation cost of the simplified algorithm (§4.1.2).
+//
+// Paper claim: "the speed may be slower in some cases since
+// re-computation of joins is necessary whenever a change is made to the
+// working memory" — the cost grows with WM size, while the matching-
+// pattern scheme's per-change work tracks the number of *patterns*, not
+// the base relations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+WorkloadSpec JoinSpec() {
+  WorkloadSpec spec;
+  spec.num_classes = 3;
+  spec.attrs_per_class = 4;
+  spec.num_rules = 8;
+  spec.ces_per_rule = 3;
+  spec.domain = 64;
+  spec.chain_join = true;
+  spec.seed = 29;
+  return spec;
+}
+
+void RunWmSweep(benchmark::State& state, const std::string& matcher_name) {
+  const size_t wm_size = static_cast<size_t>(state.range(0));
+  auto setup = bench::MakeSetup(JoinSpec(), [&](Catalog* c) {
+    return bench::MakeMatcherByName(matcher_name, c);
+  });
+  bench::Preload(*setup, wm_size, 3);
+
+  Rng rng(42);
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(setup->gen.spec().num_classes);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+  }
+  state.counters["wm_per_class"] = static_cast<double>(wm_size);
+}
+
+void BM_WmSweep_Query(benchmark::State& state) {
+  RunWmSweep(state, "query");
+}
+void BM_WmSweep_Pattern(benchmark::State& state) {
+  RunWmSweep(state, "pattern");
+}
+void BM_WmSweep_Rete(benchmark::State& state) { RunWmSweep(state, "rete"); }
+
+BENCHMARK(BM_WmSweep_Query)->Arg(100)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_WmSweep_Pattern)->Arg(100)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_WmSweep_Rete)->Arg(100)->Arg(1000)->Arg(5000);
+
+// With a hash index on the join attribute the query matcher's
+// re-computation turns into probes — the "use indices, if they exist"
+// remark of §3.2. Same sweep, indexed.
+void BM_WmSweep_QueryIndexed(benchmark::State& state) {
+  const size_t wm_size = static_cast<size_t>(state.range(0));
+  auto setup = bench::MakeSetup(JoinSpec(), [&](Catalog* c) {
+    return bench::MakeMatcherByName("query", c);
+  });
+  for (size_t c = 0; c < setup->gen.spec().num_classes; ++c) {
+    // Join attrs used by the chain workload: 1 (import) and 2 (export).
+    bench::Abort(
+        setup->catalog->Get(setup->gen.ClassName(c))->CreateHashIndex(1),
+        "index");
+    bench::Abort(
+        setup->catalog->Get(setup->gen.ClassName(c))->CreateHashIndex(2),
+        "index");
+  }
+  bench::Preload(*setup, wm_size, 3);
+  Rng rng(42);
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(setup->gen.spec().num_classes);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+  }
+  state.counters["wm_per_class"] = static_cast<double>(wm_size);
+}
+
+BENCHMARK(BM_WmSweep_QueryIndexed)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

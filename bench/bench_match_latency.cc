@@ -1,0 +1,62 @@
+// E2 — Match latency per WM change across rule-base sizes (§4.2.3 Time).
+//
+// Paper claim: "Matching is very fast with our approach because only a
+// single search over a COND relation is necessary", versus the Rete
+// network's propagation and the simplified algorithm's join
+// re-computation. Sweeps the number of rules; each iteration inserts a
+// tuple that passes some alpha tests, then removes it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+WorkloadSpec RuleSweepSpec(size_t rules) {
+  WorkloadSpec spec;
+  spec.num_classes = 8;
+  spec.attrs_per_class = 4;
+  spec.num_rules = rules;
+  spec.ces_per_rule = 3;
+  spec.domain = 32;
+  spec.chain_join = true;
+  spec.seed = 17;
+  return spec;
+}
+
+void RunLatency(benchmark::State& state, const std::string& matcher_name) {
+  const size_t rules = static_cast<size_t>(state.range(0));
+  auto setup = bench::MakeSetup(RuleSweepSpec(rules), [&](Catalog* c) {
+    return bench::MakeMatcherByName(matcher_name, c);
+  });
+  bench::Preload(*setup, 64, 3);
+
+  Rng rng(42);
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(setup->gen.spec().num_classes);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["aux_bytes"] =
+      static_cast<double>(setup->matcher->AuxiliaryFootprintBytes());
+}
+
+void BM_Match_Rete(benchmark::State& state) { RunLatency(state, "rete"); }
+void BM_Match_Pattern(benchmark::State& state) {
+  RunLatency(state, "pattern");
+}
+void BM_Match_Query(benchmark::State& state) { RunLatency(state, "query"); }
+
+BENCHMARK(BM_Match_Rete)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_Match_Pattern)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_Match_Query)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E5 — Parallel propagation of matching patterns (§4.2.3, §6).
+//
+// Paper claim: "our approach is easily parallelizable, since propagation
+// of changes can be performed in parallel to all the COND relations. In
+// contrast to that, the Rete Network method is highly sequential."
+//
+// A star rule of width W touches W-1 other COND relations per insertion;
+// the pattern matcher propagates to them on a thread pool. Sweep thread
+// counts at fixed width and widths at fixed threads.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+WorkloadSpec StarSpec(size_t width) {
+  WorkloadSpec spec;
+  spec.num_classes = width;
+  spec.attrs_per_class = 4;
+  spec.num_rules = 16;  // 16 star rules over the same classes
+  spec.ces_per_rule = width;
+  spec.domain = 32;
+  spec.chain_join = false;
+  spec.seed = 13;
+  return spec;
+}
+
+void RunParallel(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  PatternMatcherOptions opts;
+  opts.propagation_threads = threads;
+  auto setup = bench::MakeSetup(StarSpec(width), [&](Catalog* c) {
+    return std::make_unique<PatternMatcher>(c, opts);
+  });
+  bench::Preload(*setup, 16, 3);
+
+  Rng rng(42);
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(width);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+  }
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(RunParallel)
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({6, 4})
+    ->Args({6, 8})
+    ->Args({3, 4})
+    ->Args({8, 4})
+    ->UseRealTime();
+
+// The contrast case: Rete on the same star workload is one sequential
+// chain walk regardless of available cores.
+void RunReteBaseline(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  auto setup = bench::MakeSetup(StarSpec(width), [&](Catalog* c) {
+    return bench::MakeMatcherByName("rete", c);
+  });
+  bench::Preload(*setup, 16, 3);
+  Rng rng(42);
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(width);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+
+BENCHMARK(RunReteBaseline)->Arg(3)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

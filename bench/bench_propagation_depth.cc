@@ -1,0 +1,79 @@
+// E1 — Propagation depth (the Figure 1/3 concern).
+//
+// Paper claim (§3.2/§4): "the propagation delay of inserting a token
+// will be significant if the number of single input nodes is large ...
+// no speed-up by parallel processing is possible because all operations
+// must be done sequentially"; the flattened COND scheme replaces the
+// chain walk by a single search of one COND relation.
+//
+// A single chain-join rule of width N (CE_k joins CE_{k+1}). WM is
+// preloaded so every level has partners; the benchmark measures the cost
+// of inserting a tuple for the *last* CE, which in Rete must join its way
+// through the whole left chain, and reports propagation steps.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+WorkloadSpec ChainSpec(size_t width) {
+  WorkloadSpec spec;
+  spec.num_classes = width;  // one class per CE: the chain is explicit
+  spec.attrs_per_class = 4;
+  spec.num_rules = 1;
+  spec.ces_per_rule = width;
+  spec.domain = 4;  // dense joins: deep partial matches accumulate
+  spec.chain_join = true;
+  spec.seed = 7;
+  return spec;
+}
+
+// The measured operation is a *near-miss* insert at the last CE's class:
+// the tuple passes the class's own (one-input) tests but its join value
+// matches nothing. The Rete network must still test it against every
+// token queued in the final node's LEFT memory — work that grows with
+// chain depth and density — whereas the COND scheme answers with one
+// search of the class's own COND relation.
+void RunDepth(benchmark::State& state, const std::string& matcher_name) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  auto setup = bench::MakeSetup(ChainSpec(width), [&](Catalog* c) {
+    return bench::MakeMatcherByName(matcher_name, c);
+  });
+  bench::Preload(*setup, 24, 5);
+  // The class of the last CE of the single rule.
+  const std::string last_class =
+      setup->rules[0].lhs.conditions.back().relation;
+  const size_t last_ce = setup->rules[0].lhs.conditions.size() - 1;
+
+  Rng rng(1234);
+  uint64_t examined_before = setup->matcher->stats().tuples_examined.load();
+  uint64_t inserts = 0;
+  for (auto _ : state) {
+    Tuple t = setup->gen.MatchingTuple(setup->rules[0], last_ce, &rng);
+    t[1] = Value(int64_t{999});  // join import attr: matches nothing
+    TupleId id;
+    bench::Abort(setup->wm->Insert(last_class, t, &id), "insert");
+    bench::Abort(setup->wm->Delete(last_class, id), "delete");
+    ++inserts;
+  }
+  state.counters["chain_width"] = static_cast<double>(width);
+  state.counters["examined_per_op"] =
+      static_cast<double>(setup->matcher->stats().tuples_examined.load() -
+                          examined_before) /
+      static_cast<double>(inserts * 2);
+}
+
+void BM_Depth_Rete(benchmark::State& state) { RunDepth(state, "rete"); }
+void BM_Depth_Pattern(benchmark::State& state) { RunDepth(state, "pattern"); }
+void BM_Depth_Query(benchmark::State& state) { RunDepth(state, "query"); }
+
+BENCHMARK(BM_Depth_Rete)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Depth_Pattern)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Depth_Query)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E7 — Basic Locking vs Predicate Indexing ([STON86a], recounted in
+// §2.3).
+//
+// Paper claim: "it is not possible to choose one implementation to
+// efficiently support any rule-based environment. Depending on the
+// probability of updating base relations and the number of conditions
+// that overlap ... the first or the second approach becomes more
+// efficient." Sweep condition count, overlap (range width), and the
+// insert/delete mix. Basic Locking makes deletions O(markers-on-tuple)
+// but pays candidate verification on inserts; Predicate Indexing pays a
+// tree search on every update.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ruleindex/basic_locking.h"
+#include "ruleindex/predicate_index.h"
+
+namespace prodb {
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct Env {
+  Catalog catalog;
+  Relation* rel = nullptr;
+  std::unique_ptr<RuleIndex> index;
+
+  Env(const std::string& which, size_t conditions, double width_frac,
+      uint64_t seed) {
+    Check(catalog.CreateRelation(Schema("Emp", {{"age", ValueType::kInt},
+                                                {"salary", ValueType::kInt}}),
+                                 &rel));
+    if (which == "basic") {
+      index = std::make_unique<BasicLockingIndex>(&catalog);
+    } else {
+      index = std::make_unique<PredicateIndex>(2);
+    }
+    Rng rng(seed);
+    const double domain = 1000.0;
+    const double width = domain * width_frac;  // wider = more overlap
+    for (uint32_t i = 0; i < conditions; ++i) {
+      IndexedCondition cond;
+      cond.id = i;
+      cond.relation = "Emp";
+      double lo0 = rng.NextDouble() * (domain - width);
+      double lo1 = rng.NextDouble() * (domain - width);
+      cond.ranges.push_back({lo0, lo0 + width});
+      cond.ranges.push_back({lo1, lo1 + width});
+      Check(index->AddCondition(cond));
+    }
+  }
+};
+
+// delete_pct is the update mix: 0 = pure inserts (phantom-heavy, bad for
+// Basic Locking), 50 = churn (marker lookups shine).
+void RunMix(benchmark::State& state, const std::string& which) {
+  const size_t conditions = static_cast<size_t>(state.range(0));
+  const int overlap_pct = static_cast<int>(state.range(1));
+  const int delete_pct = static_cast<int>(state.range(2));
+  Env env(which, conditions, overlap_pct / 100.0, 5);
+
+  Rng rng(77);
+  std::vector<std::pair<TupleId, Tuple>> live;
+  uint64_t affected_total = 0, ops = 0;
+  for (auto _ : state) {
+    bool do_delete = !live.empty() &&
+                     static_cast<int>(rng.Uniform(100)) < delete_pct;
+    std::vector<uint32_t> affected;
+    if (do_delete) {
+      size_t pick = rng.Uniform(live.size());
+      Check(env.index->OnDelete("Emp", live[pick].first, live[pick].second,
+                                &affected));
+      Check(env.rel->Delete(live[pick].first));
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      Tuple t{Value(static_cast<int64_t>(rng.Uniform(1000))),
+              Value(static_cast<int64_t>(rng.Uniform(1000)))};
+      TupleId id;
+      Check(env.rel->Insert(t, &id));
+      Check(env.index->OnInsert("Emp", id, t, &affected));
+      live.emplace_back(id, t);
+    }
+    affected_total += affected.size();
+    ++ops;
+  }
+  state.counters["conditions"] = static_cast<double>(conditions);
+  state.counters["overlap_pct"] = overlap_pct;
+  state.counters["delete_pct"] = delete_pct;
+  state.counters["avg_affected"] =
+      static_cast<double>(affected_total) / static_cast<double>(ops);
+  state.counters["index_bytes"] =
+      static_cast<double>(env.index->FootprintBytes());
+}
+
+void BM_BasicLocking(benchmark::State& state) { RunMix(state, "basic"); }
+void BM_PredicateIndex(benchmark::State& state) { RunMix(state, "pred"); }
+
+// {conditions, overlap%, delete%}
+#define MIX_ARGS                                                        \
+  Args({100, 5, 0})->Args({100, 5, 50})->Args({100, 5, 90})            \
+      ->Args({100, 40, 0})->Args({100, 40, 50})->Args({1000, 5, 0})    \
+      ->Args({1000, 5, 50})->Args({1000, 5, 90})->Args({1000, 40, 0})  \
+      ->Args({1000, 40, 50})
+
+BENCHMARK(BM_BasicLocking)->MIX_ARGS;
+BENCHMARK(BM_PredicateIndex)->MIX_ARGS;
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

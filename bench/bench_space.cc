@@ -1,0 +1,70 @@
+// E4 — Space accounting (§4.2.3 Space).
+//
+// Paper claims: the Rete network "is an inherently redundant storage
+// structure"; the simplified algorithm stores nothing; "our approach
+// consumes a lot of space for storing matching patterns ... a trade-off
+// between matching time and space". After an identical WM load, report
+// the auxiliary bytes and resident pattern/token counts of each matcher.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+WorkloadSpec SpaceSpec(size_t rules) {
+  WorkloadSpec spec;
+  spec.num_classes = 6;
+  spec.attrs_per_class = 4;
+  spec.num_rules = rules;
+  spec.ces_per_rule = 3;
+  spec.domain = 64;
+  spec.chain_join = true;
+  spec.seed = 11;
+  return spec;
+}
+
+void RunSpace(benchmark::State& state, const std::string& matcher_name) {
+  const size_t rules = static_cast<size_t>(state.range(0));
+  const size_t wm_per_class = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto setup = bench::MakeSetup(SpaceSpec(rules), [&](Catalog* c) {
+      return bench::MakeMatcherByName(matcher_name, c);
+    });
+    state.ResumeTiming();
+    bench::Preload(*setup, wm_per_class, 3);
+    state.counters["aux_bytes"] =
+        static_cast<double>(setup->matcher->AuxiliaryFootprintBytes());
+    state.counters["stored_patterns"] = static_cast<double>(
+        setup->matcher->stats().patterns_stored.load());
+    state.counters["rules"] = static_cast<double>(rules);
+    state.counters["wm_per_class"] = static_cast<double>(wm_per_class);
+  }
+}
+
+void BM_Space_Rete(benchmark::State& state) { RunSpace(state, "rete"); }
+void BM_Space_Pattern(benchmark::State& state) { RunSpace(state, "pattern"); }
+void BM_Space_Query(benchmark::State& state) { RunSpace(state, "query"); }
+
+BENCHMARK(BM_Space_Rete)
+    ->Args({16, 200})
+    ->Args({64, 200})
+    ->Args({64, 500})
+    ->Iterations(1);
+BENCHMARK(BM_Space_Pattern)
+    ->Args({16, 200})
+    ->Args({64, 200})
+    ->Args({64, 500})
+    ->Iterations(1);
+BENCHMARK(BM_Space_Query)
+    ->Args({16, 200})
+    ->Args({64, 200})
+    ->Args({64, 500})
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

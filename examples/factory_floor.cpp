@@ -1,0 +1,111 @@
+// Factory-floor scheduling with concurrent transactional rule execution
+// (§5): pending orders are matched to idle machines; completed orders
+// free their machines. The conflict set is drained by a pool of worker
+// transactions under two-phase locking; the commit log is the equivalent
+// serial schedule.
+//
+//   ./build/examples/example_factory_floor
+
+#include <cstdio>
+
+#include "engine/concurrent_engine.h"
+#include "lang/analyzer.h"
+#include "match/query_matcher.h"
+#include "workload/paper_examples.h"
+
+using namespace prodb;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::prodb::Status _st = (expr);                                   \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  Catalog catalog;
+  std::vector<Rule> rules;
+  CHECK_OK(LoadProgram(kFactoryFloor, &catalog, &rules));
+
+  QueryMatcher matcher(&catalog);
+  for (const Rule& rule : rules) {
+    CHECK_OK(matcher.AddRule(rule));
+  }
+
+  LockManager locks;
+  ConcurrentEngineOptions opts;
+  opts.workers = 4;
+  ConcurrentEngine engine(&catalog, &matcher, &locks, opts);
+
+  // The plant: three machine kinds, two machines each.
+  const char* kinds[] = {"lathe", "mill", "press"};
+  int machine_id = 0;
+  for (const char* kind : kinds) {
+    for (int i = 0; i < 2; ++i) {
+      CHECK_OK(engine.Insert(
+          "Machine", Tuple{Value(++machine_id), Value(kind), Value("idle")}));
+    }
+  }
+  // Part routing: which machine kind makes which part.
+  CHECK_OK(engine.Insert("Capability", Tuple{Value("gear"), Value("lathe")}));
+  CHECK_OK(engine.Insert("Capability", Tuple{Value("plate"), Value("press")}));
+  CHECK_OK(engine.Insert("Capability", Tuple{Value("frame"), Value("mill")}));
+
+  // A burst of orders (more than the machines can take at once).
+  const char* parts[] = {"gear", "plate", "frame", "gear", "plate",
+                         "frame", "gear", "plate", "frame", "gear"};
+  for (int i = 0; i < 10; ++i) {
+    CHECK_OK(engine.Insert("Order", Tuple{Value(100 + i), Value(parts[i]),
+                                          Value(1 + i % 3),
+                                          Value("pending")}));
+  }
+
+  std::printf("Dispatching %zu queued instantiations on %zu workers...\n",
+              matcher.conflict_set().size(), opts.workers);
+  ConcurrentRunResult result;
+  CHECK_OK(engine.Run(&result));
+  std::printf(
+      "round 1: fired=%zu stale=%zu deadlock-aborts=%zu (6 machines -> 6 "
+      "assignments)\n",
+      result.firings, result.stale_skipped, result.deadlock_aborts);
+
+  auto count = [&](const char* rel) { return catalog.Get(rel)->Count(); };
+  std::printf("assignments=%zu, orders still pending=...\n",
+              count("Assignment"));
+
+  // Complete every running order, then re-run: machines free up and the
+  // remaining orders are scheduled.
+  for (int round = 2; count("Assignment") > 0 || round == 2; ++round) {
+    std::vector<std::pair<TupleId, Tuple>> running;
+    CHECK_OK(catalog.Get("Order")->Scan([&](TupleId id, const Tuple& t) {
+      if (t[3] == Value("running")) running.emplace_back(id, t);
+      return Status::OK();
+    }));
+    if (running.empty()) break;
+    for (auto& [id, t] : running) {
+      Tuple done = t;
+      done[3] = Value("done");
+      CHECK_OK(engine.working_memory().Modify("Order", id, done));
+    }
+    CHECK_OK(engine.Run(&result));
+    std::printf("round %d: fired=%zu (finish + reassign)\n", round,
+                result.firings);
+  }
+
+  std::printf("\nFinal machine states:\n");
+  CHECK_OK(catalog.Get("Machine")->Scan([](TupleId, const Tuple& t) {
+    std::printf("  machine %s (%s): %s\n", t[0].ToString().c_str(),
+                t[1].ToString().c_str(), t[2].ToString().c_str());
+    return Status::OK();
+  }));
+  std::printf("\nEquivalent serial schedule of the final round (%zu commits):",
+              engine.commit_log().size());
+  for (const std::string& name : engine.commit_log()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

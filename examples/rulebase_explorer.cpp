@@ -1,0 +1,84 @@
+// Rule-base queries (§4.2.3, [LIN87]): because conditions live in their
+// own relations — not scattered over the data as in POSTGRES — the rule
+// base itself is queryable: "Give me all the rules that apply on
+// employees older than 55", even before any matching data exists.
+//
+//   ./build/examples/example_rulebase_explorer
+
+#include <cstdio>
+
+#include "core/production_system.h"
+
+using namespace prodb;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::prodb::Status _st = (expr);                                   \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  ProductionSystem ps;  // pattern matcher + rule-base queries by default
+  CHECK_OK(ps.LoadString(R"(
+(literalize Emp name age salary dno)
+
+; HR policy rules with numeric envelopes over age and salary.
+(p early-retirement-offer
+  (Emp ^age > 55 ^salary > 90000)
+  -->
+  (remove 1))
+
+(p mandatory-training
+  (Emp ^age < 30)
+  -->
+  (remove 1))
+
+(p salary-band-review
+  (Emp ^salary { >= 50000 <= 80000 })
+  -->
+  (remove 1))
+
+(p anniversary-check
+  (Emp ^age <a>)
+  -->
+  (remove 1))
+)"));
+
+  std::printf("Loaded %zu rules. No working memory needed — the rule\n",
+              ps.rules().size());
+  std::printf("base itself is indexed (R-tree over condition boxes).\n\n");
+
+  struct Probe {
+    const char* label;
+    const char* attr;
+    CompareOp op;
+    double value;
+  };
+  const Probe probes[] = {
+      {"employees older than 55 (the paper's query)", "age", CompareOp::kGt,
+       55},
+      {"employees younger than 25", "age", CompareOp::kLt, 25},
+      {"salaries above 100k", "salary", CompareOp::kGt, 100000},
+      {"salaries below 60k", "salary", CompareOp::kLt, 60000},
+  };
+  for (const Probe& p : probes) {
+    std::vector<std::string> names;
+    CHECK_OK(ps.RulesFor("Emp", p.attr, p.op, p.value, &names));
+    std::printf("rules applying to %s:\n", p.label);
+    for (const std::string& n : names) std::printf("  - %s\n", n.c_str());
+    if (names.empty()) std::printf("  (none)\n");
+  }
+
+  // Point probe: which rules could this concrete employee trigger?
+  Tuple veteran{Value("Pat"), Value(58), Value(120000), Value(3)};
+  std::vector<std::string> names;
+  CHECK_OK(ps.RulesForTuple("Emp", veteran, &names));
+  std::printf("\nrules whose numeric envelope admits %s:\n",
+              veteran.ToString().c_str());
+  for (const std::string& n : names) std::printf("  - %s\n", n.c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Materialized-view maintenance via production rules (§2.2, §6): "the
+// problem of maintaining a set of condition-action rules is the same as
+// the problem of maintaining materialized views and triggers".
+//
+// The view  ToyEmp = { (name, salary) : Emp ⋈ Dept, dname = 'Toy' }  is
+// kept up to date by two add/delete trigger rules in the style of
+// Buneman & Clemons [BUNE79]: the matcher detects exactly the affected
+// combinations on each base update (no view recomputation).
+//
+//   ./build/examples/example_view_maintenance
+
+#include <cstdio>
+
+#include "engine/sequential_engine.h"
+#include "lang/analyzer.h"
+#include "match/pattern_matcher.h"
+
+using namespace prodb;
+
+namespace {
+
+constexpr char kViewRules[] = R"(
+(literalize Emp name salary dno)
+(literalize Dept dno dname)
+(literalize ToyEmp name salary)
+
+; Add trigger: a new Emp/Dept combination in Toy materializes a view row
+; (the negated CE makes the rule idempotent).
+(p view-add
+  (Emp ^name <n> ^salary <s> ^dno <d>)
+  (Dept ^dno <d> ^dname Toy)
+  -(ToyEmp ^name <n> ^salary <s>)
+  -->
+  (make ToyEmp ^name <n> ^salary <s>))
+
+; Delete trigger: a view row whose base combination vanished is removed.
+(p view-del
+  (ToyEmp ^name <n> ^salary <s>)
+  -(Emp ^name <n> ^salary <s>)
+  -->
+  (remove 1))
+)";
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::prodb::Status _st = (expr);                                   \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, \
+                   _st.ToString().c_str());                         \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+void ShowView(Catalog& catalog) {
+  std::printf("  ToyEmp view:");
+  Status st = catalog.Get("ToyEmp")->Scan([](TupleId, const Tuple& t) {
+    std::printf("  (%s, %s)", t[0].ToString().c_str(),
+                t[1].ToString().c_str());
+    return Status::OK();
+  });
+  (void)st;
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  std::vector<Rule> rules;
+  CHECK_OK(LoadProgram(kViewRules, &catalog, &rules));
+  PatternMatcher matcher(&catalog);
+  for (const Rule& rule : rules) {
+    CHECK_OK(matcher.AddRule(rule));
+  }
+  SequentialEngine engine(&catalog, &matcher);
+
+  std::printf("Base inserts:\n");
+  CHECK_OK(engine.Insert("Dept", Tuple{Value(1), Value("Toy")}));
+  CHECK_OK(engine.Insert("Dept", Tuple{Value(2), Value("Shoe")}));
+  TupleId mike, ann;
+  CHECK_OK(engine.Insert("Emp",
+                         Tuple{Value("Mike"), Value(100), Value(1)}, &mike));
+  CHECK_OK(engine.Insert("Emp",
+                         Tuple{Value("Ann"), Value(120), Value(2)}, &ann));
+  EngineRunResult result;
+  CHECK_OK(engine.Run(&result));
+  ShowView(catalog);  // only Mike: Ann is in Shoe
+
+  std::printf("Move Ann into Toy (update = delete + insert):\n");
+  CHECK_OK(engine.working_memory().Modify(
+      "Emp", ann, Tuple{Value("Ann"), Value(120), Value(1)}, &ann));
+  CHECK_OK(engine.Run(&result));
+  ShowView(catalog);  // Mike and Ann
+
+  std::printf("Delete Mike from Emp:\n");
+  CHECK_OK(engine.working_memory().Delete("Emp", mike));
+  CHECK_OK(engine.Run(&result));
+  ShowView(catalog);  // only Ann — delete trigger cleaned the view
+
+  std::printf(
+      "\nThe maintenance was fully incremental: %llu matcher propagation "
+      "steps, no view recomputation.\n",
+      static_cast<unsigned long long>(matcher.stats().propagations.load()));
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef PRODB_COMMON_RNG_H_
+#define PRODB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace prodb {
+
+/// Deterministic xorshift128+ generator for workload synthesis and
+/// property tests. We deliberately avoid std::mt19937 so that benchmark
+/// workloads are bit-identical across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    s0_ = seed ? seed : 1;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_, s1_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/schema.h"
+
+namespace prodb {
+
+Schema::Schema(std::string name, std::vector<Attribute> attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    index_.emplace(attrs_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_;
+  out += "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += ", ";
+    out += attrs_[i].name;
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (name_ != other.name_ || attrs_.size() != other.attrs_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].type != other.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace prodb

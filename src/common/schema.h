@@ -1,0 +1,52 @@
+#ifndef PRODB_COMMON_SCHEMA_H_
+#define PRODB_COMMON_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace prodb {
+
+/// One attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kSymbol;
+};
+
+/// Ordered attribute list of a working-memory class / relation.
+///
+/// Mirrors the OPS5 `literalize` declaration: `(literalize Emp name age
+/// salary dno)` becomes a Schema named "Emp" with four attributes. Types
+/// are optional in OPS5; we default untyped attributes to kSymbol and let
+/// Value's cross-numeric comparison absorb the difference.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<Attribute> attrs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+
+  const Attribute& attribute(size_t i) const { return attrs_[i]; }
+
+  /// Index of the attribute called `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  /// `Emp(name, age, salary, dno)`.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_SCHEMA_H_

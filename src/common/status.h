@@ -1,0 +1,102 @@
+#ifndef PRODB_COMMON_STATUS_H_
+#define PRODB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prodb {
+
+/// Outcome of an operation that can fail without throwing.
+///
+/// Modeled after the Status idiom used by storage engines (RocksDB,
+/// LevelDB): cheap to copy in the OK case, carries a code plus a
+/// human-readable message otherwise. Functions that can fail return a
+/// Status (or a StatusOr<T>, see below) instead of throwing; callers are
+/// expected to check `ok()` before using any out-parameters.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    kAborted,        // transaction aborted (deadlock victim, user abort)
+    kDeadlock,       // deadlock detected; caller should abort and retry
+    kConflict,       // lock conflict in no-wait mode
+    kOutOfRange,
+    kInternal,
+  };
+
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK. The classic early-return macro.
+#define PRODB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::prodb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_STATUS_H_

@@ -1,0 +1,89 @@
+#ifndef PRODB_COMMON_THREAD_POOL_H_
+#define PRODB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace prodb {
+
+/// Minimal fixed-size thread pool.
+///
+/// Used for the paper's parallel propagation of matching patterns to the
+/// COND relations (§4.2.3: "propagation of changes can be performed in
+/// parallel to all the COND relations") and for the concurrent execution
+/// engine's workers (§5).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { Run(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void Run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_THREAD_POOL_H_

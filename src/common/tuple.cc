@@ -1,0 +1,140 @@
+#include "common/tuple.h"
+
+#include <cstring>
+
+namespace prodb {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadU32(const char* data, size_t size, size_t* off, uint32_t* v) {
+  if (*off + 4 > size) return false;
+  std::memcpy(v, data + *off, 4);
+  *off += 4;
+  return true;
+}
+
+bool ReadU64(const char* data, size_t size, size_t* off, uint64_t* v) {
+  if (*off + 8 > size) return false;
+  std::memcpy(v, data + *off, 8);
+  *off += 8;
+  return true;
+}
+
+}  // namespace
+
+size_t Tuple::Hash() const {
+  size_t h = 0x811c9dc5;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void Tuple::SerializeTo(std::string* out) const {
+  AppendU32(out, static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) {
+    out->push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        AppendU64(out, static_cast<uint64_t>(v.as_int()));
+        break;
+      case ValueType::kReal: {
+        uint64_t bits;
+        double d = v.as_real();
+        std::memcpy(&bits, &d, 8);
+        AppendU64(out, bits);
+        break;
+      }
+      case ValueType::kSymbol: {
+        const std::string& s = v.as_symbol();
+        AppendU32(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+bool Tuple::DeserializeFrom(const char* data, size_t size, size_t* offset,
+                            Tuple* out) {
+  uint32_t arity;
+  if (!ReadU32(data, size, offset, &arity)) return false;
+  // Every value costs at least its type byte; an arity beyond the bytes
+  // remaining is corrupt input (and must not drive a huge reserve).
+  if (arity > size - *offset) return false;
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (*offset >= size) return false;
+    auto type = static_cast<ValueType>(data[(*offset)++]);
+    switch (type) {
+      case ValueType::kNull:
+        values.emplace_back();
+        break;
+      case ValueType::kInt: {
+        uint64_t v;
+        if (!ReadU64(data, size, offset, &v)) return false;
+        values.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kReal: {
+        uint64_t bits;
+        if (!ReadU64(data, size, offset, &bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, 8);
+        values.emplace_back(d);
+        break;
+      }
+      case ValueType::kSymbol: {
+        uint32_t len;
+        if (!ReadU32(data, size, offset, &len)) return false;
+        if (*offset + len > size) return false;
+        values.emplace_back(std::string(data + *offset, len));
+        *offset += len;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+size_t Tuple::FootprintBytes() const {
+  size_t total = sizeof(Tuple) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    total += v.FootprintBytes() - sizeof(Value);
+  }
+  return total;
+}
+
+std::string TupleId::ToString() const {
+  return "(" + std::to_string(page_id) + "," + std::to_string(slot_id) + ")";
+}
+
+}  // namespace prodb

@@ -1,0 +1,93 @@
+#ifndef PRODB_COMMON_TUPLE_H_
+#define PRODB_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace prodb {
+
+/// A tuple (working-memory element): an ordered list of Values.
+///
+/// Tuples are schema-agnostic; interpretation of positions is supplied by
+/// the Schema of the relation that holds them. This keeps the storage and
+/// matching layers free to build tuples positionally (the hot path).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& mutable_values() { return values_; }
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+
+  /// `(Mike, 32, 50000, 7)`.
+  std::string ToString() const;
+
+  /// Serialize into `out` (appends). Format: u32 arity, then per value a
+  /// type byte and the payload (varint-free fixed encodings; symbols are
+  /// u32 length + bytes). Used by the paged heap files.
+  void SerializeTo(std::string* out) const;
+
+  /// Parse a tuple previously produced by SerializeTo from data[*offset];
+  /// advances *offset past the encoding. Returns false on malformed input.
+  static bool DeserializeFrom(const char* data, size_t size, size_t* offset,
+                              Tuple* out);
+
+  /// Approximate in-memory footprint, for the space benchmarks.
+  size_t FootprintBytes() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+/// Identifies a tuple slot inside a paged heap file: (page id, slot id).
+/// Also used as a stable tuple identity by in-memory relations (page_id
+/// then plays the role of a monotonic counter).
+struct TupleId {
+  uint32_t page_id = 0;
+  uint32_t slot_id = 0;
+
+  bool operator==(const TupleId& o) const {
+    return page_id == o.page_id && slot_id == o.slot_id;
+  }
+  bool operator!=(const TupleId& o) const { return !(*this == o); }
+  bool operator<(const TupleId& o) const {
+    return page_id != o.page_id ? page_id < o.page_id : slot_id < o.slot_id;
+  }
+  uint64_t AsU64() const {
+    return (static_cast<uint64_t>(page_id) << 32) | slot_id;
+  }
+  std::string ToString() const;
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& id) const {
+    return std::hash<uint64_t>{}(id.AsU64());
+  }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_TUPLE_H_

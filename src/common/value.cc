@@ -1,0 +1,103 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace prodb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kReal: return "real";
+    case ValueType::kSymbol: return "symbol";
+  }
+  return "unknown";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return numeric() == other.numeric();
+  }
+  return rep_ == other.rep_;
+}
+
+int Value::Compare(const Value& other) const {
+  // Cross-type rank: null(0) < numeric(1) < symbol(2).
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;
+  if (ra == 1) {
+    if (is_int() && other.is_int()) {
+      int64_t a = as_int(), b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = numeric(), b = other.numeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int c = as_symbol().compare(other.as_symbol());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt: {
+      // Hash ints through their double representation when the value is
+      // exactly representable, so 3 and 3.0 land in the same bucket.
+      int64_t v = as_int();
+      double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(v);
+    }
+    case ValueType::kReal:
+      return std::hash<double>{}(as_real());
+    case ValueType::kSymbol:
+      return std::hash<std::string>{}(as_symbol());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "nil";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kReal: {
+      std::ostringstream os;
+      os << as_real();
+      return os.str();
+    }
+    case ValueType::kSymbol:
+      return as_symbol();
+  }
+  return "?";
+}
+
+size_t Value::FootprintBytes() const {
+  size_t base = sizeof(Value);
+  if (is_symbol()) {
+    const std::string& s = as_symbol();
+    // Count heap allocation beyond the SSO buffer.
+    if (s.capacity() > sizeof(std::string) - 1) base += s.capacity();
+  }
+  return base;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace prodb

@@ -1,0 +1,99 @@
+#ifndef PRODB_COMMON_VALUE_H_
+#define PRODB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace prodb {
+
+/// Type tag of a Value. OPS5 working-memory elements carry symbols and
+/// numbers; we additionally distinguish integers from reals so predicate
+/// tests (`<`, `>=`, ...) behave the way a relational type system expects.
+enum class ValueType : uint8_t {
+  kNull = 0,    // absent / don't-care placeholder
+  kInt = 1,
+  kReal = 2,
+  kSymbol = 3,  // interned-style string; OPS5 symbols and DB strings
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A single attribute value: null, 64-bit integer, double, or symbol
+/// (string). Values are ordered within a type; across numeric types
+/// (int vs real) comparison is by numeric value, matching OPS5 semantics
+/// where `3` matches `3.0`. Symbols compare lexicographically and never
+/// compare equal to numbers.
+class Value {
+ public:
+  /// Null value (used for don't-care attributes in condition tuples).
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}          // NOLINT: implicit by design
+  Value(int v) : rep_(int64_t{v}) {}     // NOLINT
+  Value(double v) : rep_(v) {}           // NOLINT
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kReal;
+      default: return ValueType::kSymbol;
+    }
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_int() const { return rep_.index() == 1; }
+  bool is_real() const { return rep_.index() == 2; }
+  bool is_symbol() const { return rep_.index() == 3; }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  /// Accessors. Precondition: the value holds the requested type.
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_real() const { return std::get<double>(rep_); }
+  const std::string& as_symbol() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int promoted to double. Precondition: is_numeric().
+  double numeric() const {
+    return is_int() ? static_cast<double>(as_int()) : as_real();
+  }
+
+  /// Total equality. Numbers compare by value across int/real; null equals
+  /// only null; symbols never equal numbers.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison used for ordering (indexes, sort-merge).
+  /// Cross-type order: null < numbers < symbols. Returns -1, 0, or 1.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Stable hash consistent with operator== (ints and reals holding the
+  /// same number hash identically).
+  size_t Hash() const;
+
+  /// Human-readable rendering: `nil`, `42`, `3.5`, `Toy`.
+  std::string ToString() const;
+
+  /// Approximate in-memory footprint in bytes, used by the space
+  /// accounting benchmarks (E4).
+  size_t FootprintBytes() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_COMMON_VALUE_H_

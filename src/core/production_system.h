@@ -1,0 +1,115 @@
+#ifndef PRODB_CORE_PRODUCTION_SYSTEM_H_
+#define PRODB_CORE_PRODUCTION_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/concurrent_engine.h"
+#include "engine/sequential_engine.h"
+#include "lang/analyzer.h"
+#include "match/matcher.h"
+#include "ruleindex/rulebase_query.h"
+#include "txn/lock_manager.h"
+
+namespace prodb {
+
+/// Which matching architecture backs the system (see README table).
+enum class MatcherKind {
+  kRete,         // in-memory Rete network (§3.1)
+  kReteDbms,     // Rete with LEFT/RIGHT memories as relations (§3.2)
+  kQuery,        // re-evaluation / simplified algorithm (§4.1)
+  kPattern,      // matching patterns in COND relations (§4.2)
+};
+
+/// Top-level configuration.
+struct ProductionSystemOptions {
+  MatcherKind matcher = MatcherKind::kPattern;
+  /// Storage for WM relations: kPaged places working memory on
+  /// "secondary storage" behind the buffer pool, the paper's setting.
+  StorageKind wm_storage = StorageKind::kMemory;
+  /// Buffer-pool frames and optional database file (paged storage only).
+  size_t buffer_pool_frames = 256;
+  std::string db_path;
+  /// Threads for parallel pattern propagation (kPattern only).
+  size_t propagation_threads = 0;
+  /// Conflict-resolution strategy for Run().
+  StrategyKind strategy = StrategyKind::kFifo;
+  uint64_t seed = 42;
+  size_t max_firings = 1u << 20;
+  /// Workers for RunConcurrent().
+  size_t workers = 4;
+  /// Maintain the rule-base query index (RulesForTuple / RulesFor).
+  bool enable_rulebase_queries = true;
+};
+
+/// The library's front door: one object owning the catalog, matcher,
+/// engines, and rule-base query index.
+///
+///   ProductionSystem ps;
+///   ps.LoadString("(literalize E v) (p r (E ^v <x>) --> (remove 1))");
+///   ps.Insert("E", Tuple{Value(1)});
+///   ps.Run();
+class ProductionSystem {
+ public:
+  explicit ProductionSystem(ProductionSystemOptions options = {});
+  ~ProductionSystem();
+
+  /// Parses and installs `literalize` declarations and rules. May be
+  /// called repeatedly; classes persist across calls. Rules must be
+  /// installed before the WM tuples they should match.
+  Status LoadString(const std::string& source);
+
+  /// Declares a class programmatically (alternative to `literalize`).
+  Status DeclareClass(const Schema& schema);
+
+  /// Installs an already-compiled rule.
+  Status AddRule(const Rule& rule);
+
+  /// --- Working memory ---------------------------------------------------
+  Status Insert(const std::string& cls, const Tuple& t,
+                TupleId* id = nullptr);
+  Status Delete(const std::string& cls, TupleId id);
+  Status Modify(const std::string& cls, TupleId id, const Tuple& t,
+                TupleId* new_id = nullptr);
+
+  /// --- Execution ---------------------------------------------------------
+  /// Serial recognize-act cycle to quiescence (§2.1).
+  Status Run(EngineRunResult* result = nullptr);
+  /// Fires at most one instantiation.
+  Status Step(bool* fired);
+  /// Concurrent transactional execution (§5).
+  Status RunConcurrent(ConcurrentRunResult* result = nullptr);
+
+  /// Host functions callable from `(call name args...)` actions.
+  void RegisterFunction(const std::string& name, ExternalFn fn);
+
+  /// --- Introspection ------------------------------------------------------
+  Catalog& catalog() { return *catalog_; }
+  Matcher& matcher() { return *matcher_; }
+  ConflictSet& conflict_set() { return matcher_->conflict_set(); }
+  const std::vector<Rule>& rules() const { return matcher_->rules(); }
+
+  /// Rule names whose numeric condition envelopes admit this tuple
+  /// (§4.2.3's rule-base queries; empty when disabled).
+  Status RulesForTuple(const std::string& cls, const Tuple& t,
+                       std::vector<std::string>* names) const;
+  /// ... and for a single-attribute constraint such as age > 55.
+  Status RulesFor(const std::string& cls, const std::string& attr,
+                  CompareOp op, double value,
+                  std::vector<std::string>* names) const;
+
+ private:
+  ProductionSystemOptions options_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<SequentialEngine> engine_;
+  std::unique_ptr<ConcurrentEngine> concurrent_engine_;
+  std::unique_ptr<RuleBaseQueryIndex> rulebase_index_;
+  FunctionRegistry functions_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_CORE_PRODUCTION_SYSTEM_H_

@@ -1,0 +1,89 @@
+#include "db/catalog.h"
+
+#include "storage/disk_manager.h"
+
+namespace prodb {
+
+Catalog::Catalog(CatalogOptions options) : options_(std::move(options)) {}
+
+Status Catalog::EnsurePool() {
+  if (pool_ != nullptr) return Status::OK();
+  std::unique_ptr<DiskManager> disk;
+  if (!options_.db_path.empty()) {
+    std::unique_ptr<FileDiskManager> fdm;
+    PRODB_RETURN_IF_ERROR(
+        FileDiskManager::Open(options_.db_path, /*truncate=*/true, &fdm));
+    disk = std::move(fdm);
+  } else {
+    disk = std::make_unique<MemoryDiskManager>();
+  }
+  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_frames,
+                                       std::move(disk));
+  return Status::OK();
+}
+
+Status Catalog::CreateRelation(const Schema& schema, Relation** out) {
+  return CreateRelation(schema, options_.default_storage, out);
+}
+
+Status Catalog::CreateRelation(const Schema& schema, StorageKind kind,
+                               Relation** out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (relations_.count(schema.name())) {
+    return Status::AlreadyExists("relation " + schema.name());
+  }
+  std::unique_ptr<Relation> rel;
+  if (kind == StorageKind::kPaged) {
+    PRODB_RETURN_IF_ERROR(EnsurePool());
+    PRODB_RETURN_IF_ERROR(Relation::CreatePaged(schema, pool_.get(), &rel));
+  } else {
+    rel = std::make_unique<Relation>(schema);
+  }
+  *out = rel.get();
+  relations_.emplace(schema.name(), std::move(rel));
+  return Status::OK();
+}
+
+Relation* Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::RelationCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relations_.size();
+}
+
+size_t Catalog::FootprintBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) {
+    total += rel->FootprintBytes();
+  }
+  return total;
+}
+
+BufferPool* Catalog::buffer_pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsurePool();
+  return pool_.get();
+}
+
+}  // namespace prodb

@@ -1,0 +1,68 @@
+#ifndef PRODB_DB_CATALOG_H_
+#define PRODB_DB_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/relation.h"
+#include "storage/buffer_pool.h"
+
+namespace prodb {
+
+/// Options controlling how a Catalog stores its relations.
+struct CatalogOptions {
+  /// Default backend for new relations. Paged relations require a buffer
+  /// pool, which the catalog creates lazily over a MemoryDiskManager (or
+  /// a FileDiskManager when `db_path` is set).
+  StorageKind default_storage = StorageKind::kMemory;
+  /// Buffer pool capacity in frames (only used for paged storage).
+  size_t buffer_pool_frames = 256;
+  /// When non-empty, paged relations persist to this file.
+  std::string db_path;
+};
+
+/// Name -> Relation registry; the database.
+///
+/// Working-memory classes (declared with `literalize`), the matchers'
+/// COND / RULE-DEF relations and the DBMS-Rete LEFT/RIGHT memories all
+/// live here, which is precisely the paper's point: every piece of the
+/// production system is an ordinary relation the DBMS can manage.
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options = {});
+
+  /// Creates a relation with the default storage kind.
+  Status CreateRelation(const Schema& schema, Relation** out);
+  /// Creates a relation with an explicit storage kind.
+  Status CreateRelation(const Schema& schema, StorageKind kind,
+                        Relation** out);
+
+  /// nullptr when absent.
+  Relation* Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> RelationNames() const;
+  size_t RelationCount() const;
+
+  /// Total footprint across relations (space benchmarks, E4).
+  size_t FootprintBytes() const;
+
+  BufferPool* buffer_pool();
+
+ private:
+  Status EnsurePool();
+
+  CatalogOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_DB_CATALOG_H_

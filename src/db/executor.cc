@@ -1,0 +1,378 @@
+#include "db/executor.h"
+
+#include <algorithm>
+
+namespace prodb {
+
+constexpr TupleId QueryMatch::kNoTuple;
+
+bool TupleConsistent(const ConditionSpec& cond, const Tuple& t,
+                     Binding* binding,
+                     std::vector<DeferredTest>* deferred) {
+  for (const ConstantTest& c : cond.constant_tests) {
+    if (!c.Matches(t)) return false;
+  }
+  // Check every test against already-bound variables, binding equality
+  // occurrences as we go (OPS5 semantics: the first occurrence of <x>
+  // binds, later occurrences test).
+  Binding saved = *binding;
+  size_t deferred_mark = deferred != nullptr ? deferred->size() : 0;
+  for (const VarUse& u : cond.var_uses) {
+    const Value& v = t[static_cast<size_t>(u.attr)];
+    std::optional<Value>& slot = (*binding)[static_cast<size_t>(u.var)];
+    if (slot.has_value()) {
+      if (!EvalCompare(v, u.op, *slot)) {
+        *binding = std::move(saved);
+        if (deferred != nullptr) deferred->resize(deferred_mark);
+        return false;
+      }
+    } else {
+      if (u.op != CompareOp::kEq) {
+        // The variable is bound by a condition element not yet examined
+        // (e.g. when evaluation is seeded out of LHS order). Defer.
+        if (deferred == nullptr) {
+          *binding = std::move(saved);
+          return false;
+        }
+        deferred->push_back(DeferredTest{v, u.op, u.var});
+        continue;
+      }
+      slot = v;
+    }
+  }
+  return true;
+}
+
+bool SettleDeferred(const Binding& binding,
+                    std::vector<DeferredTest>* deferred) {
+  for (size_t i = 0; i < deferred->size();) {
+    const DeferredTest& d = (*deferred)[i];
+    const auto& slot = binding[static_cast<size_t>(d.var)];
+    if (!slot.has_value()) {
+      ++i;
+      continue;
+    }
+    if (!EvalCompare(d.value, d.op, *slot)) return false;
+    (*deferred)[i] = deferred->back();
+    deferred->pop_back();
+  }
+  return true;
+}
+
+bool BindSingle(const ConditionSpec& cond, const Tuple& t, int num_vars,
+                Binding* out, std::vector<DeferredTest>* deferred) {
+  out->assign(static_cast<size_t>(num_vars), std::nullopt);
+  std::vector<DeferredTest> local;
+  return TupleConsistent(cond, t, out,
+                         deferred != nullptr ? deferred : &local);
+}
+
+struct Executor::Partial {
+  Binding binding;
+  std::vector<TupleId> ids;
+  std::vector<Tuple> tuples;
+  // Non-equality tests awaiting their variable's binder (see
+  // DeferredTest); settled as extension proceeds.
+  std::vector<DeferredTest> deferred;
+};
+
+std::vector<size_t> Executor::PlanOrder(const ConjunctiveQuery& query,
+                                        int skip_idx) const {
+  std::vector<size_t> positives;
+  for (size_t i = 0; i < query.conditions.size(); ++i) {
+    if (!query.conditions[i].negated && static_cast<int>(i) != skip_idx) {
+      positives.push_back(i);
+    }
+  }
+  if (!options_.reorder) return positives;
+
+  // Greedy most-selective-first: prefer conditions with more constant
+  // tests (stronger filters) and more variables already bound by the
+  // conditions placed so far — the "optimal plans" freedom of §4.1.2.
+  // Non-equality uses of a still-unbound variable force a condition to
+  // wait for its binder.
+  std::vector<bool> bound(static_cast<size_t>(query.num_vars), false);
+  if (skip_idx >= 0) {
+    for (const VarUse& u : query.conditions[static_cast<size_t>(skip_idx)].var_uses) {
+      if (u.op == CompareOp::kEq) bound[static_cast<size_t>(u.var)] = true;
+    }
+  }
+  std::vector<size_t> order;
+  std::vector<bool> used(query.conditions.size(), false);
+  while (order.size() < positives.size()) {
+    int best = -1;
+    long best_score = -1;
+    for (size_t i : positives) {
+      if (used[i]) continue;
+      const ConditionSpec& c = query.conditions[i];
+      bool eligible = true;
+      long score = static_cast<long>(c.constant_tests.size()) * 10;
+      for (const VarUse& u : c.var_uses) {
+        if (bound[static_cast<size_t>(u.var)]) {
+          score += 25;  // joins on bound vars narrow the search
+        } else if (u.op != CompareOp::kEq) {
+          eligible = false;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // Dependency cycle among non-eq uses; fall back to LHS order for
+      // the remainder.
+      for (size_t i : positives) {
+        if (!used[i]) order.push_back(i);
+      }
+      break;
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+    for (const VarUse& u : query.conditions[static_cast<size_t>(best)].var_uses) {
+      if (u.op == CompareOp::kEq) bound[static_cast<size_t>(u.var)] = true;
+    }
+  }
+  return order;
+}
+
+Status Executor::ExtendPositive(const ConditionSpec& cond, size_t cond_idx,
+                                std::vector<Partial>* partials) const {
+  Relation* rel = catalog_->Get(cond.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("relation " + cond.relation);
+  }
+  std::vector<Partial> next;
+  for (Partial& p : *partials) {
+    // Index probe: an equality var-use whose variable is bound, or an
+    // equality constant test, on an indexed attribute.
+    std::vector<TupleId> candidate_ids;
+    bool have_candidates = false;
+    if (options_.use_indexes) {
+      for (const VarUse& u : cond.var_uses) {
+        if (u.op != CompareOp::kEq) continue;
+        const auto& slot = p.binding[static_cast<size_t>(u.var)];
+        if (!slot.has_value()) continue;
+        if (rel->HasHashIndex(u.attr) || rel->HasBTreeIndex(u.attr)) {
+          PRODB_RETURN_IF_ERROR(rel->LookupEq(u.attr, *slot, &candidate_ids));
+          have_candidates = true;
+          break;
+        }
+      }
+      if (!have_candidates) {
+        for (const ConstantTest& c : cond.constant_tests) {
+          if (c.op != CompareOp::kEq) continue;
+          if (rel->HasHashIndex(c.attr) || rel->HasBTreeIndex(c.attr)) {
+            PRODB_RETURN_IF_ERROR(
+                rel->LookupEq(c.attr, c.constant, &candidate_ids));
+            have_candidates = true;
+            break;
+          }
+        }
+      }
+    }
+    auto try_tuple = [&](TupleId id, const Tuple& t) {
+      Binding b = p.binding;
+      std::vector<DeferredTest> d = p.deferred;
+      if (!TupleConsistent(cond, t, &b, &d)) return;
+      if (!SettleDeferred(b, &d)) return;
+      Partial np;
+      np.binding = std::move(b);
+      np.ids = p.ids;
+      np.tuples = p.tuples;
+      np.deferred = std::move(d);
+      np.ids[cond_idx] = id;
+      np.tuples[cond_idx] = t;
+      next.push_back(std::move(np));
+    };
+    if (have_candidates) {
+      for (TupleId id : candidate_ids) {
+        Tuple t;
+        PRODB_RETURN_IF_ERROR(rel->Get(id, &t));
+        try_tuple(id, t);
+      }
+    } else {
+      PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId id, const Tuple& t) {
+        try_tuple(id, t);
+        return Status::OK();
+      }));
+    }
+  }
+  *partials = std::move(next);
+  return Status::OK();
+}
+
+Status Executor::FilterNegative(const ConditionSpec& cond,
+                                std::vector<Partial>* partials) const {
+  Relation* rel = catalog_->Get(cond.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("relation " + cond.relation);
+  }
+  std::vector<Partial> next;
+  for (Partial& p : *partials) {
+    bool exists = false;
+    // Index probe mirrors ExtendPositive but stops at the first witness.
+    std::vector<TupleId> candidate_ids;
+    bool have_candidates = false;
+    if (options_.use_indexes) {
+      for (const VarUse& u : cond.var_uses) {
+        if (u.op != CompareOp::kEq) continue;
+        const auto& slot = p.binding[static_cast<size_t>(u.var)];
+        if (!slot.has_value()) continue;
+        if (rel->HasHashIndex(u.attr) || rel->HasBTreeIndex(u.attr)) {
+          PRODB_RETURN_IF_ERROR(rel->LookupEq(u.attr, *slot, &candidate_ids));
+          have_candidates = true;
+          break;
+        }
+      }
+    }
+    if (have_candidates) {
+      for (TupleId id : candidate_ids) {
+        Tuple t;
+        PRODB_RETURN_IF_ERROR(rel->Get(id, &t));
+        Binding b = p.binding;
+        if (TupleConsistent(cond, t, &b)) {
+          exists = true;
+          break;
+        }
+      }
+    } else {
+      PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId, const Tuple& t) {
+        if (!exists) {
+          Binding b = p.binding;
+          if (TupleConsistent(cond, t, &b)) exists = true;
+        }
+        return Status::OK();
+      }));
+    }
+    if (!exists) next.push_back(std::move(p));
+  }
+  *partials = std::move(next);
+  return Status::OK();
+}
+
+Status Executor::Evaluate(const ConjunctiveQuery& query,
+                          std::vector<QueryMatch>* out) const {
+  return EvaluateSeeded(query, SIZE_MAX, QueryMatch::kNoTuple, Tuple(), out);
+}
+
+Status Executor::EvaluateBound(const ConjunctiveQuery& query,
+                               const Binding& initial,
+                               std::vector<QueryMatch>* out) const {
+  out->clear();
+  const size_t n = query.conditions.size();
+  Partial init;
+  init.binding.assign(static_cast<size_t>(query.num_vars), std::nullopt);
+  for (size_t i = 0; i < initial.size() && i < init.binding.size(); ++i) {
+    init.binding[i] = initial[i];
+  }
+  init.ids.assign(n, QueryMatch::kNoTuple);
+  init.tuples.assign(n, Tuple());
+
+  std::vector<Partial> partials{std::move(init)};
+  for (size_t idx : PlanOrder(query, -1)) {
+    PRODB_RETURN_IF_ERROR(
+        ExtendPositive(query.conditions[idx], idx, &partials));
+    if (partials.empty()) return Status::OK();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!query.conditions[i].negated) continue;
+    PRODB_RETURN_IF_ERROR(FilterNegative(query.conditions[i], &partials));
+    if (partials.empty()) return Status::OK();
+  }
+  out->reserve(partials.size());
+  for (Partial& p : partials) {
+    if (!p.deferred.empty()) continue;  // variable never bound: malformed
+    out->push_back(QueryMatch{std::move(p.ids), std::move(p.tuples),
+                              std::move(p.binding)});
+  }
+  return Status::OK();
+}
+
+Status Executor::EvaluateSeeded(const ConjunctiveQuery& query,
+                                size_t seed_idx, TupleId seed_id,
+                                const Tuple& seed,
+                                std::vector<QueryMatch>* out) const {
+  out->clear();
+  const size_t n = query.conditions.size();
+  Partial init;
+  init.binding.assign(static_cast<size_t>(query.num_vars), std::nullopt);
+  init.ids.assign(n, QueryMatch::kNoTuple);
+  init.tuples.assign(n, Tuple());
+
+  int skip = -1;
+  if (seed_idx != SIZE_MAX) {
+    if (seed_idx >= n) {
+      return Status::InvalidArgument("seed index out of range");
+    }
+    const ConditionSpec& sc = query.conditions[seed_idx];
+    if (sc.negated) {
+      return Status::InvalidArgument("cannot seed a negated condition");
+    }
+    if (!TupleConsistent(sc, seed, &init.binding, &init.deferred)) {
+      return Status::OK();  // the new tuple does not satisfy its own CE
+    }
+    init.ids[seed_idx] = seed_id;
+    init.tuples[seed_idx] = seed;
+    skip = static_cast<int>(seed_idx);
+  }
+
+  std::vector<Partial> partials{std::move(init)};
+  for (size_t idx : PlanOrder(query, skip)) {
+    PRODB_RETURN_IF_ERROR(
+        ExtendPositive(query.conditions[idx], idx, &partials));
+    if (partials.empty()) return Status::OK();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!query.conditions[i].negated) continue;
+    PRODB_RETURN_IF_ERROR(FilterNegative(query.conditions[i], &partials));
+    if (partials.empty()) return Status::OK();
+  }
+  out->reserve(partials.size());
+  for (Partial& p : partials) {
+    // A deferred test still pending means its variable was never bound
+    // by any positive CE — a malformed rule; treat as unsatisfied.
+    if (!p.deferred.empty()) continue;
+    out->push_back(QueryMatch{std::move(p.ids), std::move(p.tuples),
+                              std::move(p.binding)});
+  }
+  return Status::OK();
+}
+
+Status Executor::NestedLoopJoin(Relation* left, Relation* right,
+                                const JoinTest& test,
+                                std::vector<std::pair<Tuple, Tuple>>* out) {
+  out->clear();
+  return left->Scan([&](TupleId, const Tuple& l) {
+    return right->Scan([&](TupleId, const Tuple& r) {
+      if (test.Matches(l, r)) out->emplace_back(l, r);
+      return Status::OK();
+    });
+  });
+}
+
+Status Executor::HashJoin(Relation* left, Relation* right,
+                          const JoinTest& test,
+                          std::vector<std::pair<Tuple, Tuple>>* out) {
+  out->clear();
+  if (test.op != CompareOp::kEq) {
+    return Status::NotSupported("hash join requires an equality predicate");
+  }
+  // Build on the left, probe with the right.
+  std::unordered_map<Value, std::vector<Tuple>, ValueHash> table;
+  PRODB_RETURN_IF_ERROR(left->Scan([&](TupleId, const Tuple& l) {
+    table[l[static_cast<size_t>(test.left_attr)]].push_back(l);
+    return Status::OK();
+  }));
+  return right->Scan([&](TupleId, const Tuple& r) {
+    auto it = table.find(r[static_cast<size_t>(test.right_attr)]);
+    if (it != table.end()) {
+      for (const Tuple& l : it->second) out->emplace_back(l, r);
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace prodb

@@ -1,0 +1,129 @@
+#ifndef PRODB_DB_EXECUTOR_H_
+#define PRODB_DB_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "db/predicate.h"
+
+namespace prodb {
+
+/// Tuning knobs for conjunctive-query evaluation.
+struct ExecutorOptions {
+  /// Probe hash/B+-tree indexes for bound equality attributes.
+  bool use_indexes = true;
+  /// Reorder positive conditions most-selective-first instead of LHS
+  /// order. The paper argues this flexibility is an advantage of the DBMS
+  /// approach over the Rete network's fixed plan (§3.2, §4.1.2); the
+  /// ablation benchmark compares both settings.
+  bool reorder = false;
+};
+
+/// One satisfying combination of WM tuples for a conjunctive query.
+/// tuple_ids/tuples are indexed by the query's condition position;
+/// negated conditions hold kNoTuple / an empty tuple.
+struct QueryMatch {
+  std::vector<TupleId> tuple_ids;
+  std::vector<Tuple> tuples;
+  Binding binding;
+
+  static constexpr TupleId kNoTuple{UINT32_MAX, UINT32_MAX};
+};
+
+/// Set-at-a-time evaluator for rule LHSs read as conjunctive queries.
+///
+/// This is the machinery behind the "simplified algorithm" of §4.1: the
+/// LHS of each rule is treated as a query against the WM relations and
+/// re-evaluated when working memory changes. EvaluateSeeded implements
+/// the delta form — one condition element is pinned to the tuple that
+/// just arrived, and only the remaining join is computed.
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog, ExecutorOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// All matches of `query` against current WM contents.
+  Status Evaluate(const ConjunctiveQuery& query,
+                  std::vector<QueryMatch>* out) const;
+
+  /// Matches of `query` in which positive condition `seed_idx` is bound
+  /// to the given tuple. Returns InvalidArgument if `seed_idx` is negated.
+  Status EvaluateSeeded(const ConjunctiveQuery& query, size_t seed_idx,
+                        TupleId seed_id, const Tuple& seed,
+                        std::vector<QueryMatch>* out) const;
+
+  /// Matches of `query` consistent with a partial variable binding
+  /// (smaller than `query.num_vars` slots are treated as unbound). This
+  /// is how a matching pattern's attribute values become "the selection
+  /// criterion applied when selecting tuples from the WM relations"
+  /// (§5.1) — and it verifies cross-CE variable consistency exactly.
+  Status EvaluateBound(const ConjunctiveQuery& query, const Binding& initial,
+                       std::vector<QueryMatch>* out) const;
+
+  /// --- Binary join primitives (benchmarks, DBMS-Rete internals) -------
+  static Status NestedLoopJoin(Relation* left, Relation* right,
+                               const JoinTest& test,
+                               std::vector<std::pair<Tuple, Tuple>>* out);
+  static Status HashJoin(Relation* left, Relation* right,
+                         const JoinTest& test,
+                         std::vector<std::pair<Tuple, Tuple>>* out);
+
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  struct Partial;
+
+  /// Extends each partial match with every tuple of `cond`'s relation
+  /// that is consistent with the partial's binding.
+  Status ExtendPositive(const ConditionSpec& cond, size_t cond_idx,
+                        std::vector<Partial>* partials) const;
+
+  /// Removes partials for which `cond`'s relation contains a consistent
+  /// tuple (negation-as-absence, §4.2.2).
+  Status FilterNegative(const ConditionSpec& cond,
+                        std::vector<Partial>* partials) const;
+
+  /// Evaluation order of positive condition indices.
+  std::vector<size_t> PlanOrder(const ConjunctiveQuery& query,
+                                int skip_idx) const;
+
+  Catalog* catalog_;
+  ExecutorOptions options_;
+};
+
+/// A test that could not be evaluated yet because its variable is bound
+/// by a condition element not seen so far: `value op binding[var]` must
+/// hold once `var` is bound (e.g. R1's `^salary < <s>` when the manager
+/// tuple is examined before Mike's).
+struct DeferredTest {
+  Value value;
+  CompareOp op;
+  int var;
+};
+
+/// Checks a tuple against a condition's constant tests and a binding;
+/// extends `binding` with values for newly bound variables on success.
+/// A non-equality test on an unbound variable fails the tuple unless
+/// `deferred` is non-null, in which case it is recorded there for later
+/// settlement. Exposed for reuse by the matchers.
+bool TupleConsistent(const ConditionSpec& cond, const Tuple& t,
+                     Binding* binding,
+                     std::vector<DeferredTest>* deferred = nullptr);
+
+/// Evaluates and removes every deferred test whose variable `binding`
+/// now covers; returns false if any fails.
+bool SettleDeferred(const Binding& binding,
+                    std::vector<DeferredTest>* deferred);
+
+/// Builds the Binding a single tuple induces for `cond` (nullopt slots
+/// elsewhere); returns false if the tuple fails the condition's constant
+/// tests or intra-condition variable consistency (e.g. `<x> ... <x>`).
+/// Cross-CE non-equality tests are deferred (and dropped) unless
+/// `deferred` captures them.
+bool BindSingle(const ConditionSpec& cond, const Tuple& t, int num_vars,
+                Binding* out, std::vector<DeferredTest>* deferred = nullptr);
+
+}  // namespace prodb
+
+#endif  // PRODB_DB_EXECUTOR_H_

@@ -1,0 +1,108 @@
+#ifndef PRODB_DB_RELATION_H_
+#define PRODB_DB_RELATION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/tuple.h"
+#include "db/predicate.h"
+#include "index/bplus_tree.h"
+#include "index/hash_index.h"
+#include "storage/heap_file.h"
+
+namespace prodb {
+
+/// Storage backend of a relation.
+enum class StorageKind {
+  kMemory,  // std::map keyed by TupleId; fastest, volatile
+  kPaged,   // slotted pages behind the buffer pool ("secondary storage")
+};
+
+/// A named relation: schema + tuple store + optional secondary indexes.
+///
+/// Relations back both working-memory classes (WM relations, §3.2) and the
+/// bookkeeping structures of the matchers (COND, RULE-DEF, LEFT/RIGHT).
+/// Secondary indexes are memory-resident and maintained synchronously on
+/// every mutation. All operations are thread-safe; tuple-level isolation
+/// across transactions is the lock manager's job, not the relation's.
+class Relation {
+ public:
+  /// Memory-backed relation.
+  explicit Relation(Schema schema);
+
+  /// Paged relation over `pool`.
+  static Status CreatePaged(Schema schema, BufferPool* pool,
+                            std::unique_ptr<Relation>* out);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  StorageKind storage_kind() const { return kind_; }
+
+  Status Insert(const Tuple& tuple, TupleId* id);
+  Status Get(TupleId id, Tuple* out) const;
+  Status Delete(TupleId id);
+  /// Update keeps or changes the TupleId depending on the backend; the
+  /// resulting id is returned via *new_id.
+  Status Update(TupleId id, const Tuple& tuple, TupleId* new_id);
+
+  size_t Count() const;
+
+  /// Full scan. `fn` returning non-OK aborts and propagates.
+  Status Scan(const std::function<Status(TupleId, const Tuple&)>& fn) const;
+
+  /// Tuples satisfying `sel` (uses an index for a leading equality test
+  /// when one exists on that attribute).
+  Status Select(const Selection& sel,
+                std::vector<std::pair<TupleId, Tuple>>* out) const;
+
+  /// ids with tuple[attr] == value, via hash index if present, B+-tree if
+  /// present, else scan.
+  Status LookupEq(int attr, const Value& value,
+                  std::vector<TupleId>* out) const;
+
+  /// --- Index management ------------------------------------------------
+  Status CreateHashIndex(int attr);
+  Status CreateBTreeIndex(int attr);
+  bool HasHashIndex(int attr) const;
+  bool HasBTreeIndex(int attr) const;
+  BPlusTree* btree_index(int attr);
+
+  /// Approximate total memory/disk footprint of tuples (space benchmarks).
+  size_t FootprintBytes() const;
+
+ private:
+  Relation(Schema schema, StorageKind kind)
+      : schema_(std::move(schema)), kind_(kind) {}
+
+  Status InsertUnlocked(const Tuple& tuple, TupleId* id);
+  Status DeleteUnlocked(TupleId id);
+  void IndexInsert(const Tuple& t, TupleId id);
+  void IndexRemove(const Tuple& t, TupleId id);
+
+  Schema schema_;
+  StorageKind kind_;
+
+  mutable std::recursive_mutex mu_;
+
+  // kMemory backend.
+  std::map<TupleId, Tuple> rows_;
+  uint32_t next_row_ = 0;
+  size_t mem_bytes_ = 0;
+
+  // kPaged backend.
+  std::unique_ptr<HeapFile> heap_;
+
+  // attr -> index.
+  std::map<int, std::unique_ptr<HashIndex>> hash_indexes_;
+  std::map<int, std::unique_ptr<BPlusTree>> btree_indexes_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_DB_RELATION_H_

@@ -1,0 +1,25 @@
+#include "engine/actions.h"
+
+namespace prodb {
+
+Tuple BuildMakeTuple(const CompiledAction& action, const Binding& binding) {
+  std::vector<Value> values;
+  values.reserve(action.values.size());
+  for (const CompiledValue& cv : action.values) {
+    values.push_back(cv.Resolve(binding));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple BuildModifyTuple(const CompiledAction& action, const Tuple& old,
+                       const Binding& binding) {
+  std::vector<Value> values = old.values();
+  for (size_t i = 0; i < action.set_mask.size() && i < values.size(); ++i) {
+    if (action.set_mask[i]) {
+      values[i] = action.values[i].Resolve(binding);
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace prodb

@@ -1,0 +1,48 @@
+#ifndef PRODB_ENGINE_ACTIONS_H_
+#define PRODB_ENGINE_ACTIONS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/rule.h"
+
+namespace prodb {
+
+/// Builds the tuple a `make` action produces under a binding.
+Tuple BuildMakeTuple(const CompiledAction& action, const Binding& binding);
+
+/// Builds the post-image of a `modify` action: `old` with masked
+/// attributes replaced by the action's values resolved under `binding`.
+Tuple BuildModifyTuple(const CompiledAction& action, const Tuple& old,
+                       const Binding& binding);
+
+/// Host function invoked by `call` actions (§3.1 lists call among the
+/// possible statements; OPS5 uses it for I/O and external procedures).
+using ExternalFn = std::function<Status(const std::vector<Value>& args)>;
+
+/// Name -> ExternalFn registry shared by the engines.
+class FunctionRegistry {
+ public:
+  void Register(const std::string& name, ExternalFn fn) {
+    fns_[name] = std::move(fn);
+  }
+  Status Invoke(const std::string& name,
+                const std::vector<Value>& args) const {
+    auto it = fns_.find(name);
+    if (it == fns_.end()) {
+      return Status::NotFound("no function '" + name + "' registered");
+    }
+    return it->second(args);
+  }
+  bool Has(const std::string& name) const { return fns_.count(name) > 0; }
+
+ private:
+  std::map<std::string, ExternalFn> fns_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_ENGINE_ACTIONS_H_

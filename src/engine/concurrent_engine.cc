@@ -1,0 +1,246 @@
+#include "engine/concurrent_engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "db/executor.h"
+
+namespace prodb {
+
+ConcurrentEngine::ConcurrentEngine(Catalog* catalog, Matcher* matcher,
+                                   LockManager* locks,
+                                   ConcurrentEngineOptions options)
+    : wm_(catalog, matcher),
+      matcher_(matcher),
+      txn_manager_(catalog, locks),
+      options_(options) {}
+
+Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
+                                          bool* fired, bool* stale,
+                                          bool* halted) {
+  *fired = false;
+  *stale = false;
+  const Rule& rule =
+      matcher_->rules()[static_cast<size_t>(inst.rule_index)];
+  auto txn = txn_manager_.Begin();
+
+  // Compensate-and-release on abort: reverse the applied changes through
+  // the same relation+matcher path so the COND state stays consistent.
+  auto abort_with = [&](Status st) -> Status {
+    const auto& changes = txn->changes();
+    for (auto it = changes.rbegin(); it != changes.rend(); ++it) {
+      Relation* rel = wm_.catalog()->Get(it->relation);
+      if (it->inserted) {
+        Status s = rel->Delete(it->id);
+        if (s.ok()) s = matcher_->OnDelete(it->relation, it->id, it->tuple);
+        if (!s.ok()) return s;
+      } else {
+        TupleId nid;
+        Status s = rel->Insert(it->tuple, &nid);
+        if (s.ok()) s = matcher_->OnInsert(it->relation, nid, it->tuple);
+        if (!s.ok()) return s;
+      }
+    }
+    txn_manager_.lock_manager()->ReleaseAll(txn->id());
+    return st;
+  };
+
+  // 1. Read locks: tuple-level for positive CEs, relation-level for
+  //    negated CEs (negative dependence must block inserters, §5.2).
+  for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+    const ConditionSpec& cond = rule.lhs.conditions[ce];
+    Status st = cond.negated
+                    ? txn->ReadLockRelation(cond.relation)
+                    : txn->ReadLock(cond.relation, inst.tuple_ids[ce]);
+    if (!st.ok()) return abort_with(st);
+  }
+
+  // 2. Validate against current WM: tuples must still exist unchanged,
+  //    negated CEs must still have no witness.
+  for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+    const ConditionSpec& cond = rule.lhs.conditions[ce];
+    Relation* rel = wm_.catalog()->Get(cond.relation);
+    if (cond.negated) {
+      bool exists = false;
+      Status st = rel->Scan([&](TupleId, const Tuple& t) {
+        if (!exists) {
+          Binding b = inst.binding;
+          if (TupleConsistent(cond, t, &b)) exists = true;
+        }
+        return Status::OK();
+      });
+      if (!st.ok()) return abort_with(st);
+      if (exists) {
+        *stale = true;
+        return abort_with(Status::OK());
+      }
+    } else {
+      Tuple t;
+      Status st = rel->Get(inst.tuple_ids[ce], &t);
+      if (!st.ok() || t != inst.tuples[ce]) {
+        *stale = true;
+        return abort_with(Status::OK());
+      }
+    }
+  }
+
+  // 3. RHS actions under write locks, with maintenance after each change.
+  std::vector<TupleId> current = inst.tuple_ids;
+  std::vector<Tuple> current_tuples = inst.tuples;
+  bool halt_requested = false;
+  for (const CompiledAction& action : rule.actions) {
+    switch (action.kind) {
+      case ActionKind::kMake: {
+        Tuple t = BuildMakeTuple(action, inst.binding);
+        TupleId id;
+        Status st = txn->Insert(action.target, t, &id);
+        if (!st.ok()) return abort_with(st);
+        st = matcher_->OnInsert(action.target, id, t);
+        if (!st.ok()) return abort_with(st);
+        break;
+      }
+      case ActionKind::kRemove: {
+        size_t ce = static_cast<size_t>(action.ce_index);
+        const std::string& cls = rule.lhs.conditions[ce].relation;
+        Status st = txn->Delete(cls, current[ce]);
+        if (!st.ok()) return abort_with(st);
+        st = matcher_->OnDelete(cls, current[ce], current_tuples[ce]);
+        if (!st.ok()) return abort_with(st);
+        break;
+      }
+      case ActionKind::kModify: {
+        size_t ce = static_cast<size_t>(action.ce_index);
+        const std::string& cls = rule.lhs.conditions[ce].relation;
+        Tuple next =
+            BuildModifyTuple(action, current_tuples[ce], inst.binding);
+        Status st = txn->Delete(cls, current[ce]);
+        if (!st.ok()) return abort_with(st);
+        st = matcher_->OnDelete(cls, current[ce], current_tuples[ce]);
+        if (!st.ok()) return abort_with(st);
+        TupleId id;
+        st = txn->Insert(cls, next, &id);
+        if (!st.ok()) return abort_with(st);
+        st = matcher_->OnInsert(cls, id, next);
+        if (!st.ok()) return abort_with(st);
+        current[ce] = id;
+        current_tuples[ce] = std::move(next);
+        break;
+      }
+      case ActionKind::kHalt:
+        halt_requested = true;
+        break;
+      case ActionKind::kCall: {
+        std::vector<Value> args;
+        for (const CompiledValue& cv : action.args) {
+          args.push_back(cv.Resolve(inst.binding));
+        }
+        Status st = functions_.Invoke(action.target, args);
+        if (!st.ok()) return abort_with(st);
+        break;
+      }
+    }
+  }
+
+  // 4. Commit: maintenance has already run for every change, so the
+  //    §5.2 commit point is satisfied; locks release now.
+  txn_manager_.Commit(txn.get());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_log_.push_back(inst.rule_name);
+  }
+  *fired = true;
+  if (halt_requested) *halted = true;
+  return Status::OK();
+}
+
+Status ConcurrentEngine::Worker(ConcurrentRunResult* result) {
+  auto chooser =
+      MakeStrategy(options_.strategy, &matcher_->rules(), options_.seed);
+  Rng backoff(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (;;) {
+    if (halted_.load() || firings_.load() >= options_.max_firings) {
+      return Status::OK();
+    }
+    Instantiation inst;
+    bool got = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      got = matcher_->conflict_set().Take(chooser, &inst);
+      if (got) {
+        active_workers_.fetch_add(1);
+      } else if (active_workers_.load() == 0) {
+        return Status::OK();  // quiescent: nothing queued, nobody working
+      }
+    }
+    if (!got) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    bool fired = false, stale = false, halted = false;
+    Status st = RunInstantiation(inst, &fired, &stale, &halted);
+    if (st.IsDeadlock()) {
+      // Victim: changes were compensated; requeue, then stop counting as
+      // active (requeue-before-decrement keeps idle workers from
+      // observing a spuriously quiescent system).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result->deadlock_aborts;
+      }
+      matcher_->conflict_set().Add(inst);
+      active_workers_.fetch_sub(1);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(50 + backoff.Uniform(500)));
+      continue;
+    }
+    if (!st.ok()) {
+      active_workers_.fetch_sub(1);
+      return st;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stale) ++result->stale_skipped;
+      if (fired) {
+        ++result->firings;
+        firings_.fetch_add(1);
+      }
+      if (halted) {
+        result->halted = true;
+        halted_.store(true);
+      }
+    }
+    active_workers_.fetch_sub(1);
+  }
+}
+
+Status ConcurrentEngine::Run(ConcurrentRunResult* result) {
+  *result = ConcurrentRunResult{};
+  halted_.store(false);
+  firings_.store(0);
+  active_workers_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_log_.clear();
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(options_.workers, Status::OK());
+  threads.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    threads.emplace_back(
+        [this, result, &statuses, i] { statuses[i] = Worker(result); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& st : statuses) {
+    PRODB_RETURN_IF_ERROR(st);
+  }
+  if (firings_.load() >= options_.max_firings) result->exhausted = true;
+  return Status::OK();
+}
+
+std::vector<std::string> ConcurrentEngine::commit_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_log_;
+}
+
+}  // namespace prodb

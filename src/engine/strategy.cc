@@ -1,0 +1,72 @@
+#include "engine/strategy.h"
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace prodb {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFifo: return "fifo";
+    case StrategyKind::kRecency: return "recency";
+    case StrategyKind::kPriority: return "priority";
+    case StrategyKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::function<int(const std::vector<Instantiation>&)> MakeStrategy(
+    StrategyKind kind, const std::vector<Rule>* rules, uint64_t seed) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return [](const std::vector<Instantiation>& items) {
+        int best = 0;
+        for (size_t i = 1; i < items.size(); ++i) {
+          if (items[i].recency <
+              items[static_cast<size_t>(best)].recency) {
+            best = static_cast<int>(i);
+          }
+        }
+        return items.empty() ? -1 : best;
+      };
+    case StrategyKind::kRecency:
+      return [](const std::vector<Instantiation>& items) {
+        int best = 0;
+        for (size_t i = 1; i < items.size(); ++i) {
+          if (items[i].recency >
+              items[static_cast<size_t>(best)].recency) {
+            best = static_cast<int>(i);
+          }
+        }
+        return items.empty() ? -1 : best;
+      };
+    case StrategyKind::kPriority:
+      return [rules](const std::vector<Instantiation>& items) {
+        if (items.empty()) return -1;
+        int best = 0;
+        auto prio = [&](const Instantiation& inst) {
+          return (*rules)[static_cast<size_t>(inst.rule_index)].priority;
+        };
+        for (size_t i = 1; i < items.size(); ++i) {
+          const Instantiation& a = items[i];
+          const Instantiation& b = items[static_cast<size_t>(best)];
+          if (prio(a) > prio(b) ||
+              (prio(a) == prio(b) && a.recency > b.recency)) {
+            best = static_cast<int>(i);
+          }
+        }
+        return best;
+      };
+    case StrategyKind::kRandom: {
+      auto rng = std::make_shared<Rng>(seed);
+      return [rng](const std::vector<Instantiation>& items) {
+        if (items.empty()) return -1;
+        return static_cast<int>(rng->Uniform(items.size()));
+      };
+    }
+  }
+  return [](const std::vector<Instantiation>&) { return -1; };
+}
+
+}  // namespace prodb

@@ -1,0 +1,33 @@
+#include "engine/working_memory.h"
+
+namespace prodb {
+
+Status WorkingMemory::Insert(const std::string& cls, const Tuple& t,
+                             TupleId* id) {
+  Relation* rel = catalog_->Get(cls);
+  if (rel == nullptr) return Status::NotFound("class " + cls);
+  TupleId local;
+  if (id == nullptr) id = &local;
+  PRODB_RETURN_IF_ERROR(rel->Insert(t, id));
+  return matcher_->OnInsert(cls, *id, t);
+}
+
+Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
+  Relation* rel = catalog_->Get(cls);
+  if (rel == nullptr) return Status::NotFound("class " + cls);
+  Tuple old;
+  PRODB_RETURN_IF_ERROR(rel->Get(id, &old));
+  PRODB_RETURN_IF_ERROR(rel->Delete(id));
+  return matcher_->OnDelete(cls, id, old);
+}
+
+Status WorkingMemory::Modify(const std::string& cls, TupleId id,
+                             const Tuple& t, TupleId* new_id) {
+  // Delete-then-insert, per §3.1 ("modifications are treated as
+  // deletions followed by insertions").
+  PRODB_RETURN_IF_ERROR(Delete(cls, id));
+  TupleId local;
+  return Insert(cls, t, new_id == nullptr ? &local : new_id);
+}
+
+}  // namespace prodb

@@ -1,0 +1,38 @@
+#ifndef PRODB_ENGINE_WORKING_MEMORY_H_
+#define PRODB_ENGINE_WORKING_MEMORY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "match/matcher.h"
+
+namespace prodb {
+
+/// Facade coupling WM relations to a matcher: every mutation of working
+/// memory goes through here so the matcher sees each insertion and
+/// deletion exactly once ("changes will trigger the maintenance
+/// process", §5). Modifications are a deletion followed by an insertion,
+/// as the paper (and OPS5) prescribe.
+class WorkingMemory {
+ public:
+  WorkingMemory(Catalog* catalog, Matcher* matcher)
+      : catalog_(catalog), matcher_(matcher) {}
+
+  Status Insert(const std::string& cls, const Tuple& t,
+                TupleId* id = nullptr);
+  Status Delete(const std::string& cls, TupleId id);
+  Status Modify(const std::string& cls, TupleId id, const Tuple& t,
+                TupleId* new_id = nullptr);
+
+  Catalog* catalog() const { return catalog_; }
+  Matcher* matcher() const { return matcher_; }
+
+ private:
+  Catalog* catalog_;
+  Matcher* matcher_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_ENGINE_WORKING_MEMORY_H_

@@ -1,0 +1,240 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prodb {
+
+struct BPlusTree::LeafEntry {
+  Value key;
+  std::vector<TupleId> postings;
+};
+
+struct BPlusTree::Node {
+  bool leaf;
+  Node* parent = nullptr;
+  // Internal: keys.size() + 1 == children.size().
+  std::vector<Value> keys;
+  std::vector<Node*> children;
+  // Leaf:
+  std::vector<LeafEntry> entries;
+  Node* next = nullptr;
+
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+BPlusTree::BPlusTree(int order) : order_(order < 4 ? 4 : order) {
+  root_ = new Node(/*is_leaf=*/true);
+}
+
+BPlusTree::~BPlusTree() {
+  std::function<void(Node*)> destroy = [&](Node* n) {
+    if (!n->leaf) {
+      for (auto* c : n->children) destroy(c);
+    }
+    delete n;
+  };
+  destroy(root_);
+}
+
+BPlusTree::Node* BPlusTree::FindLeaf(const Value& key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    // children[i] covers keys < keys[i]; the last child covers the rest.
+    size_t i = 0;
+    while (i < n->keys.size() && key.Compare(n->keys[i]) >= 0) ++i;
+    n = n->children[i];
+  }
+  return n;
+}
+
+void BPlusTree::InsertInParent(Node* left, const Value& key, Node* right) {
+  if (left == root_) {
+    Node* new_root = new Node(/*is_leaf=*/false);
+    new_root->keys.push_back(key);
+    new_root->children = {left, right};
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = left->parent;
+  auto pos = std::find(parent->children.begin(), parent->children.end(), left);
+  size_t idx = static_cast<size_t>(pos - parent->children.begin());
+  parent->keys.insert(parent->keys.begin() + idx, key);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+  right->parent = parent;
+
+  if (static_cast<int>(parent->children.size()) > order_) {
+    // Split the internal node: middle key moves up.
+    size_t mid = parent->keys.size() / 2;
+    Value up_key = parent->keys[mid];
+    Node* sibling = new Node(/*is_leaf=*/false);
+    sibling->keys.assign(parent->keys.begin() + mid + 1, parent->keys.end());
+    sibling->children.assign(parent->children.begin() + mid + 1,
+                             parent->children.end());
+    for (auto* c : sibling->children) c->parent = sibling;
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    InsertInParent(parent, up_key, sibling);
+  }
+}
+
+void BPlusTree::Insert(const Value& key, TupleId id) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return e.key.Compare(k) < 0; });
+  if (it != leaf->entries.end() && it->key == key) {
+    it->postings.push_back(id);
+    ++posting_count_;
+    return;
+  }
+  leaf->entries.insert(it, LeafEntry{key, {id}});
+  ++key_count_;
+  ++posting_count_;
+
+  if (static_cast<int>(leaf->entries.size()) >= order_) {
+    size_t mid = leaf->entries.size() / 2;
+    Node* sibling = new Node(/*is_leaf=*/true);
+    sibling->entries.assign(leaf->entries.begin() + mid, leaf->entries.end());
+    leaf->entries.resize(mid);
+    sibling->next = leaf->next;
+    leaf->next = sibling;
+    InsertInParent(leaf, sibling->entries.front().key, sibling);
+  }
+}
+
+bool BPlusTree::Remove(const Value& key, TupleId id) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return e.key.Compare(k) < 0; });
+  if (it == leaf->entries.end() || !(it->key == key)) return false;
+  auto pit = std::find(it->postings.begin(), it->postings.end(), id);
+  if (pit == it->postings.end()) return false;
+  it->postings.erase(pit);
+  --posting_count_;
+  if (it->postings.empty()) {
+    // Lazy structural deletion: the entry goes away but nodes are not
+    // rebalanced. Underfull leaves are tolerated; the tree stays correct
+    // and search-efficient for our insert-heavy workloads.
+    leaf->entries.erase(it);
+    --key_count_;
+  }
+  return true;
+}
+
+std::vector<TupleId> BPlusTree::Lookup(const Value& key) const {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return e.key.Compare(k) < 0; });
+  if (it != leaf->entries.end() && it->key == key) return it->postings;
+  return {};
+}
+
+void BPlusTree::RangeScan(
+    const std::optional<Value>& lo, const std::optional<Value>& hi,
+    const std::function<bool(const Value&, TupleId)>& fn) const {
+  Node* n = root_;
+  if (lo.has_value()) {
+    n = FindLeaf(*lo);
+  } else {
+    while (!n->leaf) n = n->children.front();
+  }
+  for (; n != nullptr; n = n->next) {
+    for (const LeafEntry& e : n->entries) {
+      if (lo.has_value() && e.key.Compare(*lo) < 0) continue;
+      if (hi.has_value() && e.key.Compare(*hi) > 0) return;
+      for (TupleId id : e.postings) {
+        if (!fn(e.key, id)) return;
+      }
+    }
+  }
+}
+
+int BPlusTree::Height() const {
+  int h = 1;
+  Node* n = root_;
+  while (!n->leaf) {
+    n = n->children.front();
+    ++h;
+  }
+  return h;
+}
+
+void BPlusTree::MarkInterval(const std::optional<Value>& lo,
+                             const std::optional<Value>& hi,
+                             uint32_t marker_id) {
+  bool lo_numeric = !lo.has_value() || lo->is_numeric();
+  bool hi_numeric = !hi.has_value() || hi->is_numeric();
+  if (lo_numeric && hi_numeric) {
+    // Absent bounds become huge sentinels; a symbolic probe stabs at the
+    // high sentinel (symbols order above all numbers).
+    double l = lo.has_value() ? lo->numeric() : -1e308;
+    double h = hi.has_value() ? hi->numeric() : 1e308;
+    numeric_marks_.Insert(l, h, marker_id);
+    return;
+  }
+  interval_marks_.push_back(IntervalMark{lo, hi, marker_id});
+}
+
+void BPlusTree::UnmarkInterval(uint32_t marker_id) {
+  numeric_marks_.Erase(marker_id);
+  interval_marks_.erase(
+      std::remove_if(interval_marks_.begin(), interval_marks_.end(),
+                     [marker_id](const IntervalMark& m) {
+                       return m.marker_id == marker_id;
+                     }),
+      interval_marks_.end());
+}
+
+std::vector<uint32_t> BPlusTree::MarkersCovering(const Value& key) const {
+  std::vector<uint32_t> out;
+  double x = key.is_numeric() ? key.numeric() : 1e308;
+  numeric_marks_.Stab(x, &out);
+  for (const IntervalMark& m : interval_marks_) {
+    if (m.lo.has_value() && key.Compare(*m.lo) < 0) continue;
+    if (m.hi.has_value() && key.Compare(*m.hi) > 0) continue;
+    out.push_back(m.marker_id);
+  }
+  return out;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  std::function<Status(Node*, int)> check = [&](Node* n, int depth) -> Status {
+    if (n->leaf) {
+      if (leaf_depth < 0) {
+        leaf_depth = depth;
+      } else if (leaf_depth != depth) {
+        return Status::Corruption("non-uniform leaf depth");
+      }
+      for (size_t i = 1; i < n->entries.size(); ++i) {
+        if (n->entries[i - 1].key.Compare(n->entries[i].key) >= 0) {
+          return Status::Corruption("leaf keys out of order");
+        }
+      }
+      return Status::OK();
+    }
+    if (n->children.size() != n->keys.size() + 1) {
+      return Status::Corruption("internal child/key mismatch");
+    }
+    if (static_cast<int>(n->children.size()) > order_) {
+      return Status::Corruption("internal node overfull");
+    }
+    for (size_t i = 1; i < n->keys.size(); ++i) {
+      if (n->keys[i - 1].Compare(n->keys[i]) >= 0) {
+        return Status::Corruption("internal keys out of order");
+      }
+    }
+    for (auto* c : n->children) {
+      PRODB_RETURN_IF_ERROR(check(c, depth + 1));
+    }
+    return Status::OK();
+  };
+  return check(root_, 0);
+}
+
+}  // namespace prodb

@@ -1,0 +1,90 @@
+#ifndef PRODB_INDEX_BPLUS_TREE_H_
+#define PRODB_INDEX_BPLUS_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "index/interval_tree.h"
+
+namespace prodb {
+
+/// Memory-resident B+-tree multi-map from Value keys to TupleIds.
+///
+/// Secondary indexes in prodb are memory-resident (rebuilt from the heap
+/// file on open) while base tuples are paged — the arrangement the paper
+/// assumes when it talks about "using indices, if they exist" (§3.2).
+/// The tree supports duplicate keys (a leaf entry carries a posting list),
+/// ordered range scans, and key-interval markers used by the Basic
+/// Locking rule-indexing scheme of [STON86a] (markers on the key interval
+/// inspected during a scan catch future "phantom" insertions).
+class BPlusTree {
+ public:
+  /// `order` = max children of an internal node (>= 4).
+  explicit BPlusTree(int order = 64);
+  ~BPlusTree();
+
+  void Insert(const Value& key, TupleId id);
+
+  /// Removes one (key, id) posting. Returns false if absent.
+  bool Remove(const Value& key, TupleId id);
+
+  /// All postings for `key` (empty if none).
+  std::vector<TupleId> Lookup(const Value& key) const;
+
+  /// Visits postings with lo <= key <= hi in key order. Null bounds are
+  /// unbounded. `fn` returns false to stop early.
+  void RangeScan(const std::optional<Value>& lo, const std::optional<Value>& hi,
+                 const std::function<bool(const Value&, TupleId)>& fn) const;
+
+  size_t KeyCount() const { return key_count_; }
+  size_t PostingCount() const { return posting_count_; }
+  int Height() const;
+
+  /// --- Key-interval markers (Basic Locking support) -------------------
+  /// Records that condition `marker_id` read the key interval [lo, hi]
+  /// (null = unbounded). A later insertion of `key` reports every marker
+  /// whose interval contains `key` — the "index interval lock" of
+  /// [STON86a] that handles phantoms.
+  /// Numeric (or unbounded) intervals go to a stabbing structure so a
+  /// probe costs O(log m + hits) — the cost an index descent would pay;
+  /// intervals with symbolic bounds fall back to a checked list.
+  void MarkInterval(const std::optional<Value>& lo,
+                    const std::optional<Value>& hi, uint32_t marker_id);
+  void UnmarkInterval(uint32_t marker_id);
+  std::vector<uint32_t> MarkersCovering(const Value& key) const;
+  size_t IntervalMarkerCount() const {
+    return numeric_marks_.size() + interval_marks_.size();
+  }
+
+  /// Validates B+-tree invariants (sorted keys, uniform leaf depth,
+  /// fanout bounds). Used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry;
+
+  Node* FindLeaf(const Value& key) const;
+  void InsertInParent(Node* left, const Value& key, Node* right);
+
+  int order_;
+  Node* root_;
+  size_t key_count_ = 0;
+  size_t posting_count_ = 0;
+
+  struct IntervalMark {
+    std::optional<Value> lo, hi;
+    uint32_t marker_id;
+  };
+  IntervalTree numeric_marks_;
+  std::vector<IntervalMark> interval_marks_;  // symbol-bounded fallback
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_INDEX_BPLUS_TREE_H_

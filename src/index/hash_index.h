@@ -1,0 +1,56 @@
+#ifndef PRODB_INDEX_HASH_INDEX_H_
+#define PRODB_INDEX_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace prodb {
+
+/// Equality index from a single attribute Value to TupleIds.
+///
+/// Used by the hash-join executor and by the matchers to turn the paper's
+/// "selection on the WM relation" (§4.1.2) into an O(1) probe when the
+/// join predicate is an equality on a single attribute — the common case
+/// for OPS5 variables shared between two condition elements.
+class HashIndex {
+ public:
+  void Insert(const Value& key, TupleId id) {
+    map_[key].push_back(id);
+    ++postings_;
+  }
+
+  bool Remove(const Value& key, TupleId id) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    auto& v = it->second;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == id) {
+        v[i] = v.back();
+        v.pop_back();
+        --postings_;
+        if (v.empty()) map_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<TupleId>* Lookup(const Value& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t KeyCount() const { return map_.size(); }
+  size_t PostingCount() const { return postings_; }
+
+ private:
+  std::unordered_map<Value, std::vector<TupleId>, ValueHash> map_;
+  size_t postings_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_INDEX_HASH_INDEX_H_

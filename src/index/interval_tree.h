@@ -1,0 +1,155 @@
+#ifndef PRODB_INDEX_INTERVAL_TREE_H_
+#define PRODB_INDEX_INTERVAL_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace prodb {
+
+/// Dynamic centered interval tree over [lo, hi] double intervals with
+/// uint32 payloads. Supports insert, erase-by-id, and stabbing queries
+/// ("all intervals containing x") in O(log n + k).
+///
+/// Used by the Basic Locking rule index (§2.3 / [STON86a]) so that the
+/// key-interval marks registered on an index behave like real index
+/// interval locks: an insertion discovers the covering marks during a
+/// logarithmic descent instead of scanning every registered condition.
+///
+/// Implementation: a balanced-by-reconstruction centered tree. Nodes
+/// partition intervals around center points; each node keeps its
+/// intervals sorted by lo and by descending hi for early-exit stabbing.
+/// Mutations mark the tree dirty; the structure is (re)built lazily on
+/// the next query, giving amortized O(n log n) across any mutation
+/// sequence — the right trade for rule bases, which change rarely
+/// relative to how often they are probed.
+class IntervalTree {
+ public:
+  struct Interval {
+    double lo;
+    double hi;
+    uint32_t id;
+  };
+
+  void Insert(double lo, double hi, uint32_t id) {
+    intervals_.push_back(Interval{lo, hi, id});
+    dirty_ = true;
+  }
+
+  /// Removes every interval with this id. Returns the number removed.
+  size_t Erase(uint32_t id) {
+    size_t before = intervals_.size();
+    intervals_.erase(
+        std::remove_if(intervals_.begin(), intervals_.end(),
+                       [id](const Interval& iv) { return iv.id == id; }),
+        intervals_.end());
+    if (intervals_.size() != before) dirty_ = true;
+    return before - intervals_.size();
+  }
+
+  /// Appends the ids of all intervals containing `x` to *out.
+  void Stab(double x, std::vector<uint32_t>* out) const {
+    if (dirty_) Rebuild();
+    StabNode(root_, x, out);
+  }
+
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+ private:
+  struct Node {
+    double center = 0;
+    // Intervals containing `center`, sorted two ways for early exit.
+    std::vector<Interval> by_lo;         // ascending lo
+    std::vector<Interval> by_hi_desc;    // descending hi
+    int left = -1;
+    int right = -1;
+  };
+
+  void Rebuild() const {
+    nodes_.clear();
+    std::vector<Interval> all = intervals_;
+    root_ = Build(&all);
+    dirty_ = false;
+  }
+
+  int Build(std::vector<Interval>* ivs) const {
+    if (ivs->empty()) return -1;
+    // Center = median of endpoint midpoints (clamped for infinities).
+    std::vector<double> mids;
+    mids.reserve(ivs->size());
+    auto clamp = [](double v) {
+      if (v > 1e12) return 1e12;
+      if (v < -1e12) return -1e12;
+      return v;
+    };
+    for (const Interval& iv : *ivs) {
+      mids.push_back((clamp(iv.lo) + clamp(iv.hi)) / 2);
+    }
+    std::nth_element(mids.begin(), mids.begin() + mids.size() / 2,
+                     mids.end());
+    double center = mids[mids.size() / 2];
+
+    Node node;
+    node.center = center;
+    std::vector<Interval> left, right;
+    for (const Interval& iv : *ivs) {
+      if (iv.hi < center) {
+        left.push_back(iv);
+      } else if (iv.lo > center) {
+        right.push_back(iv);
+      } else {
+        node.by_lo.push_back(iv);
+      }
+    }
+    // Degenerate split (e.g. all intervals identical): keep everything
+    // at this node rather than recursing forever.
+    if (node.by_lo.empty() && (left.empty() || right.empty())) {
+      node.by_lo = left.empty() ? std::move(right) : std::move(left);
+      left.clear();
+      right.clear();
+    }
+    node.by_hi_desc = node.by_lo;
+    std::sort(node.by_lo.begin(), node.by_lo.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    std::sort(node.by_hi_desc.begin(), node.by_hi_desc.end(),
+              [](const Interval& a, const Interval& b) { return a.hi > b.hi; });
+    int idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    int l = Build(&left);
+    int r = Build(&right);
+    nodes_[static_cast<size_t>(idx)].left = l;
+    nodes_[static_cast<size_t>(idx)].right = r;
+    return idx;
+  }
+
+  void StabNode(int idx, double x, std::vector<uint32_t>* out) const {
+    if (idx < 0) return;
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (x < node.center) {
+      // Only intervals with lo <= x can contain x; by_lo is ascending.
+      for (const Interval& iv : node.by_lo) {
+        if (iv.lo > x) break;
+        if (x <= iv.hi) out->push_back(iv.id);
+      }
+      StabNode(node.left, x, out);
+    } else {
+      // Only intervals with hi >= x can contain x; by_hi_desc descends.
+      for (const Interval& iv : node.by_hi_desc) {
+        if (iv.hi < x) break;
+        if (x >= iv.lo) out->push_back(iv.id);
+      }
+      if (x > node.center) StabNode(node.right, x, out);
+    }
+  }
+
+  std::vector<Interval> intervals_;
+  mutable std::vector<Node> nodes_;
+  mutable int root_ = -1;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_INDEX_INTERVAL_TREE_H_

@@ -1,0 +1,383 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace prodb {
+
+namespace {
+// Infinities are clamped to this half-span when computing areas so that
+// "mostly unbounded" condition boxes still produce usable enlargement
+// comparisons.
+constexpr double kClamp = 1e9;
+
+double ClampCoord(double v) {
+  if (v > kClamp) return kClamp;
+  if (v < -kClamp) return -kClamp;
+  return v;
+}
+}  // namespace
+
+Box Box::Infinite(size_t dims) {
+  Box b;
+  b.lo.assign(dims, -std::numeric_limits<double>::infinity());
+  b.hi.assign(dims, std::numeric_limits<double>::infinity());
+  return b;
+}
+
+Box Box::Point(const std::vector<double>& coords) {
+  Box b;
+  b.lo = coords;
+  b.hi = coords;
+  return b;
+}
+
+bool Box::Overlaps(const Box& other) const {
+  for (size_t d = 0; d < dims(); ++d) {
+    if (lo[d] > other.hi[d] || other.lo[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+bool Box::Contains(const std::vector<double>& point) const {
+  for (size_t d = 0; d < dims(); ++d) {
+    if (point[d] < lo[d] || point[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+double Box::Area() const {
+  double a = 1.0;
+  for (size_t d = 0; d < dims(); ++d) {
+    a *= ClampCoord(hi[d]) - ClampCoord(lo[d]);
+  }
+  return a;
+}
+
+Box Box::Enlarged(const Box& other) const {
+  Box b = *this;
+  for (size_t d = 0; d < dims(); ++d) {
+    b.lo[d] = std::min(b.lo[d], other.lo[d]);
+    b.hi[d] = std::max(b.hi[d], other.hi[d]);
+  }
+  return b;
+}
+
+std::string Box::ToString() const {
+  std::string out = "[";
+  for (size_t d = 0; d < dims(); ++d) {
+    if (d) out += " x ";
+    out += "(" + std::to_string(lo[d]) + "," + std::to_string(hi[d]) + ")";
+  }
+  return out + "]";
+}
+
+struct RTree::Entry {
+  Box box;
+  uint64_t id = 0;    // leaf entries
+  Node* child = nullptr;  // internal entries
+};
+
+struct RTree::Node {
+  bool leaf;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+};
+
+RTree::RTree(size_t dims, size_t max_entries)
+    : dims_(dims),
+      max_entries_(max_entries < 4 ? 4 : max_entries),
+      min_entries_(max_entries_ / 2),
+      root_(new Node(/*is_leaf=*/true)) {}
+
+RTree::~RTree() {
+  std::function<void(Node*)> destroy = [&](Node* n) {
+    if (!n->leaf) {
+      for (auto& e : n->entries) destroy(e.child);
+    }
+    delete n;
+  };
+  destroy(root_);
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* n, const Box& box) const {
+  while (!n->leaf) {
+    // Guttman: follow the child whose MBR needs least enlargement,
+    // breaking ties on smaller area.
+    double best_delta = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    Node* best = nullptr;
+    for (const Entry& e : n->entries) {
+      double area = e.box.Area();
+      double delta = e.box.Enlarged(box).Area() - area;
+      if (delta < best_delta ||
+          (delta == best_delta && area < best_area)) {
+        best_delta = delta;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    n = best;
+  }
+  return n;
+}
+
+void RTree::Recompute(Node* n) {
+  // Recomputes the MBR stored for `n` in its parent entry.
+  if (n->parent == nullptr) return;
+  for (Entry& e : n->parent->entries) {
+    if (e.child == n) {
+      Box mbr = n->entries.front().box;
+      for (size_t i = 1; i < n->entries.size(); ++i) {
+        mbr = mbr.Enlarged(n->entries[i].box);
+      }
+      e.box = mbr;
+      return;
+    }
+  }
+}
+
+void RTree::SplitNode(Node* n) {
+  // Quadratic split [GUTT84 §3.5.2]: pick the pair of entries that would
+  // waste the most area together as seeds, then assign the rest greedily
+  // by least enlargement.
+  std::vector<Entry> all = std::move(n->entries);
+  n->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      double waste = all[i].box.Enlarged(all[j].box).Area() -
+                     all[i].box.Area() - all[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* sibling = new Node(n->leaf);
+  std::vector<Entry> group_a{all[seed_a]};
+  std::vector<Entry> group_b{all[seed_b]};
+  Box mbr_a = all[seed_a].box;
+  Box mbr_b = all[seed_b].box;
+
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    size_t remaining = all.size() - group_a.size() - group_b.size() - 1;
+    // Force assignment if one group must take all remaining entries to
+    // reach the minimum fill.
+    if (group_a.size() + remaining + 1 <= min_entries_) {
+      group_a.push_back(all[i]);
+      mbr_a = mbr_a.Enlarged(all[i].box);
+      continue;
+    }
+    if (group_b.size() + remaining + 1 <= min_entries_) {
+      group_b.push_back(all[i]);
+      mbr_b = mbr_b.Enlarged(all[i].box);
+      continue;
+    }
+    double da = mbr_a.Enlarged(all[i].box).Area() - mbr_a.Area();
+    double db = mbr_b.Enlarged(all[i].box).Area() - mbr_b.Area();
+    if (da < db || (da == db && group_a.size() <= group_b.size())) {
+      group_a.push_back(all[i]);
+      mbr_a = mbr_a.Enlarged(all[i].box);
+    } else {
+      group_b.push_back(all[i]);
+      mbr_b = mbr_b.Enlarged(all[i].box);
+    }
+  }
+
+  n->entries = std::move(group_a);
+  sibling->entries = std::move(group_b);
+  if (!n->leaf) {
+    for (Entry& e : n->entries) e.child->parent = n;
+    for (Entry& e : sibling->entries) e.child->parent = sibling;
+  }
+
+  if (n->parent == nullptr) {
+    Node* new_root = new Node(/*is_leaf=*/false);
+    new_root->entries.push_back(Entry{mbr_a, 0, n});
+    new_root->entries.push_back(Entry{mbr_b, 0, sibling});
+    n->parent = new_root;
+    sibling->parent = new_root;
+    root_ = new_root;
+  } else {
+    Recompute(n);
+    sibling->parent = n->parent;
+    n->parent->entries.push_back(Entry{mbr_b, 0, sibling});
+    if (n->parent->entries.size() > max_entries_) {
+      SplitNode(n->parent);
+    } else {
+      AdjustUpward(n->parent);
+    }
+  }
+}
+
+void RTree::AdjustUpward(Node* n) {
+  while (n != nullptr && n->parent != nullptr) {
+    Recompute(n);
+    n = n->parent;
+  }
+}
+
+void RTree::Insert(const Box& box, uint64_t id) {
+  Node* leaf = ChooseLeaf(root_, box);
+  leaf->entries.push_back(Entry{box, id, nullptr});
+  ++size_;
+  if (leaf->entries.size() > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+bool RTree::Remove(const Box& box, uint64_t id) {
+  // Find the leaf holding (box, id).
+  Node* found_leaf = nullptr;
+  size_t found_idx = 0;
+  std::function<bool(Node*)> find = [&](Node* n) -> bool {
+    if (n->leaf) {
+      for (size_t i = 0; i < n->entries.size(); ++i) {
+        if (n->entries[i].id == id && n->entries[i].box.Overlaps(box) &&
+            n->entries[i].box.lo == box.lo && n->entries[i].box.hi == box.hi) {
+          found_leaf = n;
+          found_idx = i;
+          return true;
+        }
+      }
+      return false;
+    }
+    for (const Entry& e : n->entries) {
+      if (e.box.Overlaps(box) && find(e.child)) return true;
+    }
+    return false;
+  };
+  if (!find(root_)) return false;
+
+  found_leaf->entries.erase(found_leaf->entries.begin() + found_idx);
+  --size_;
+
+  // Condense (leaf level only): if the leaf underflows, dissolve it and
+  // reinsert its surviving data entries. Internal underflow is tolerated —
+  // the tree stays correct, just possibly less dense after heavy deletes.
+  std::vector<Entry> orphans;
+  if (found_leaf->parent != nullptr &&
+      found_leaf->entries.size() < min_entries_) {
+    Node* parent = found_leaf->parent;
+    for (size_t i = 0; i < parent->entries.size(); ++i) {
+      if (parent->entries[i].child == found_leaf) {
+        parent->entries.erase(parent->entries.begin() + i);
+        break;
+      }
+    }
+    orphans = std::move(found_leaf->entries);
+    delete found_leaf;
+    // Prune any ancestors left with no entries.
+    Node* n = parent;
+    while (n->parent != nullptr && n->entries.empty()) {
+      Node* p = n->parent;
+      for (size_t i = 0; i < p->entries.size(); ++i) {
+        if (p->entries[i].child == n) {
+          p->entries.erase(p->entries.begin() + i);
+          break;
+        }
+      }
+      delete n;
+      n = p;
+    }
+    if (!n->entries.empty() && n->parent != nullptr) AdjustUpward(n);
+  } else if (!found_leaf->entries.empty()) {
+    AdjustUpward(found_leaf);
+  }
+
+  // Shrink a root that degenerated to a single internal entry, or to an
+  // empty internal node.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    Node* child = root_->entries.front().child;
+    child->parent = nullptr;
+    delete root_;
+    root_ = child;
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    delete root_;
+    root_ = new Node(true);
+  }
+  for (Entry& e : orphans) {
+    --size_;  // Insert() re-increments.
+    Insert(e.box, e.id);
+  }
+  return true;
+}
+
+std::vector<uint64_t> RTree::SearchPoint(
+    const std::vector<double>& point) const {
+  return SearchBox(Box::Point(point));
+}
+
+std::vector<uint64_t> RTree::SearchBox(const Box& query) const {
+  std::vector<uint64_t> out;
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    for (const Entry& e : n->entries) {
+      if (!e.box.Overlaps(query)) continue;
+      if (n->leaf) {
+        out.push_back(e.id);
+      } else {
+        walk(e.child);
+      }
+    }
+  };
+  walk(root_);
+  return out;
+}
+
+int RTree::Height() const {
+  int h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+Status RTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  std::function<Status(const Node*, int)> check = [&](const Node* n,
+                                                      int depth) -> Status {
+    if (n != root_ && n->entries.size() > max_entries_) {
+      return Status::Corruption("node overfull");
+    }
+    if (n->leaf) {
+      if (leaf_depth < 0) {
+        leaf_depth = depth;
+      } else if (leaf_depth != depth) {
+        return Status::Corruption("non-uniform leaf depth");
+      }
+      return Status::OK();
+    }
+    for (const Entry& e : n->entries) {
+      if (e.child->parent != n) {
+        return Status::Corruption("broken parent link");
+      }
+      // Every child box must be covered by the parent entry's MBR.
+      for (const Entry& ce : e.child->entries) {
+        Box cover = e.box.Enlarged(ce.box);
+        for (size_t d = 0; d < dims_; ++d) {
+          if (cover.lo[d] != e.box.lo[d] || cover.hi[d] != e.box.hi[d]) {
+            return Status::Corruption("MBR does not cover child");
+          }
+        }
+      }
+      PRODB_RETURN_IF_ERROR(check(e.child, depth + 1));
+    }
+    return Status::OK();
+  };
+  return check(root_, 0);
+}
+
+}  // namespace prodb

@@ -1,0 +1,91 @@
+#ifndef PRODB_INDEX_RTREE_H_
+#define PRODB_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prodb {
+
+/// Axis-aligned hyper-rectangle in d dimensions. Conditions over numeric
+/// attributes map to boxes: `age > 55` is the box [55+ε, +inf] on the age
+/// axis and [-inf, +inf] elsewhere; an inserted tuple is a point box.
+struct Box {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  static Box Infinite(size_t dims);
+  static Box Point(const std::vector<double>& coords);
+
+  size_t dims() const { return lo.size(); }
+  bool Overlaps(const Box& other) const;
+  bool Contains(const std::vector<double>& point) const;
+
+  /// Hyper-volume with infinities clamped to a large finite span, so
+  /// enlargement comparisons stay meaningful.
+  double Area() const;
+  /// Smallest box covering both this and `other`.
+  Box Enlarged(const Box& other) const;
+
+  std::string ToString() const;
+};
+
+/// Guttman R-tree with quadratic split over Box entries.
+///
+/// This is the "Predicate Indexing" device of [STON86a] that the paper
+/// recommends (§2.3, §4.1.2, §4.2.3): rule conditions are stored as boxes
+/// in attribute space, and finding the conditions affected by an inserted
+/// tuple is a point query. The same structure answers rule-base queries
+/// such as "all the rules that apply on employees older than 55" (§4.2.3).
+class RTree {
+ public:
+  /// `dims` = dimensionality of all boxes; `max_entries` = node capacity.
+  explicit RTree(size_t dims, size_t max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Inserts a box tagged with an opaque id (e.g. a (rule, CE) key).
+  void Insert(const Box& box, uint64_t id);
+
+  /// Removes the entry with exactly this box and id. Returns false if not
+  /// present. Uses condense-by-reinsert on underflow.
+  bool Remove(const Box& box, uint64_t id);
+
+  /// Ids of all entries whose box contains `point`.
+  std::vector<uint64_t> SearchPoint(const std::vector<double>& point) const;
+
+  /// Ids of all entries whose box overlaps `query`.
+  std::vector<uint64_t> SearchBox(const Box& query) const;
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  int Height() const;
+
+  /// Structural invariants: MBRs cover children, entry counts within
+  /// bounds, uniform leaf depth.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(Node* n, const Box& box) const;
+  void SplitNode(Node* n);
+  void AdjustUpward(Node* n);
+  void Recompute(Node* n);
+
+  size_t dims_;
+  size_t max_entries_;
+  size_t min_entries_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_INDEX_RTREE_H_

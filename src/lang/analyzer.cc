@@ -1,0 +1,227 @@
+#include "lang/analyzer.h"
+
+#include <map>
+
+#include "lang/parser.h"
+
+namespace prodb {
+
+namespace {
+
+Status RuleError(const RuleAst& ast, const std::string& msg) {
+  return Status::InvalidArgument("rule " + ast.name + ": " + msg);
+}
+
+}  // namespace
+
+Status Analyzer::Compile(const RuleAst& ast, Rule* out) const {
+  *out = Rule{};
+  out->name = ast.name;
+  if (ast.conditions.empty()) {
+    return RuleError(ast, "has no condition elements");
+  }
+
+  // Variable table: name -> dense id. `positively_bound` marks variables
+  // with an equality occurrence in a positive CE — only those may be used
+  // by later CEs' tests and by RHS actions.
+  std::map<std::string, int> vars;
+  std::vector<bool> positively_bound;
+  auto var_id = [&](const std::string& name) {
+    auto it = vars.find(name);
+    if (it != vars.end()) return it->second;
+    int id = static_cast<int>(vars.size());
+    vars.emplace(name, id);
+    out->var_names.push_back(name);
+    positively_bound.push_back(false);
+    return id;
+  };
+
+  for (const ConditionAst& ce : ast.conditions) {
+    Relation* rel = catalog_->Get(ce.class_name);
+    if (rel == nullptr) {
+      return RuleError(ast, "condition on undeclared class '" +
+                                ce.class_name + "'");
+    }
+    const Schema& schema = rel->schema();
+    ConditionSpec spec;
+    spec.relation = ce.class_name;
+    spec.negated = ce.negated;
+    for (const AttrTestAst& test : ce.tests) {
+      int attr = schema.IndexOf(test.attr);
+      if (attr < 0) {
+        return RuleError(ast, "class " + ce.class_name +
+                                  " has no attribute '" + test.attr + "'");
+      }
+      for (const auto& [op, v] : test.preds) {
+        switch (v.kind) {
+          case AstValue::Kind::kConst:
+            spec.constant_tests.push_back(ConstantTest{attr, op, v.constant});
+            break;
+          case AstValue::Kind::kVar: {
+            int id = var_id(v.var);
+            bool bound_here_or_before =
+                positively_bound[static_cast<size_t>(id)] ||
+                // Bound earlier within this same CE?
+                [&] {
+                  for (const VarUse& u : spec.var_uses) {
+                    if (u.var == id && u.op == CompareOp::kEq) return true;
+                  }
+                  return false;
+                }();
+            if (op != CompareOp::kEq && !bound_here_or_before) {
+              return RuleError(ast, "variable <" + v.var +
+                                        "> tested with '" +
+                                        CompareOpName(op) +
+                                        "' before being bound");
+            }
+            spec.var_uses.push_back(VarUse{attr, id, op});
+            if (op == CompareOp::kEq && !ce.negated) {
+              positively_bound[static_cast<size_t>(id)] = true;
+            }
+            break;
+          }
+          case AstValue::Kind::kDontCare:
+            break;  // matches anything; no test emitted
+        }
+      }
+    }
+    out->lhs.conditions.push_back(std::move(spec));
+  }
+  out->lhs.num_vars = static_cast<int>(vars.size());
+
+  // A rule whose only CEs are negated can never produce an instantiation
+  // seeded by an insertion; OPS5 likewise requires a positive CE.
+  if (out->FirstPositiveCe() < 0) {
+    return RuleError(ast, "needs at least one positive condition element");
+  }
+
+  // Compile actions.
+  auto resolve_value = [&](const AstValue& v, CompiledValue* cv) -> Status {
+    switch (v.kind) {
+      case AstValue::Kind::kConst:
+        *cv = CompiledValue::Const(v.constant);
+        return Status::OK();
+      case AstValue::Kind::kVar: {
+        auto it = vars.find(v.var);
+        if (it == vars.end() ||
+            !positively_bound[static_cast<size_t>(it->second)]) {
+          return RuleError(ast, "action uses unbound variable <" + v.var +
+                                    ">");
+        }
+        *cv = CompiledValue::Var(it->second);
+        return Status::OK();
+      }
+      case AstValue::Kind::kDontCare:
+        return RuleError(ast, "'*' is not a legal action value");
+    }
+    return Status::Internal("unreachable");
+  };
+
+  for (const ActionAst& act : ast.actions) {
+    CompiledAction ca;
+    ca.kind = act.kind;
+    switch (act.kind) {
+      case ActionKind::kMake: {
+        Relation* rel = catalog_->Get(act.target);
+        if (rel == nullptr) {
+          return RuleError(ast, "make on undeclared class '" + act.target +
+                                    "'");
+        }
+        const Schema& schema = rel->schema();
+        ca.target = act.target;
+        ca.values.assign(schema.arity(), CompiledValue::Const(Value()));
+        for (const auto& [attr, v] : act.assignments) {
+          int idx = schema.IndexOf(attr);
+          if (idx < 0) {
+            return RuleError(ast, "make: class " + act.target +
+                                      " has no attribute '" + attr + "'");
+          }
+          PRODB_RETURN_IF_ERROR(
+              resolve_value(v, &ca.values[static_cast<size_t>(idx)]));
+        }
+        break;
+      }
+      case ActionKind::kRemove:
+      case ActionKind::kModify: {
+        int ce = act.ce_index;  // 1-based over all CEs, like OPS5
+        if (ce < 1 || ce > static_cast<int>(ast.conditions.size())) {
+          return RuleError(ast, "action references condition element " +
+                                    std::to_string(ce) + " of " +
+                                    std::to_string(ast.conditions.size()));
+        }
+        if (ast.conditions[static_cast<size_t>(ce - 1)].negated) {
+          return RuleError(ast,
+                           "cannot remove/modify a negated condition "
+                           "element (no tuple is bound to it)");
+        }
+        ca.ce_index = ce - 1;
+        if (act.kind == ActionKind::kModify) {
+          const std::string& cls =
+              ast.conditions[static_cast<size_t>(ce - 1)].class_name;
+          const Schema& schema = catalog_->Get(cls)->schema();
+          ca.values.assign(schema.arity(), CompiledValue::Const(Value()));
+          ca.set_mask.assign(schema.arity(), false);
+          for (const auto& [attr, v] : act.assignments) {
+            int idx = schema.IndexOf(attr);
+            if (idx < 0) {
+              return RuleError(ast, "modify: class " + cls +
+                                        " has no attribute '" + attr + "'");
+            }
+            PRODB_RETURN_IF_ERROR(
+                resolve_value(v, &ca.values[static_cast<size_t>(idx)]));
+            ca.set_mask[static_cast<size_t>(idx)] = true;
+          }
+        }
+        break;
+      }
+      case ActionKind::kHalt:
+        break;
+      case ActionKind::kCall: {
+        ca.target = act.target;
+        for (const AstValue& v : act.call_args) {
+          CompiledValue cv;
+          PRODB_RETURN_IF_ERROR(resolve_value(v, &cv));
+          ca.args.push_back(std::move(cv));
+        }
+        break;
+      }
+    }
+    out->actions.push_back(std::move(ca));
+  }
+  return Status::OK();
+}
+
+Status LoadProgram(const std::string& source, Catalog* catalog,
+                   std::vector<Rule>* rules) {
+  ProgramAst program;
+  PRODB_RETURN_IF_ERROR(ParseProgram(source, &program));
+  for (const LiteralizeAst& lit : program.classes) {
+    std::vector<Attribute> attrs;
+    attrs.reserve(lit.attrs.size());
+    for (const std::string& a : lit.attrs) {
+      attrs.push_back(Attribute{a, ValueType::kSymbol});
+    }
+    Schema schema(lit.class_name, attrs);
+    // Re-declaring a class is fine when the shape matches (programs are
+    // often loaded in pieces that repeat their literalize block); a
+    // conflicting shape is an error.
+    Relation* existing = catalog->Get(lit.class_name);
+    if (existing != nullptr) {
+      if (existing->schema() == schema) continue;
+      return Status::InvalidArgument(
+          "literalize " + lit.class_name + " conflicts with existing " +
+          existing->schema().ToString());
+    }
+    Relation* rel;
+    PRODB_RETURN_IF_ERROR(catalog->CreateRelation(schema, &rel));
+  }
+  Analyzer analyzer(catalog);
+  for (const RuleAst& ast : program.rules) {
+    Rule rule;
+    PRODB_RETURN_IF_ERROR(analyzer.Compile(ast, &rule));
+    rules->push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+}  // namespace prodb

@@ -1,0 +1,42 @@
+#ifndef PRODB_LANG_ANALYZER_H_
+#define PRODB_LANG_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "lang/ast.h"
+#include "lang/rule.h"
+
+namespace prodb {
+
+/// Compiles parsed rules against the schemas registered in a Catalog.
+///
+/// Checks performed (errors are InvalidArgument with rule/line context):
+///  * every condition's class is a declared relation;
+///  * every `^attr` names an attribute of that relation;
+///  * a non-equality test on a variable has a prior binding occurrence;
+///  * variables used in actions are bound by a positive condition element
+///    (negated CEs bind only locally, per §4.2.2's negation semantics);
+///  * remove/modify target an existing, positive condition element;
+///  * make/modify assignments name real attributes.
+class Analyzer {
+ public:
+  explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  Status Compile(const RuleAst& ast, Rule* out) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Convenience: parses `source`, creates a relation for every
+/// `literalize` (memory or the catalog's default storage), compiles every
+/// rule, and appends them to *rules.
+Status LoadProgram(const std::string& source, Catalog* catalog,
+                   std::vector<Rule>* rules);
+
+}  // namespace prodb
+
+#endif  // PRODB_LANG_ANALYZER_H_

@@ -1,0 +1,75 @@
+#include "lang/ast.h"
+
+namespace prodb {
+
+std::string AstValue::ToString() const {
+  switch (kind) {
+    case Kind::kConst: return constant.ToString();
+    case Kind::kVar: return "<" + var + ">";
+    case Kind::kDontCare: return "*";
+  }
+  return "?";
+}
+
+std::string AttrTestAst::ToString() const {
+  std::string out = "^" + attr + " ";
+  if (preds.size() == 1 && preds[0].first == CompareOp::kEq) {
+    out += preds[0].second.ToString();
+    return out;
+  }
+  out += "{";
+  for (const auto& [op, v] : preds) {
+    out += " ";
+    out += CompareOpName(op);
+    out += " " + v.ToString();
+  }
+  out += " }";
+  return out;
+}
+
+std::string ConditionAst::ToString() const {
+  std::string out = negated ? "-(" : "(";
+  out += class_name;
+  for (const AttrTestAst& t : tests) out += " " + t.ToString();
+  out += ")";
+  return out;
+}
+
+std::string ActionAst::ToString() const {
+  switch (kind) {
+    case ActionKind::kMake: {
+      std::string out = "(make " + target;
+      for (const auto& [attr, v] : assignments) {
+        out += " ^" + attr + " " + v.ToString();
+      }
+      return out + ")";
+    }
+    case ActionKind::kRemove:
+      return "(remove " + std::to_string(ce_index) + ")";
+    case ActionKind::kModify: {
+      std::string out = "(modify " + std::to_string(ce_index);
+      for (const auto& [attr, v] : assignments) {
+        out += " ^" + attr + " " + v.ToString();
+      }
+      return out + ")";
+    }
+    case ActionKind::kHalt:
+      return "(halt)";
+    case ActionKind::kCall: {
+      std::string out = "(call " + target;
+      for (const AstValue& v : call_args) out += " " + v.ToString();
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string RuleAst::ToString() const {
+  std::string out = "(p " + name;
+  for (const ConditionAst& c : conditions) out += "\n  " + c.ToString();
+  out += "\n  -->";
+  for (const ActionAst& a : actions) out += "\n  " + a.ToString();
+  return out + ")";
+}
+
+}  // namespace prodb

@@ -1,0 +1,89 @@
+#ifndef PRODB_LANG_AST_H_
+#define PRODB_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "db/predicate.h"
+
+namespace prodb {
+
+/// A value position in a rule: constant, variable, or don't-care.
+struct AstValue {
+  enum class Kind : uint8_t { kConst, kVar, kDontCare };
+  Kind kind = Kind::kDontCare;
+  Value constant;    // kConst
+  std::string var;   // kVar
+
+  static AstValue Const(Value v) {
+    return AstValue{Kind::kConst, std::move(v), ""};
+  }
+  static AstValue Var(std::string name) {
+    return AstValue{Kind::kVar, Value(), std::move(name)};
+  }
+  static AstValue DontCare() { return AstValue{}; }
+
+  std::string ToString() const;
+};
+
+/// One `^attr <valspec>` test inside a condition element. `preds` holds
+/// (op, value) pairs; a plain value is the single pair (kEq, value), and
+/// a brace group `{ > 10 <> <y> }` contributes one pair per test.
+struct AttrTestAst {
+  std::string attr;
+  std::vector<std::pair<CompareOp, AstValue>> preds;
+
+  std::string ToString() const;
+};
+
+/// A condition element: `[-] (Class ^a v ^b {[op] v} ...)`.
+struct ConditionAst {
+  std::string class_name;
+  bool negated = false;
+  std::vector<AttrTestAst> tests;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// RHS action kinds (§3.1 lists make / remove / modify / call; halt is
+/// OPS5's explicit stop).
+enum class ActionKind : uint8_t { kMake, kRemove, kModify, kHalt, kCall };
+
+struct ActionAst {
+  ActionKind kind = ActionKind::kHalt;
+  std::string target;  // class name (make) or function name (call)
+  int ce_index = 0;    // 1-based condition element number (remove/modify)
+  std::vector<std::pair<std::string, AstValue>> assignments;  // ^attr value
+  std::vector<AstValue> call_args;  // call arguments
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// `(p Name CE... --> action...)`.
+struct RuleAst {
+  std::string name;
+  std::vector<ConditionAst> conditions;
+  std::vector<ActionAst> actions;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// `(literalize Class attr...)`.
+struct LiteralizeAst {
+  std::string class_name;
+  std::vector<std::string> attrs;
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::vector<LiteralizeAst> classes;
+  std::vector<RuleAst> rules;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_LANG_AST_H_

@@ -1,0 +1,215 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace prodb {
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kArrow: return "-->";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "<>";
+    case TokenKind::kVariable: return "<" + text + ">";
+    case TokenKind::kNumber: return text;
+    case TokenKind::kSymbol: return text;
+    case TokenKind::kEnd: return "<eof>";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsSymbolChar(char c) {
+  // Symbols may contain letters, digits, and common punctuation that is
+  // not structural in the grammar.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '+' || c == '.' || c == '?' || c == '!' ||
+         c == '$' || c == ':' || c == '/';
+}
+
+bool LooksNumeric(const std::string& s, bool* is_real) {
+  size_t i = 0;
+  if (s[i] == '-' || s[i] == '+') ++i;
+  if (i >= s.size()) return false;
+  bool digits = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  *is_real = dot;
+  return digits;
+}
+
+}  // namespace
+
+Status Lex(const std::string& source, std::vector<Token>* out) {
+  out->clear();
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto peek = [&](size_t k) { return i + k < n ? source[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        out->push_back({TokenKind::kLParen, "", false, line});
+        ++i;
+        continue;
+      case ')':
+        out->push_back({TokenKind::kRParen, "", false, line});
+        ++i;
+        continue;
+      case '{':
+        out->push_back({TokenKind::kLBrace, "", false, line});
+        ++i;
+        continue;
+      case '}':
+        out->push_back({TokenKind::kRBrace, "", false, line});
+        ++i;
+        continue;
+      case '^':
+        out->push_back({TokenKind::kCaret, "", false, line});
+        ++i;
+        continue;
+      case '*':
+        out->push_back({TokenKind::kStar, "", false, line});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c == '-') {
+      if (peek(1) == '-' && peek(2) == '>') {
+        out->push_back({TokenKind::kArrow, "", false, line});
+        i += 3;
+        continue;
+      }
+      // Could be a negative number: -12 or -3.5.
+      if (std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        size_t j = i + 1;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                         source[j] == '.')) {
+          ++j;
+        }
+        std::string text = source.substr(i, j - i);
+        bool is_real = false;
+        if (LooksNumeric(text, &is_real)) {
+          out->push_back({TokenKind::kNumber, text, is_real, line});
+          i = j;
+          continue;
+        }
+      }
+      out->push_back({TokenKind::kMinus, "", false, line});
+      ++i;
+      continue;
+    }
+    if (c == '<') {
+      if (peek(1) == '>') {
+        out->push_back({TokenKind::kNe, "", false, line});
+        i += 2;
+        continue;
+      }
+      if (peek(1) == '=') {
+        out->push_back({TokenKind::kLe, "", false, line});
+        i += 2;
+        continue;
+      }
+      // Variable: <name> where name is identifier-like; anything else
+      // (e.g. a bare `<` before whitespace) is the less-than operator.
+      size_t j = i + 1;
+      std::string name;
+      while (j < n && IsSymbolChar(source[j])) {
+        name += source[j++];
+      }
+      if (j < n && source[j] == '>' && !name.empty()) {
+        out->push_back({TokenKind::kVariable, name, false, line});
+        i = j + 1;
+        continue;
+      }
+      out->push_back({TokenKind::kLt, "", false, line});
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (peek(1) == '=') {
+        out->push_back({TokenKind::kGe, "", false, line});
+        i += 2;
+        continue;
+      }
+      out->push_back({TokenKind::kGt, "", false, line});
+      ++i;
+      continue;
+    }
+    if (c == '=') {
+      out->push_back({TokenKind::kEq, "", false, line});
+      ++i;
+      continue;
+    }
+    if (c == '|') {
+      // Quoted symbol.
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != '|') {
+        if (source[j] == '\n') ++line;
+        text += source[j++];
+      }
+      if (j >= n) {
+        return Status::InvalidArgument("line " + std::to_string(line) +
+                                       ": unterminated |symbol|");
+      }
+      out->push_back({TokenKind::kSymbol, text, false, line});
+      i = j + 1;
+      continue;
+    }
+    if (IsSymbolChar(c)) {
+      size_t j = i;
+      std::string text;
+      while (j < n && IsSymbolChar(source[j])) text += source[j++];
+      bool is_real = false;
+      if (LooksNumeric(text, &is_real)) {
+        out->push_back({TokenKind::kNumber, text, is_real, line});
+      } else {
+        out->push_back({TokenKind::kSymbol, text, false, line});
+      }
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": unexpected character '" +
+                                   std::string(1, c) + "'");
+  }
+  out->push_back({TokenKind::kEnd, "", false, line});
+  return Status::OK();
+}
+
+}  // namespace prodb

@@ -1,0 +1,49 @@
+#ifndef PRODB_LANG_LEXER_H_
+#define PRODB_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prodb {
+
+/// Token kinds of the OPS5-like rule language.
+enum class TokenKind : uint8_t {
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kCaret,     // ^   (stands in for OPS5's up-arrow attribute marker)
+  kArrow,     // -->
+  kMinus,     // -   (condition negation)
+  kStar,      // *   (don't-care)
+  kLt, kGt, kLe, kGe, kEq, kNe,   // predicate operators
+  kVariable,  // <name>
+  kNumber,    // 42 or 3.5 (payload in text; is_real distinguishes)
+  kSymbol,    // bare or |quoted| symbol
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // symbol/variable name or number literal
+  bool is_real = false;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// Splits OPS5-ish source text into tokens.
+///
+/// Notes on the concrete syntax (documented in README):
+///  * `^attr` marks an attribute (OPS5 prints this as an up-arrow).
+///  * `<x>` is a variable; `-` before `(` negates a condition element.
+///  * `{ > 10 <> <y> }` attaches predicate tests to one attribute.
+///  * `;` starts a comment through end of line.
+///  * `|quoted symbol|` allows symbols containing spaces or digits.
+Status Lex(const std::string& source, std::vector<Token>* out);
+
+}  // namespace prodb
+
+#endif  // PRODB_LANG_LEXER_H_

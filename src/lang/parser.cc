@@ -1,0 +1,273 @@
+#include "lang/parser.h"
+
+#include <cstdlib>
+
+namespace prodb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status Program(ProgramAst* out) {
+    while (!At(TokenKind::kEnd)) {
+      PRODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      Token head = Cur();
+      if (head.kind != TokenKind::kSymbol) {
+        return Error("expected 'literalize' or 'p'");
+      }
+      if (head.text == "literalize") {
+        Advance();
+        LiteralizeAst lit;
+        lit.line = head.line;
+        PRODB_RETURN_IF_ERROR(Name(&lit.class_name));
+        while (At(TokenKind::kSymbol)) {
+          lit.attrs.push_back(Cur().text);
+          Advance();
+        }
+        PRODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        out->classes.push_back(std::move(lit));
+      } else if (head.text == "p") {
+        Advance();
+        RuleAst rule;
+        PRODB_RETURN_IF_ERROR(RuleBody(&rule));
+        PRODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        out->rules.push_back(std::move(rule));
+      } else {
+        return Error("unknown top-level form '" + head.text + "'");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SingleRule(RuleAst* out) {
+    PRODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    Token head = Cur();
+    if (head.kind != TokenKind::kSymbol || head.text != "p") {
+      return Error("expected '(p ...'");
+    }
+    Advance();
+    PRODB_RETURN_IF_ERROR(RuleBody(out));
+    PRODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (!At(TokenKind::kEnd)) return Error("trailing input after rule");
+    return Status::OK();
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("line " + std::to_string(Cur().line) +
+                                   ": " + msg + " (got '" +
+                                   Cur().ToString() + "')");
+  }
+
+  Status Expect(TokenKind k) {
+    if (!At(k)) {
+      Token want{k, "", false, 0};
+      return Error("expected '" + want.ToString() + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Name(std::string* out) {
+    if (!At(TokenKind::kSymbol)) return Error("expected a name");
+    *out = Cur().text;
+    Advance();
+    return Status::OK();
+  }
+
+  Status RuleBody(RuleAst* rule) {
+    rule->line = Cur().line;
+    PRODB_RETURN_IF_ERROR(Name(&rule->name));
+    // Condition elements until the arrow.
+    while (!At(TokenKind::kArrow)) {
+      ConditionAst ce;
+      ce.line = Cur().line;
+      if (At(TokenKind::kMinus)) {
+        ce.negated = true;
+        Advance();
+      }
+      PRODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      PRODB_RETURN_IF_ERROR(Name(&ce.class_name));
+      while (At(TokenKind::kCaret)) {
+        Advance();
+        AttrTestAst test;
+        PRODB_RETURN_IF_ERROR(Name(&test.attr));
+        PRODB_RETURN_IF_ERROR(ValSpec(&test.preds));
+        ce.tests.push_back(std::move(test));
+      }
+      PRODB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      rule->conditions.push_back(std::move(ce));
+    }
+    PRODB_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    while (At(TokenKind::kLParen)) {
+      ActionAst action;
+      PRODB_RETURN_IF_ERROR(Action(&action));
+      rule->actions.push_back(std::move(action));
+    }
+    return Status::OK();
+  }
+
+  bool AtOp() const {
+    switch (Cur().kind) {
+      case TokenKind::kLt:
+      case TokenKind::kGt:
+      case TokenKind::kLe:
+      case TokenKind::kGe:
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  CompareOp TakeOp() {
+    CompareOp op = CompareOp::kEq;
+    switch (Cur().kind) {
+      case TokenKind::kLt: op = CompareOp::kLt; break;
+      case TokenKind::kGt: op = CompareOp::kGt; break;
+      case TokenKind::kLe: op = CompareOp::kLe; break;
+      case TokenKind::kGe: op = CompareOp::kGe; break;
+      case TokenKind::kEq: op = CompareOp::kEq; break;
+      case TokenKind::kNe: op = CompareOp::kNe; break;
+      default: break;
+    }
+    Advance();
+    return op;
+  }
+
+  Status Atom(AstValue* out) {
+    if (At(TokenKind::kNumber)) {
+      if (Cur().is_real) {
+        *out = AstValue::Const(Value(std::strtod(Cur().text.c_str(), nullptr)));
+      } else {
+        *out = AstValue::Const(
+            Value(static_cast<int64_t>(std::strtoll(Cur().text.c_str(),
+                                                    nullptr, 10))));
+      }
+      Advance();
+      return Status::OK();
+    }
+    if (At(TokenKind::kSymbol)) {
+      // `nil` denotes the null value (what Example 2's modify writes).
+      *out = Cur().text == "nil" ? AstValue::Const(Value())
+                                 : AstValue::Const(Value(Cur().text));
+      Advance();
+      return Status::OK();
+    }
+    if (At(TokenKind::kVariable)) {
+      *out = AstValue::Var(Cur().text);
+      Advance();
+      return Status::OK();
+    }
+    if (At(TokenKind::kStar)) {
+      *out = AstValue::DontCare();
+      Advance();
+      return Status::OK();
+    }
+    return Error("expected a constant, variable, or '*'");
+  }
+
+  Status ValSpec(std::vector<std::pair<CompareOp, AstValue>>* preds) {
+    if (At(TokenKind::kLBrace)) {
+      Advance();
+      while (!At(TokenKind::kRBrace)) {
+        CompareOp op = AtOp() ? TakeOp() : CompareOp::kEq;
+        AstValue v;
+        PRODB_RETURN_IF_ERROR(Atom(&v));
+        preds->emplace_back(op, std::move(v));
+      }
+      Advance();  // }
+      if (preds->empty()) return Error("empty predicate group");
+      return Status::OK();
+    }
+    // Bare `op value` (e.g. `^salary > 100`) or plain value.
+    CompareOp op = AtOp() ? TakeOp() : CompareOp::kEq;
+    AstValue v;
+    PRODB_RETURN_IF_ERROR(Atom(&v));
+    preds->emplace_back(op, std::move(v));
+    return Status::OK();
+  }
+
+  Status Action(ActionAst* out) {
+    PRODB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    out->line = Cur().line;
+    std::string verb;
+    PRODB_RETURN_IF_ERROR(Name(&verb));
+    if (verb == "make") {
+      out->kind = ActionKind::kMake;
+      PRODB_RETURN_IF_ERROR(Name(&out->target));
+      PRODB_RETURN_IF_ERROR(Assignments(out));
+    } else if (verb == "remove") {
+      out->kind = ActionKind::kRemove;
+      PRODB_RETURN_IF_ERROR(CeIndex(out));
+    } else if (verb == "modify") {
+      out->kind = ActionKind::kModify;
+      PRODB_RETURN_IF_ERROR(CeIndex(out));
+      PRODB_RETURN_IF_ERROR(Assignments(out));
+    } else if (verb == "halt") {
+      out->kind = ActionKind::kHalt;
+    } else if (verb == "call") {
+      out->kind = ActionKind::kCall;
+      PRODB_RETURN_IF_ERROR(Name(&out->target));
+      while (!At(TokenKind::kRParen)) {
+        AstValue v;
+        PRODB_RETURN_IF_ERROR(Atom(&v));
+        out->call_args.push_back(std::move(v));
+      }
+    } else {
+      return Error("unknown action '" + verb + "'");
+    }
+    return Expect(TokenKind::kRParen);
+  }
+
+  Status CeIndex(ActionAst* out) {
+    if (!At(TokenKind::kNumber) || Cur().is_real) {
+      return Error("expected a condition element number");
+    }
+    out->ce_index = std::atoi(Cur().text.c_str());
+    Advance();
+    return Status::OK();
+  }
+
+  Status Assignments(ActionAst* out) {
+    while (At(TokenKind::kCaret)) {
+      Advance();
+      std::string attr;
+      PRODB_RETURN_IF_ERROR(Name(&attr));
+      AstValue v;
+      PRODB_RETURN_IF_ERROR(Atom(&v));
+      out->assignments.emplace_back(std::move(attr), std::move(v));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseProgram(const std::string& source, ProgramAst* out) {
+  std::vector<Token> tokens;
+  PRODB_RETURN_IF_ERROR(Lex(source, &tokens));
+  Parser parser(std::move(tokens));
+  return parser.Program(out);
+}
+
+Status ParseRule(const std::string& source, RuleAst* out) {
+  std::vector<Token> tokens;
+  PRODB_RETURN_IF_ERROR(Lex(source, &tokens));
+  Parser parser(std::move(tokens));
+  return parser.SingleRule(out);
+}
+
+}  // namespace prodb

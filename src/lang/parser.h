@@ -1,0 +1,30 @@
+#ifndef PRODB_LANG_PARSER_H_
+#define PRODB_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace prodb {
+
+/// Recursive-descent parser for the OPS5-like rule language.
+///
+/// Grammar (see README for the full write-up):
+///   program    := { "(" ("literalize" lit | "p" rule) ")" }
+///   lit        := NAME { NAME }
+///   rule       := NAME { ce } "-->" { action }
+///   ce         := ["-"] "(" NAME { "^" NAME valspec } ")"
+///   valspec    := const | VAR | "*" | "{" { [op] (const | VAR) } "}"
+///   action     := "(" ( "make" NAME { "^" NAME rhsval }
+///                     | "remove" NUM | "modify" NUM { "^" NAME rhsval }
+///                     | "halt" | "call" NAME { rhsval } ) ")"
+Status ParseProgram(const std::string& source, ProgramAst* out);
+
+/// Parses a single rule `(p Name ... --> ...)`.
+Status ParseRule(const std::string& source, RuleAst* out);
+
+}  // namespace prodb
+
+#endif  // PRODB_LANG_PARSER_H_

@@ -1,0 +1,73 @@
+#ifndef PRODB_LANG_RULE_H_
+#define PRODB_LANG_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "db/predicate.h"
+#include "lang/ast.h"
+
+namespace prodb {
+
+/// A value position in a compiled action: a constant or a reference to a
+/// variable bound on the LHS.
+struct CompiledValue {
+  enum class Kind : uint8_t { kConst, kVar };
+  Kind kind = Kind::kConst;
+  Value constant;
+  int var = -1;
+
+  static CompiledValue Const(Value v) {
+    return CompiledValue{Kind::kConst, std::move(v), -1};
+  }
+  static CompiledValue Var(int var_id) {
+    return CompiledValue{Kind::kVar, Value(), var_id};
+  }
+
+  /// Resolves against a binding (kVar looks up the bound value).
+  const Value& Resolve(const Binding& binding) const {
+    if (kind == Kind::kConst) return constant;
+    return *binding[static_cast<size_t>(var)];
+  }
+};
+
+/// A compiled RHS action, ready to execute against a binding.
+struct CompiledAction {
+  ActionKind kind = ActionKind::kHalt;
+  /// make: target relation. call: function name.
+  std::string target;
+  /// remove/modify: index into Rule::lhs.conditions (0-based, positive CE).
+  int ce_index = -1;
+  /// make: one value per schema attribute (unassigned attrs are null
+  /// constants). modify: parallel to set_mask; only masked attrs change.
+  std::vector<CompiledValue> values;
+  std::vector<bool> set_mask;
+  /// call arguments.
+  std::vector<CompiledValue> args;
+};
+
+/// A fully compiled production rule: name, LHS as a conjunctive query
+/// over WM relations, and executable RHS actions.
+struct Rule {
+  std::string name;
+  ConjunctiveQuery lhs;
+  std::vector<CompiledAction> actions;
+  /// var id -> source-level name (for diagnostics and tests).
+  std::vector<std::string> var_names;
+  /// Conflict-resolution priority (higher fires first under the priority
+  /// strategy). Not part of OPS5 syntax; set programmatically.
+  int priority = 0;
+
+  /// Index of the first positive condition element, or -1 if none.
+  int FirstPositiveCe() const {
+    for (size_t i = 0; i < lhs.conditions.size(); ++i) {
+      if (!lhs.conditions[i].negated) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_LANG_RULE_H_

@@ -1,0 +1,75 @@
+#ifndef PRODB_MATCH_MATCHER_H_
+#define PRODB_MATCH_MATCHER_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "lang/rule.h"
+#include "match/conflict_set.h"
+
+namespace prodb {
+
+/// Statistics every matcher reports, used by E2/E4 benchmarks.
+/// Counters are atomics because the concurrent execution engine (§5)
+/// drives matcher maintenance from multiple worker transactions.
+struct MatcherStats {
+  std::atomic<uint64_t> tuples_examined{0};  // WM/COND tuples touched
+  std::atomic<uint64_t> patterns_stored{0};  // tokens / patterns resident
+  std::atomic<uint64_t> propagations{0};     // propagation steps
+
+  MatcherStats() = default;
+  MatcherStats(const MatcherStats& o)
+      : tuples_examined(o.tuples_examined.load()),
+        patterns_stored(o.patterns_stored.load()),
+        propagations(o.propagations.load()) {}
+};
+
+/// Interface shared by the four matching architectures the paper
+/// compares: in-memory Rete (§3.1), DBMS-backed Rete (§3.2), the query
+/// ("simplified") matcher (§4.1), and the matching-pattern matcher
+/// (§4.2). The execution engine mutates WM relations and notifies the
+/// matcher, which maintains the conflict set incrementally.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Registers a rule. Must be called before any WM activity; matchers
+  /// may precompute networks or COND relations here.
+  virtual Status AddRule(const Rule& rule) = 0;
+
+  /// A tuple was inserted into WM relation `rel` with id `id`.
+  virtual Status OnInsert(const std::string& rel, TupleId id,
+                          const Tuple& t) = 0;
+
+  /// A tuple was deleted from WM relation `rel`.
+  virtual Status OnDelete(const std::string& rel, TupleId id,
+                          const Tuple& t) = 0;
+
+  virtual ConflictSet& conflict_set() = 0;
+
+  /// Bytes of auxiliary matcher state (Rete memories, COND relations,
+  /// matching patterns) — the space axis of §4.2.3.
+  virtual size_t AuxiliaryFootprintBytes() const = 0;
+
+  virtual const MatcherStats& stats() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Registered rules (shared helper for engines).
+  virtual const std::vector<Rule>& rules() const = 0;
+};
+
+/// Materializes instantiations from a fully bound rule: per positive CE,
+/// selects the WM tuples consistent with the binding (a selection, not a
+/// join — §5.1: "attribute values in each matching pattern provide the
+/// selection criterion"), then forms all combinations; negated CEs are
+/// verified absent. Appends to *out.
+Status MaterializeInstantiations(Catalog* catalog, const Rule& rule,
+                                 int rule_index, const Binding& binding,
+                                 std::vector<Instantiation>* out);
+
+}  // namespace prodb
+
+#endif  // PRODB_MATCH_MATCHER_H_

@@ -1,0 +1,471 @@
+#include "match/pattern_matcher.h"
+
+#include <set>
+
+namespace prodb {
+
+PatternMatcher::PatternMatcher(Catalog* catalog,
+                               PatternMatcherOptions options)
+    : catalog_(catalog), options_(options), executor_(catalog) {
+  if (options_.propagation_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.propagation_threads);
+  }
+}
+
+PatternMatcher::~PatternMatcher() = default;
+
+Status PatternMatcher::EnsureCondStore(const std::string& cls,
+                                       CondStore** out) {
+  auto it = cond_stores_.find(cls);
+  if (it != cond_stores_.end()) {
+    *out = it->second.get();
+    return Status::OK();
+  }
+  Relation* wm = catalog_->Get(cls);
+  if (wm == nullptr) return Status::NotFound("relation " + cls);
+  auto store = std::make_unique<CondStore>();
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"__rid", ValueType::kInt});
+  attrs.push_back(Attribute{"__cen", ValueType::kInt});
+  for (const Attribute& a : wm->schema().attributes()) attrs.push_back(a);
+  PRODB_RETURN_IF_ERROR(catalog_->CreateRelation(
+      Schema("COND-" + cls, attrs), options_.cond_storage, &store->cond_rel));
+  *out = store.get();
+  cond_stores_.emplace(cls, std::move(store));
+  return Status::OK();
+}
+
+Status PatternMatcher::AddRule(const Rule& rule) {
+  int rule_index = static_cast<int>(rules_.size());
+  const size_t n = rule.lhs.conditions.size();
+
+  // Precompute shared (kEq) variables between every ordered CE pair.
+  std::vector<std::set<int>> eq_vars(n);
+  for (size_t ce = 0; ce < n; ++ce) {
+    for (const VarUse& u : rule.lhs.conditions[ce].var_uses) {
+      if (u.op == CompareOp::kEq) eq_vars[ce].insert(u.var);
+    }
+  }
+  std::vector<std::vector<std::vector<int>>> shared(
+      n, std::vector<std::vector<int>>(n));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (int v : eq_vars[a]) {
+        if (eq_vars[b].count(v)) shared[a][b].push_back(v);
+      }
+    }
+  }
+  shared_vars_.push_back(std::move(shared));
+
+  // Register CEs, create COND relations, write the original rows.
+  for (size_t ce = 0; ce < n; ++ce) {
+    const ConditionSpec& c = rule.lhs.conditions[ce];
+    CondStore* store;
+    PRODB_RETURN_IF_ERROR(EnsureCondStore(c.relation, &store));
+    auto& bucket = c.negated ? negative_by_class_[c.relation]
+                             : positive_by_class_[c.relation];
+    bucket.push_back(CeRef{rule_index, static_cast<int>(ce)});
+
+    // Original COND row: constants where the CE tests equality against a
+    // constant, null (variable / don't-care) elsewhere.
+    Relation* wm = catalog_->Get(c.relation);
+    Tuple row;
+    auto& vals = row.mutable_values();
+    vals.emplace_back(static_cast<int64_t>(rule_index));
+    vals.emplace_back(static_cast<int64_t>(ce));
+    for (size_t a = 0; a < wm->schema().arity(); ++a) {
+      Value v;
+      for (const ConstantTest& ct : c.constant_tests) {
+        if (ct.attr == static_cast<int>(a) && ct.op == CompareOp::kEq) {
+          v = ct.constant;
+          break;
+        }
+      }
+      vals.push_back(std::move(v));
+    }
+    TupleId id;
+    PRODB_RETURN_IF_ERROR(store->cond_rel->Insert(row, &id));
+  }
+
+  // RULE-DEF rows (one per condition element, §4.1.1).
+  if (rule_def_ == nullptr) {
+    rule_def_ = catalog_->Get("RULE-DEF");
+    if (rule_def_ == nullptr) {
+      PRODB_RETURN_IF_ERROR(catalog_->CreateRelation(
+          Schema("RULE-DEF", {Attribute{"__rid", ValueType::kInt},
+                              Attribute{"__cen", ValueType::kInt},
+                              Attribute{"__check", ValueType::kInt}}),
+          StorageKind::kMemory, &rule_def_));
+    }
+  }
+  for (size_t ce = 0; ce < n; ++ce) {
+    TupleId id;
+    PRODB_RETURN_IF_ERROR(rule_def_->Insert(
+        Tuple{Value(static_cast<int64_t>(rule_index)),
+              Value(static_cast<int64_t>(ce)), Value(int64_t{0})},
+        &id));
+  }
+
+  rules_.push_back(rule);
+  return Status::OK();
+}
+
+std::string PatternMatcher::ProjectionKey(const Binding& b) {
+  std::string key;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (!b[i].has_value()) continue;
+    key += std::to_string(i) + "=" + b[i]->ToString() + ";";
+  }
+  return key;
+}
+
+Binding PatternMatcher::Project(int rule, int from, int to,
+                                const Binding& full) const {
+  const auto& shared =
+      shared_vars_[static_cast<size_t>(rule)][static_cast<size_t>(from)]
+                  [static_cast<size_t>(to)];
+  Binding out(full.size());
+  for (int v : shared) {
+    out[static_cast<size_t>(v)] = full[static_cast<size_t>(v)];
+  }
+  return out;
+}
+
+Status PatternMatcher::BumpPattern(int rule, int target_ce,
+                                   const Binding& projected,
+                                   int contributor_ce, int delta) {
+  const ConditionSpec& target =
+      rules_[static_cast<size_t>(rule)].lhs.conditions
+          [static_cast<size_t>(target_ce)];
+  auto sit = cond_stores_.find(target.relation);
+  if (sit == cond_stores_.end()) {
+    return Status::Internal("no COND store for " + target.relation);
+  }
+  CondStore* store = sit->second.get();
+  std::lock_guard<std::mutex> lock(store->mu);
+
+  auto& bucket = store->patterns[{rule, target_ce}];
+  std::string key = ProjectionKey(projected);
+  auto it = bucket.find(key);
+  if (delta > 0) {
+    if (it == bucket.end()) {
+      PatternEntry entry;
+      entry.binding = projected;
+      entry.counters.assign(
+          rules_[static_cast<size_t>(rule)].lhs.conditions.size(), 0);
+      entry.counters[static_cast<size_t>(contributor_ce)] = 1;
+      // Materialize the pattern as a COND row: narrowed copy of the
+      // original condition tuple (variables replaced by values).
+      Relation* wm = catalog_->Get(target.relation);
+      Tuple row;
+      auto& vals = row.mutable_values();
+      vals.emplace_back(static_cast<int64_t>(rule));
+      vals.emplace_back(static_cast<int64_t>(target_ce));
+      for (size_t a = 0; a < wm->schema().arity(); ++a) {
+        Value v;
+        for (const ConstantTest& ct : target.constant_tests) {
+          if (ct.attr == static_cast<int>(a) && ct.op == CompareOp::kEq) {
+            v = ct.constant;
+            break;
+          }
+        }
+        for (const VarUse& u : target.var_uses) {
+          if (u.attr == static_cast<int>(a) && u.op == CompareOp::kEq &&
+              projected[static_cast<size_t>(u.var)].has_value()) {
+            v = *projected[static_cast<size_t>(u.var)];
+            break;
+          }
+        }
+        vals.push_back(std::move(v));
+      }
+      PRODB_RETURN_IF_ERROR(store->cond_rel->Insert(row, &entry.cond_row));
+      ++store->pattern_rows;
+      ++stats_.patterns_stored;
+      bucket.emplace(std::move(key), std::move(entry));
+    } else {
+      ++it->second.counters[static_cast<size_t>(contributor_ce)];
+    }
+  } else {
+    if (it == bucket.end()) {
+      // Deletion of a tuple whose insertion predated rule registration,
+      // or double delete; nothing to decrement.
+      return Status::OK();
+    }
+    uint32_t& c = it->second.counters[static_cast<size_t>(contributor_ce)];
+    if (c > 0) --c;
+    bool all_zero = true;
+    for (uint32_t v : it->second.counters) {
+      if (v != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      PRODB_RETURN_IF_ERROR(store->cond_rel->Delete(it->second.cond_row));
+      bucket.erase(it);
+      --store->pattern_rows;
+      if (stats_.patterns_stored > 0) --stats_.patterns_stored;
+    }
+  }
+  return Status::OK();
+}
+
+bool PatternMatcher::Supported(int rule, int ce, const Binding& beta) const {
+  const Rule& r = rules_[static_cast<size_t>(rule)];
+  const ConditionSpec& own = r.lhs.conditions[static_cast<size_t>(ce)];
+  auto sit = cond_stores_.find(own.relation);
+  if (sit == cond_stores_.end()) return false;
+  const CondStore* store = sit->second.get();
+
+  // Which positive RCEs need support?
+  std::vector<size_t> rces;
+  for (size_t k = 0; k < r.lhs.conditions.size(); ++k) {
+    if (static_cast<int>(k) != ce && !r.lhs.conditions[k].negated) {
+      rces.push_back(k);
+    }
+  }
+  if (rces.empty()) return true;
+
+  std::lock_guard<std::mutex> lock(store->mu);
+  auto bit = store->patterns.find({rule, ce});
+  if (bit == store->patterns.end()) return false;
+
+  // Single pass over COND-C patterns for this (rule, ce): a pattern is
+  // consistent with the inserted tuple's binding when every variable it
+  // narrows agrees with beta.
+  std::vector<bool> supported(r.lhs.conditions.size(), false);
+  size_t need = rces.size();
+  for (const auto& [key, entry] : bit->second) {
+    ++const_cast<MatcherStats&>(stats_).tuples_examined;
+    bool consistent = true;
+    for (size_t v = 0; v < entry.binding.size(); ++v) {
+      if (!entry.binding[v].has_value()) continue;
+      if (!beta[v].has_value() || !(*beta[v] == *entry.binding[v])) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    for (size_t k : rces) {
+      if (!supported[k] && entry.counters[k] > 0) {
+        supported[k] = true;
+        if (--need == 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status PatternMatcher::OnInsert(const std::string& rel, TupleId id,
+                                const Tuple& t) {
+  auto pit = positive_by_class_.find(rel);
+  if (pit != positive_by_class_.end()) {
+    struct PropagationOp {
+      int rule, target_ce, contributor_ce;
+      Binding projected;
+    };
+    std::vector<PropagationOp> ops;
+    for (const CeRef& ref : pit->second) {
+      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+      const ConditionSpec& ce =
+          rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+      Binding beta;
+      if (!BindSingle(ce, t, rule.lhs.num_vars, &beta)) continue;
+
+      // 1. Match: one search over COND-<rel> (the conflict set is
+      //    updated *before* maintenance — the ordering §4.2.3 highlights).
+      if (Supported(ref.rule, ref.ce, beta)) {
+        std::vector<QueryMatch> matches;
+        PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
+            rule.lhs, static_cast<size_t>(ref.ce), id, t, &matches));
+        for (QueryMatch& m : matches) {
+          Instantiation inst;
+          inst.rule_index = ref.rule;
+          inst.rule_name = rule.name;
+          inst.tuple_ids = std::move(m.tuple_ids);
+          inst.tuples = std::move(m.tuples);
+          inst.binding = std::move(m.binding);
+          conflict_set_.Add(std::move(inst));
+        }
+      }
+
+      // 2. Maintenance: queue pattern propagation to related classes.
+      for (size_t k = 0; k < rule.lhs.conditions.size(); ++k) {
+        if (static_cast<int>(k) == ref.ce ||
+            rule.lhs.conditions[k].negated) {
+          continue;
+        }
+        ops.push_back(PropagationOp{
+            ref.rule, static_cast<int>(k), ref.ce,
+            Project(ref.rule, ref.ce, static_cast<int>(k), beta)});
+      }
+    }
+    stats_.propagations += ops.size();
+    if (pool_ != nullptr && ops.size() > 1) {
+      // Parallel propagation: per-class mutexes make ops targeting
+      // different COND relations fully independent.
+      std::mutex err_mu;
+      Status first_error;
+      for (PropagationOp& op : ops) {
+        pool_->Submit([this, op = std::move(op), &err_mu, &first_error] {
+          Status st = BumpPattern(op.rule, op.target_ce, op.projected,
+                                  op.contributor_ce, +1);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error.ok()) first_error = st;
+          }
+        });
+      }
+      pool_->Wait();
+      PRODB_RETURN_IF_ERROR(first_error);
+    } else {
+      for (const PropagationOp& op : ops) {
+        PRODB_RETURN_IF_ERROR(BumpPattern(op.rule, op.target_ce,
+                                          op.projected, op.contributor_ce,
+                                          +1));
+      }
+    }
+  }
+
+  // Negated CEs over this class: consistent instantiations die.
+  auto nit = negative_by_class_.find(rel);
+  if (nit != negative_by_class_.end()) {
+    for (const CeRef& ref : nit->second) {
+      const ConditionSpec& ce =
+          rules_[static_cast<size_t>(ref.rule)].lhs.conditions
+              [static_cast<size_t>(ref.ce)];
+      conflict_set_.RemoveIf([&](const Instantiation& inst) {
+        if (inst.rule_index != ref.rule) return false;
+        Binding b = inst.binding;
+        return TupleConsistent(ce, t, &b);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+Status PatternMatcher::OnDelete(const std::string& rel, TupleId id,
+                                const Tuple& t) {
+  // Drop instantiations that used the tuple.
+  conflict_set_.RemoveIf([&](const Instantiation& inst) {
+    const Rule& rule = rules_[static_cast<size_t>(inst.rule_index)];
+    for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+      if (rule.lhs.conditions[ce].relation == rel &&
+          !rule.lhs.conditions[ce].negated && inst.tuple_ids[ce] == id) {
+        return true;
+      }
+    }
+    return false;
+  });
+
+  // Decrement / remove the matching patterns this tuple contributed
+  // (§4.2.2: "instead of setting Mark bits, we reset them ... Mark bits
+  // can be easily replaced by counters").
+  auto pit = positive_by_class_.find(rel);
+  if (pit != positive_by_class_.end()) {
+    for (const CeRef& ref : pit->second) {
+      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+      const ConditionSpec& ce =
+          rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+      Binding beta;
+      if (!BindSingle(ce, t, rule.lhs.num_vars, &beta)) continue;
+      for (size_t k = 0; k < rule.lhs.conditions.size(); ++k) {
+        if (static_cast<int>(k) == ref.ce ||
+            rule.lhs.conditions[k].negated) {
+          continue;
+        }
+        PRODB_RETURN_IF_ERROR(BumpPattern(
+            ref.rule, static_cast<int>(k),
+            Project(ref.rule, ref.ce, static_cast<int>(k), beta), ref.ce,
+            -1));
+      }
+      ++stats_.propagations;
+    }
+  }
+
+  // Deletion from a negated class may enable instantiations: evaluate
+  // the rule under the binding the blocker carried.
+  auto nit = negative_by_class_.find(rel);
+  if (nit != negative_by_class_.end()) {
+    for (const CeRef& ref : nit->second) {
+      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+      const ConditionSpec& ce =
+          rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+      Binding beta;
+      if (!BindSingle(ce, t, rule.lhs.num_vars, &beta)) continue;
+      // Keep only the variables the rule binds positively: those are the
+      // join points the blocker constrained.
+      std::vector<Instantiation> insts;
+      PRODB_RETURN_IF_ERROR(MaterializeInstantiations(
+          catalog_, rule, ref.rule, beta, &insts));
+      for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
+    }
+  }
+  return Status::OK();
+}
+
+size_t PatternMatcher::AuxiliaryFootprintBytes() const {
+  size_t total = 0;
+  for (const auto& [cls, store] : cond_stores_) {
+    std::lock_guard<std::mutex> lock(store->mu);
+    total += store->cond_rel->FootprintBytes();
+    for (const auto& [key, bucket] : store->patterns) {
+      (void)key;
+      for (const auto& [pk, entry] : bucket) {
+        total += pk.size() + entry.binding.size() * sizeof(Value) +
+                 entry.counters.size() * sizeof(uint32_t);
+      }
+    }
+  }
+  return total;
+}
+
+size_t PatternMatcher::PatternCount(const std::string& cls) const {
+  auto it = cond_stores_.find(cls);
+  if (it == cond_stores_.end()) return 0;
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->pattern_rows;
+}
+
+Relation* PatternMatcher::CondRelation(const std::string& cls) const {
+  auto it = cond_stores_.find(cls);
+  return it == cond_stores_.end() ? nullptr : it->second->cond_rel;
+}
+
+Status PatternMatcher::SyncRuleDef() {
+  if (rule_def_ == nullptr) return Status::OK();
+  // Recompute check bits set-at-a-time: check = 1 iff some WM tuple
+  // matches the CE's own constant tests and intra-CE variable structure.
+  std::vector<std::pair<TupleId, Tuple>> rows;
+  PRODB_RETURN_IF_ERROR(rule_def_->Scan(
+      [&](TupleId id, const Tuple& t) {
+        rows.emplace_back(id, t);
+        return Status::OK();
+      }));
+  for (auto& [id, row] : rows) {
+    int rule = static_cast<int>(row[0].as_int());
+    int cen = static_cast<int>(row[1].as_int());
+    const Rule& r = rules_[static_cast<size_t>(rule)];
+    const ConditionSpec& ce = r.lhs.conditions[static_cast<size_t>(cen)];
+    Relation* wm = catalog_->Get(ce.relation);
+    bool satisfied = false;
+    PRODB_RETURN_IF_ERROR(wm->Scan([&](TupleId, const Tuple& t) {
+      if (!satisfied) {
+        Binding b;
+        if (BindSingle(ce, t, r.lhs.num_vars, &b)) satisfied = true;
+      }
+      return Status::OK();
+    }));
+    // Negated CEs are satisfied by *absence* (§4.2.2 inverts defaults).
+    if (ce.negated) satisfied = !satisfied;
+    TupleId out;
+    PRODB_RETURN_IF_ERROR(rule_def_->Update(
+        id,
+        Tuple{row[0], row[1], Value(static_cast<int64_t>(satisfied ? 1 : 0))},
+        &out));
+  }
+  return Status::OK();
+}
+
+}  // namespace prodb

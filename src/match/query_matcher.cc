@@ -1,0 +1,115 @@
+#include "match/query_matcher.h"
+
+namespace prodb {
+
+Status QueryMatcher::AddRule(const Rule& rule) {
+  int rule_index = static_cast<int>(rules_.size());
+  for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+    const ConditionSpec& c = rule.lhs.conditions[ce];
+    if (catalog_->Get(c.relation) == nullptr) {
+      return Status::NotFound("rule " + rule.name + ": relation " +
+                              c.relation);
+    }
+    auto& bucket =
+        c.negated ? negative_by_class_[c.relation]
+                  : positive_by_class_[c.relation];
+    bucket.push_back(CeRef{rule_index, static_cast<int>(ce)});
+  }
+  rules_.push_back(rule);
+  return Status::OK();
+}
+
+Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
+                              const Tuple& t) {
+  // Positive CEs over this class: re-evaluate the LHS seeded with the
+  // new tuple (§4.1.2's re-computation of joins).
+  auto pit = positive_by_class_.find(rel);
+  if (pit != positive_by_class_.end()) {
+    for (const CeRef& ref : pit->second) {
+      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+      std::vector<QueryMatch> matches;
+      PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
+          rule.lhs, static_cast<size_t>(ref.ce), id, t, &matches));
+      ++stats_.propagations;
+      for (QueryMatch& m : matches) {
+        ++stats_.tuples_examined;
+        Instantiation inst;
+        inst.rule_index = ref.rule;
+        inst.rule_name = rule.name;
+        inst.tuple_ids = std::move(m.tuple_ids);
+        inst.tuples = std::move(m.tuples);
+        inst.binding = std::move(m.binding);
+        conflict_set_.Add(std::move(inst));
+      }
+    }
+  }
+  // Negated CEs over this class: the new tuple may invalidate existing
+  // instantiations whose binding it is consistent with.
+  auto nit = negative_by_class_.find(rel);
+  if (nit != negative_by_class_.end()) {
+    for (const CeRef& ref : nit->second) {
+      const ConditionSpec& ce =
+          rules_[static_cast<size_t>(ref.rule)].lhs.conditions
+              [static_cast<size_t>(ref.ce)];
+      conflict_set_.RemoveIf([&](const Instantiation& inst) {
+        if (inst.rule_index != ref.rule) return false;
+        Binding b = inst.binding;
+        return TupleConsistent(ce, t, &b);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
+                              const Tuple& t) {
+  (void)t;
+  // Drop instantiations that referenced the deleted tuple at a CE over
+  // this relation.
+  conflict_set_.RemoveIf([&](const Instantiation& inst) {
+    const Rule& rule = rules_[static_cast<size_t>(inst.rule_index)];
+    for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+      if (rule.lhs.conditions[ce].relation == rel &&
+          !rule.lhs.conditions[ce].negated && inst.tuple_ids[ce] == id) {
+        return true;
+      }
+    }
+    return false;
+  });
+  // A deletion can enable rules negatively dependent on this relation:
+  // re-evaluate them from scratch.
+  auto nit = negative_by_class_.find(rel);
+  if (nit != negative_by_class_.end()) {
+    for (const CeRef& ref : nit->second) {
+      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+      std::vector<QueryMatch> matches;
+      PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
+      ++stats_.propagations;
+      for (QueryMatch& m : matches) {
+        Instantiation inst;
+        inst.rule_index = ref.rule;
+        inst.rule_name = rule.name;
+        inst.tuple_ids = std::move(m.tuple_ids);
+        inst.tuples = std::move(m.tuples);
+        inst.binding = std::move(m.binding);
+        conflict_set_.Add(std::move(inst));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t QueryMatcher::AuxiliaryFootprintBytes() const {
+  // The whole point of §4.1: no intermediate results are stored. Only the
+  // per-class CE maps exist, which are O(#rules).
+  size_t total = 0;
+  for (const auto& [name, refs] : positive_by_class_) {
+    total += name.size() + refs.size() * sizeof(CeRef);
+  }
+  for (const auto& [name, refs] : negative_by_class_) {
+    total += name.size() + refs.size() * sizeof(CeRef);
+  }
+  return total;
+}
+
+}  // namespace prodb

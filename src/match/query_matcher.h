@@ -1,0 +1,55 @@
+#ifndef PRODB_MATCH_QUERY_MATCHER_H_
+#define PRODB_MATCH_QUERY_MATCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/executor.h"
+#include "match/matcher.h"
+
+namespace prodb {
+
+/// The "simplified algorithm" of §4.1: rule LHSs are queries, and every
+/// WM change re-evaluates the affected LHSs against working memory.
+///
+/// No intermediate join results are stored — the space-optimal end of the
+/// paper's space/time trade-off. On insertion of tuple W into class C the
+/// matcher finds the condition elements over C (the COND-relation search)
+/// and re-runs each affected rule's LHS join seeded with W; "the join
+/// degenerates into a selection" when only two CEs exist, and multi-way
+/// joins are re-computed — exactly the cost §4.2 sets out to remove.
+class QueryMatcher : public Matcher {
+ public:
+  explicit QueryMatcher(Catalog* catalog, ExecutorOptions exec_options = {})
+      : catalog_(catalog), executor_(catalog, exec_options) {}
+
+  Status AddRule(const Rule& rule) override;
+  Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;
+  Status OnDelete(const std::string& rel, TupleId id, const Tuple& t) override;
+
+  ConflictSet& conflict_set() override { return conflict_set_; }
+  size_t AuxiliaryFootprintBytes() const override;
+  const MatcherStats& stats() const override { return stats_; }
+  std::string name() const override { return "query"; }
+  const std::vector<Rule>& rules() const override { return rules_; }
+
+ private:
+  struct CeRef {
+    int rule;
+    int ce;
+  };
+
+  Catalog* catalog_;
+  Executor executor_;
+  std::vector<Rule> rules_;
+  // Class name -> positive / negated condition elements over it.
+  std::map<std::string, std::vector<CeRef>> positive_by_class_;
+  std::map<std::string, std::vector<CeRef>> negative_by_class_;
+  ConflictSet conflict_set_;
+  MatcherStats stats_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_MATCH_QUERY_MATCHER_H_

@@ -1,0 +1,507 @@
+#include "rete/network.h"
+
+#include <algorithm>
+
+#include "db/executor.h"
+
+namespace prodb {
+
+namespace {
+
+/// Widens a token's position vectors so index `pos` is addressable.
+void EnsureWidth(ReteToken* token, size_t pos) {
+  if (token->ids.size() <= pos) {
+    token->ids.resize(pos + 1, ReteToken::kNoTuple);
+    token->tuples.resize(pos + 1, Tuple());
+  }
+}
+
+}  // namespace
+
+/// One-input node chain, collapsed: class test plus every constant test
+/// of a condition element, plus intra-CE attribute constraints induced by
+/// a variable appearing twice in the same CE.
+struct ReteNetwork::AlphaNode {
+  std::string cls;
+  std::vector<ConstantTest> tests;
+  // (left attr, op, right attr): tuple[l] op tuple[r] must hold.
+  struct AttrPair {
+    int left;
+    CompareOp op;
+    int right;
+  };
+  std::vector<AttrPair> pairs;
+  std::vector<JoinNode*> successors;
+
+  bool Matches(const Tuple& t) const {
+    for (const ConstantTest& c : tests) {
+      if (!c.Matches(t)) return false;
+    }
+    for (const AttrPair& p : pairs) {
+      if (!EvalCompare(t[static_cast<size_t>(p.left)], p.op,
+                       t[static_cast<size_t>(p.right)])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string Signature() const {
+    std::string sig = cls + "#";
+    std::vector<std::string> parts;
+    for (const ConstantTest& c : tests) parts.push_back(c.ToString());
+    std::sort(parts.begin(), parts.end());
+    for (const std::string& p : parts) sig += p + ";";
+    sig += "#";
+    parts.clear();
+    for (const AttrPair& p : pairs) {
+      parts.push_back(std::to_string(p.left) + CompareOpName(p.op) +
+                      std::to_string(p.right));
+    }
+    std::sort(parts.begin(), parts.end());
+    for (const std::string& p : parts) sig += p + ";";
+    return sig;
+  }
+};
+
+/// Two-input node. `level` 0 is the head of a chain (no LEFT memory —
+/// its single input feeds successors directly); negated nodes
+/// additionally keep per-left-token match counts. A node may have
+/// several children (chain-prefix sharing) and may terminate one or
+/// more productions.
+struct ReteNetwork::JoinNode {
+  int rule = -1;  // rule whose compilation created the node (structure
+                  // is identical for every rule sharing it)
+  size_t level = 0;
+  size_t ce = 0;  // CE slot this node's right input covers
+  bool negated = false;
+  std::unique_ptr<TokenStore> left;
+  std::unique_ptr<TokenStore> right;
+  std::unordered_map<std::string, int> neg_counts;
+  std::vector<JoinNode*> children;
+  std::vector<int> productions;  // rule indices satisfied at this node
+};
+
+ReteNetwork::ReteNetwork(Catalog* catalog, ReteOptions options)
+    : catalog_(catalog), options_(options) {}
+
+ReteNetwork::~ReteNetwork() = default;
+
+Status ReteNetwork::AddRule(const Rule& rule) {
+  int rule_index = static_cast<int>(rules_.size());
+  rules_.push_back(rule);
+  Status st = BuildRule(rule, rule_index);
+  if (!st.ok()) rules_.pop_back();
+  return st;
+}
+
+Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
+  const size_t n = rule.lhs.conditions.size();
+
+  // Join order: positive CEs in LHS order (the paper's fixed left-deep
+  // plan), then negated CEs.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < n; ++i) {
+    if (!rule.lhs.conditions[i].negated) order.push_back(i);
+  }
+  size_t num_positive = order.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (rule.lhs.conditions[i].negated) order.push_back(i);
+  }
+  join_order_.push_back(order);
+
+  // Per-CE class arities (for relation-backed token rows).
+  std::vector<size_t> class_arity(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    Relation* rel = catalog_->Get(rule.lhs.conditions[i].relation);
+    if (rel == nullptr) {
+      return Status::NotFound("rule " + rule.name + ": relation " +
+                              rule.lhs.conditions[i].relation);
+    }
+    class_arity[i] = rel->schema().arity();
+  }
+
+  auto make_store = [&](const std::string& kind, size_t level,
+                        const std::vector<size_t>& arities,
+                        std::unique_ptr<TokenStore>* out) -> Status {
+    if (!options_.dbms_backed) {
+      *out = std::make_unique<MemoryTokenStore>();
+      return Status::OK();
+    }
+    std::unique_ptr<RelationTokenStore> store;
+    std::string name = kind + std::to_string(store_counter_++) + "-" +
+                       rule.name + "-L" + std::to_string(level);
+    PRODB_RETURN_IF_ERROR(RelationTokenStore::Create(
+        catalog_, name, arities, options_.memory_storage, &store));
+    *out = std::move(store);
+    return Status::OK();
+  };
+
+  auto hook_alpha = [&](size_t ce_index, JoinNode* node) {
+    const ConditionSpec& cond = rule.lhs.conditions[ce_index];
+    AlphaNode probe;
+    probe.cls = cond.relation;
+    probe.tests = cond.constant_tests;
+    std::map<int, int> first_eq_attr;  // var -> binding attr
+    for (const VarUse& u : cond.var_uses) {
+      auto it = first_eq_attr.find(u.var);
+      if (it == first_eq_attr.end()) {
+        if (u.op == CompareOp::kEq) first_eq_attr[u.var] = u.attr;
+        continue;
+      }
+      if (u.attr != it->second) {
+        probe.pairs.push_back(AlphaNode::AttrPair{u.attr, u.op, it->second});
+      }
+    }
+    AlphaNode* alpha = nullptr;
+    std::string sig = probe.Signature();
+    if (options_.share_alpha) {
+      auto it = alpha_index_.find(sig);
+      if (it != alpha_index_.end()) alpha = it->second;
+    }
+    if (alpha == nullptr) {
+      auto owned = std::make_unique<AlphaNode>(std::move(probe));
+      alpha = owned.get();
+      alpha_nodes_.push_back(std::move(owned));
+      alpha_by_class_[cond.relation].push_back(alpha);
+      if (options_.share_alpha) alpha_index_[sig] = alpha;
+    }
+    alpha->successors.push_back(node);
+  };
+
+  // Build the positive chain front to back, reusing shared prefixes.
+  // A prefix is shareable when every leading (CE slot, spec) pair is
+  // textually identical — the analyzer's first-occurrence variable
+  // numbering makes structurally identical prefixes compile identically.
+  JoinNode* tail = nullptr;
+  std::string prefix_sig;
+  for (size_t k = 0; k < num_positive; ++k) {
+    size_t ce = order[k];
+    prefix_sig += "@" + std::to_string(ce) +
+                  rule.lhs.conditions[ce].ToString() + "|";
+    if (options_.share_beta) {
+      auto it = beta_index_.find(prefix_sig);
+      if (it != beta_index_.end()) {
+        tail = it->second;
+        continue;  // the whole prefix up to k is already compiled
+      }
+    }
+    auto node = std::make_unique<JoinNode>();
+    node->rule = rule_index;
+    node->level = k;
+    node->ce = ce;
+    node->negated = false;
+    if (k > 0) {
+      std::vector<size_t> arities(n, 0);
+      for (size_t p = 0; p < k; ++p) {
+        arities[order[p]] = class_arity[order[p]];
+      }
+      PRODB_RETURN_IF_ERROR(make_store("LEFT", k, arities, &node->left));
+      std::vector<size_t> right_arities(n, 0);
+      right_arities[ce] = class_arity[ce];
+      PRODB_RETURN_IF_ERROR(
+          make_store("RIGHT", k, right_arities, &node->right));
+      tail->children.push_back(node.get());
+    }
+    hook_alpha(ce, node.get());
+    tail = node.get();
+    if (options_.share_beta) beta_index_[prefix_sig] = tail;
+    join_nodes_.push_back(std::move(node));
+  }
+
+  // Negated suffix: never shared (per-rule match counts).
+  for (size_t k = num_positive; k < order.size(); ++k) {
+    size_t ce = order[k];
+    auto node = std::make_unique<JoinNode>();
+    node->rule = rule_index;
+    node->level = k;
+    node->ce = ce;
+    node->negated = true;
+    std::vector<size_t> arities(n, 0);
+    for (size_t p = 0; p < k; ++p) {
+      if (!rule.lhs.conditions[order[p]].negated) {
+        arities[order[p]] = class_arity[order[p]];
+      }
+    }
+    PRODB_RETURN_IF_ERROR(make_store("LEFT", k, arities, &node->left));
+    std::vector<size_t> right_arities(n, 0);
+    right_arities[ce] = class_arity[ce];
+    PRODB_RETURN_IF_ERROR(
+        make_store("RIGHT", k, right_arities, &node->right));
+    hook_alpha(ce, node.get());
+    tail->children.push_back(node.get());
+    tail = node.get();
+    join_nodes_.push_back(std::move(node));
+  }
+
+  tail->productions.push_back(rule_index);
+  return Status::OK();
+}
+
+bool ReteNetwork::RecomputeBinding(int rule, ReteToken* token,
+                                   size_t upto) const {
+  const Rule& r = rules_[static_cast<size_t>(rule)];
+  const auto& order = join_order_[static_cast<size_t>(rule)];
+  token->binding.assign(static_cast<size_t>(r.lhs.num_vars), std::nullopt);
+  for (size_t k = 0; k < upto && k < order.size(); ++k) {
+    size_t ce = order[k];
+    if (ce >= token->ids.size() || token->ids[ce] == ReteToken::kNoTuple) {
+      continue;
+    }
+    if (!TupleConsistent(r.lhs.conditions[ce], token->tuples[ce],
+                         &token->binding)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ReteNetwork::Produce(int rule, const ReteToken& token, bool positive) {
+  const Rule& r = rules_[static_cast<size_t>(rule)];
+  const size_t n = r.lhs.conditions.size();
+  Instantiation inst;
+  inst.rule_index = rule;
+  inst.rule_name = r.name;
+  inst.tuple_ids = token.ids;
+  inst.tuples = token.tuples;
+  inst.tuple_ids.resize(n, Instantiation::kNoTuple);
+  inst.tuples.resize(n, Tuple());
+  inst.binding = token.binding;
+  inst.binding.resize(static_cast<size_t>(r.lhs.num_vars), std::nullopt);
+  if (positive) {
+    conflict_set_.Add(std::move(inst));
+  } else {
+    conflict_set_.RemoveByKey(inst.Key());
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::Descend(JoinNode* node, const ReteToken& token,
+                            bool positive) {
+  for (int rule : node->productions) {
+    PRODB_RETURN_IF_ERROR(Produce(rule, token, positive));
+  }
+  for (JoinNode* child : node->children) {
+    PRODB_RETURN_IF_ERROR(ActivateLeft(child, token, positive));
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
+                                 bool positive) {
+  ++stats_.propagations;
+  const Rule& rule = rules_[static_cast<size_t>(node->rule)];
+  const ConditionSpec& cond = rule.lhs.conditions[node->ce];
+  // A token produced in a shared prefix carries the binding width of the
+  // prefix's first compiler; this rule's suffix may use higher var ids.
+  const size_t want_vars = static_cast<size_t>(rule.lhs.num_vars);
+
+  if (positive) {
+    PRODB_RETURN_IF_ERROR(node->left->Add(token));
+    ++stats_.patterns_stored;
+    if (node->negated) {
+      int count = 0;
+      PRODB_RETURN_IF_ERROR(node->right->Scan([&](const ReteToken& r) {
+        ++stats_.tuples_examined;
+        Binding b = token.binding;
+        if (b.size() < want_vars) b.resize(want_vars, std::nullopt);
+        if (TupleConsistent(cond, r.tuples[node->ce], &b)) ++count;
+        return Status::OK();
+      }));
+      node->neg_counts[token.Key()] = count;
+      if (count == 0) return Descend(node, token, true);
+      return Status::OK();
+    }
+    return node->right->Scan([&](const ReteToken& r) {
+      ++stats_.tuples_examined;
+      ReteToken merged = token;
+      if (merged.binding.size() < want_vars) {
+        merged.binding.resize(want_vars, std::nullopt);
+      }
+      if (!TupleConsistent(cond, r.tuples[node->ce], &merged.binding)) {
+        return Status::OK();
+      }
+      EnsureWidth(&merged, node->ce);
+      merged.ids[node->ce] = r.ids[node->ce];
+      merged.tuples[node->ce] = r.tuples[node->ce];
+      return Descend(node, merged, true);
+    });
+  }
+
+  // Negative (−) token: retract.
+  bool found = false;
+  PRODB_RETURN_IF_ERROR(node->left->RemoveExact(token, &found));
+  if (!found) return Status::OK();
+  if (stats_.patterns_stored > 0) --stats_.patterns_stored;
+  if (node->negated) {
+    auto it = node->neg_counts.find(token.Key());
+    int count = it == node->neg_counts.end() ? 0 : it->second;
+    if (it != node->neg_counts.end()) node->neg_counts.erase(it);
+    if (count == 0) return Descend(node, token, false);
+    return Status::OK();
+  }
+  return node->right->Scan([&](const ReteToken& r) {
+    ++stats_.tuples_examined;
+    ReteToken merged = token;
+    if (merged.binding.size() < want_vars) {
+      merged.binding.resize(want_vars, std::nullopt);
+    }
+    if (!TupleConsistent(cond, r.tuples[node->ce], &merged.binding)) {
+      return Status::OK();
+    }
+    EnsureWidth(&merged, node->ce);
+    merged.ids[node->ce] = r.ids[node->ce];
+    merged.tuples[node->ce] = r.tuples[node->ce];
+    return Descend(node, merged, false);
+  });
+}
+
+Status ReteNetwork::ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
+                                  bool positive) {
+  ++stats_.propagations;
+  const Rule& rule = rules_[static_cast<size_t>(node->rule)];
+  const size_t n = rule.lhs.conditions.size();
+  const ConditionSpec& cond = rule.lhs.conditions[node->ce];
+
+  // Head node: no LEFT memory; the single tuple becomes a token.
+  if (node->level == 0) {
+    ReteToken token;
+    token.ids.assign(n, ReteToken::kNoTuple);
+    token.tuples.assign(n, Tuple());
+    token.binding.assign(static_cast<size_t>(rule.lhs.num_vars),
+                         std::nullopt);
+    if (!TupleConsistent(cond, t, &token.binding)) return Status::OK();
+    token.ids[node->ce] = id;
+    token.tuples[node->ce] = t;
+    return Descend(node, token, positive);
+  }
+
+  // The tuple must pass the CE's own tests before entering the memory.
+  // Tests against variables bound by earlier CEs cannot be evaluated here
+  // (they are join tests); defer-and-discard — the join enforces them.
+  {
+    Binding b(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
+    std::vector<DeferredTest> deferred;
+    if (!TupleConsistent(cond, t, &b, &deferred)) return Status::OK();
+  }
+
+  ReteToken single;
+  single.ids.assign(n, ReteToken::kNoTuple);
+  single.tuples.assign(n, Tuple());
+  single.ids[node->ce] = id;
+  single.tuples[node->ce] = t;
+
+  if (positive) {
+    PRODB_RETURN_IF_ERROR(node->right->Add(single));
+    ++stats_.patterns_stored;
+  } else {
+    bool found = false;
+    PRODB_RETURN_IF_ERROR(node->right->RemoveExact(single, &found));
+    if (!found) return Status::OK();
+    if (stats_.patterns_stored > 0) --stats_.patterns_stored;
+  }
+
+  // Walk the LEFT memory and pair with every consistent token.
+  std::vector<ReteToken> lefts;
+  PRODB_RETURN_IF_ERROR(node->left->Scan([&](const ReteToken& l) {
+    lefts.push_back(l);
+    return Status::OK();
+  }));
+  for (ReteToken& l : lefts) {
+    ++stats_.tuples_examined;
+    if (l.binding.empty()) {
+      // Relation-backed stores persist tuples, not bindings.
+      if (!RecomputeBinding(node->rule, &l, node->level)) continue;
+    }
+    Binding b = l.binding;
+    // Tokens stored by a shared prefix carry the first compiler's
+    // binding width; widen to this rule's variable space.
+    if (b.size() < static_cast<size_t>(rule.lhs.num_vars)) {
+      b.resize(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
+    }
+    if (!TupleConsistent(cond, t, &b)) continue;
+    if (node->negated) {
+      int& count = node->neg_counts[l.Key()];
+      if (positive) {
+        if (++count == 1) {
+          PRODB_RETURN_IF_ERROR(Descend(node, l, false));
+        }
+      } else {
+        if (--count == 0) {
+          PRODB_RETURN_IF_ERROR(Descend(node, l, true));
+        }
+      }
+    } else {
+      ReteToken merged = l;
+      merged.binding = std::move(b);
+      EnsureWidth(&merged, node->ce);
+      merged.ids[node->ce] = id;
+      merged.tuples[node->ce] = t;
+      PRODB_RETURN_IF_ERROR(Descend(node, merged, positive));
+    }
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::OnInsert(const std::string& rel, TupleId id,
+                             const Tuple& t) {
+  auto it = alpha_by_class_.find(rel);
+  if (it == alpha_by_class_.end()) return Status::OK();
+  for (AlphaNode* alpha : it->second) {
+    ++stats_.propagations;
+    if (!alpha->Matches(t)) continue;
+    for (JoinNode* node : alpha->successors) {
+      PRODB_RETURN_IF_ERROR(ActivateRight(node, id, t, /*positive=*/true));
+    }
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::OnDelete(const std::string& rel, TupleId id,
+                             const Tuple& t) {
+  auto it = alpha_by_class_.find(rel);
+  if (it == alpha_by_class_.end()) return Status::OK();
+  for (AlphaNode* alpha : it->second) {
+    ++stats_.propagations;
+    if (!alpha->Matches(t)) continue;
+    for (JoinNode* node : alpha->successors) {
+      PRODB_RETURN_IF_ERROR(ActivateRight(node, id, t, /*positive=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+size_t ReteNetwork::AuxiliaryFootprintBytes() const {
+  size_t total = 0;
+  for (const auto& node : join_nodes_) {
+    if (node->left != nullptr) total += node->left->FootprintBytes();
+    if (node->right != nullptr) total += node->right->FootprintBytes();
+    total += node->neg_counts.size() * 48;  // approximate map overhead
+  }
+  return total;
+}
+
+ReteTopology ReteNetwork::Topology() const {
+  ReteTopology topo;
+  topo.alpha_nodes = alpha_nodes_.size();
+  topo.production_nodes = rules_.size();
+  for (const auto& node : join_nodes_) {
+    if (node->negated) {
+      ++topo.negative_nodes;
+    } else if (node->level > 0) {
+      ++topo.beta_nodes;
+    }
+  }
+  return topo;
+}
+
+size_t ReteNetwork::TokenCount() const {
+  size_t total = 0;
+  for (const auto& node : join_nodes_) {
+    if (node->left != nullptr) total += node->left->size();
+    if (node->right != nullptr) total += node->right->size();
+  }
+  return total;
+}
+
+}  // namespace prodb

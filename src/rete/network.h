@@ -1,0 +1,120 @@
+#ifndef PRODB_RETE_NETWORK_H_
+#define PRODB_RETE_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "match/matcher.h"
+#include "rete/token_store.h"
+
+namespace prodb {
+
+/// Configuration of a Rete network build.
+struct ReteOptions {
+  /// Store LEFT/RIGHT two-input-node memories in catalog relations (the
+  /// straightforward DBMS implementation of §3.2) instead of process
+  /// memory (the OPS5 situation of §3.1).
+  bool dbms_backed = false;
+  /// Share one-input (alpha) test chains across rules with identical
+  /// class + constant tests — the multiple-query-optimization idea the
+  /// paper cites ([SELL86]); toggled off for the ablation benchmark.
+  bool share_alpha = true;
+  /// Share two-input join-chain *prefixes* across rules whose leading
+  /// positive condition elements are structurally identical — the
+  /// "global compiled plan that avoids multiple relation accesses" the
+  /// paper asks multiple-query processing to provide (§3.2, [SELL88],
+  /// §6 future work). Rules must be added before WM activity for shared
+  /// chains to be populated consistently.
+  bool share_beta = true;
+  /// Storage backend for LEFT/RIGHT relations when dbms_backed.
+  StorageKind memory_storage = StorageKind::kMemory;
+};
+
+/// Structural counters (Figure 1/3 analyses, E1).
+struct ReteTopology {
+  size_t alpha_nodes = 0;
+  size_t beta_nodes = 0;      // two-input join nodes
+  size_t negative_nodes = 0;
+  size_t production_nodes = 0;
+};
+
+/// The Rete match network of Forgy's OPS5 (§3), as a Matcher.
+///
+/// Rules compile into a discrimination network: a root that dispatches on
+/// class, one-input nodes checking `attribute op constant`, and a
+/// left-deep chain of two-input nodes joining condition elements in LHS
+/// order — the "fixed access plan" the paper criticizes (§3.2). Tokens
+/// (tuples tagged +/−) enter at the root and propagate sequentially;
+/// two-input nodes store unmatched arrivals in their LEFT/RIGHT memories
+/// awaiting future partners; tokens reaching a production node update the
+/// conflict set. Negated CEs become negative nodes that count consistent
+/// right-side matches and pass left tokens only while the count is zero.
+class ReteNetwork : public Matcher {
+ public:
+  /// `catalog` supplies the WM relations and, when dbms_backed, hosts the
+  /// LEFT/RIGHT memory relations.
+  explicit ReteNetwork(Catalog* catalog, ReteOptions options = {});
+  ~ReteNetwork() override;
+
+  Status AddRule(const Rule& rule) override;
+  Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;
+  Status OnDelete(const std::string& rel, TupleId id, const Tuple& t) override;
+
+  ConflictSet& conflict_set() override { return conflict_set_; }
+  size_t AuxiliaryFootprintBytes() const override;
+  const MatcherStats& stats() const override { return stats_; }
+  std::string name() const override {
+    return options_.dbms_backed ? "rete-dbms" : "rete";
+  }
+  const std::vector<Rule>& rules() const override { return rules_; }
+
+  ReteTopology Topology() const;
+  /// Total tokens resident in LEFT+RIGHT memories.
+  size_t TokenCount() const;
+
+ private:
+  struct AlphaNode;
+  struct JoinNode;
+
+  Status BuildRule(const Rule& rule, int rule_index);
+
+  /// Recomputes the binding of a token over join positions [0, upto) of
+  /// `rule` (needed for relation-backed stores, which persist tuples but
+  /// not bindings).
+  bool RecomputeBinding(int rule, ReteToken* token, size_t upto) const;
+
+  /// Token arrives on the left input of `node` with the given sign.
+  Status ActivateLeft(JoinNode* node, const ReteToken& token, bool positive);
+  /// Forwards a token past `node`: fires its productions, then feeds its
+  /// children (several when chain prefixes are shared).
+  Status Descend(JoinNode* node, const ReteToken& token, bool positive);
+  /// A WM tuple arrives on the right input of `node`.
+  Status ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
+                       bool positive);
+  /// Token passed all joins of a rule: update the conflict set.
+  Status Produce(int rule, const ReteToken& token, bool positive);
+
+  Catalog* catalog_;
+  ReteOptions options_;
+  std::vector<Rule> rules_;
+  // Per rule, the positive-then-negated CE order the join chain uses.
+  std::vector<std::vector<size_t>> join_order_;
+  std::vector<std::unique_ptr<AlphaNode>> alpha_nodes_;
+  std::vector<std::unique_ptr<JoinNode>> join_nodes_;
+  // Class name -> alpha nodes testing that class.
+  std::map<std::string, std::vector<AlphaNode*>> alpha_by_class_;
+  // Alpha sharing: signature -> node.
+  std::unordered_map<std::string, AlphaNode*> alpha_index_;
+  // Beta sharing: join-chain prefix signature -> last node of the chain.
+  std::unordered_map<std::string, JoinNode*> beta_index_;
+  ConflictSet conflict_set_;
+  MatcherStats stats_;
+  size_t store_counter_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_RETE_NETWORK_H_

@@ -1,0 +1,39 @@
+#ifndef PRODB_RETE_TOKEN_H_
+#define PRODB_RETE_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "db/predicate.h"
+
+namespace prodb {
+
+/// A Rete token: a sequence of WM tuples that together satisfy a prefix
+/// of a rule's condition elements, plus the variable binding they induce.
+/// Tuples are tagged "+" or "−" when flowing through the network (§3.1);
+/// the sign travels alongside the token rather than inside it.
+///
+/// Vectors are full-width (one slot per CE of the rule); positions not
+/// yet joined — and negated positions — hold kNoTuple / empty tuples.
+struct ReteToken {
+  std::vector<TupleId> ids;
+  std::vector<Tuple> tuples;
+  Binding binding;
+
+  static constexpr TupleId kNoTuple{UINT32_MAX, UINT32_MAX};
+
+  /// Identity = the exact tuple combination (binding is derived).
+  std::string Key() const {
+    std::string key;
+    for (const TupleId& id : ids) {
+      key += std::to_string(id.page_id) + "." + std::to_string(id.slot_id) +
+             "|";
+    }
+    return key;
+  }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_RETE_TOKEN_H_

@@ -1,0 +1,183 @@
+#include "rete/token_store.h"
+
+namespace prodb {
+
+constexpr TupleId ReteToken::kNoTuple;
+
+Status MemoryTokenStore::Add(const ReteToken& token) {
+  tokens_.push_back(token);
+  return Status::OK();
+}
+
+Status MemoryTokenStore::RemoveByTuple(size_t pos, TupleId id,
+                                       std::vector<ReteToken>* removed) {
+  for (size_t i = 0; i < tokens_.size();) {
+    if (pos < tokens_[i].ids.size() && tokens_[i].ids[pos] == id) {
+      if (removed != nullptr) removed->push_back(tokens_[i]);
+      tokens_[i] = std::move(tokens_.back());
+      tokens_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+Status MemoryTokenStore::RemoveExact(const ReteToken& token, bool* found) {
+  *found = false;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].ids == token.ids) {
+      tokens_[i] = std::move(tokens_.back());
+      tokens_.pop_back();
+      *found = true;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status MemoryTokenStore::Scan(
+    const std::function<Status(const ReteToken&)>& fn) const {
+  for (const ReteToken& t : tokens_) {
+    PRODB_RETURN_IF_ERROR(fn(t));
+  }
+  return Status::OK();
+}
+
+size_t MemoryTokenStore::FootprintBytes() const {
+  size_t total = sizeof(*this) + tokens_.capacity() * sizeof(ReteToken);
+  for (const ReteToken& t : tokens_) {
+    total += t.ids.capacity() * sizeof(TupleId);
+    for (const Tuple& tup : t.tuples) total += tup.FootprintBytes();
+    total += t.binding.capacity() * sizeof(Binding::value_type);
+  }
+  return total;
+}
+
+Status RelationTokenStore::Create(
+    Catalog* catalog, const std::string& name, std::vector<size_t> arities,
+    StorageKind storage, std::unique_ptr<RelationTokenStore>* out) {
+  std::vector<Attribute> attrs;
+  for (size_t p = 0; p < arities.size(); ++p) {
+    attrs.push_back(
+        Attribute{"p" + std::to_string(p) + "_page", ValueType::kInt});
+    attrs.push_back(
+        Attribute{"p" + std::to_string(p) + "_slot", ValueType::kInt});
+  }
+  for (size_t p = 0; p < arities.size(); ++p) {
+    for (size_t a = 0; a < arities[p]; ++a) {
+      attrs.push_back(Attribute{
+          "p" + std::to_string(p) + "_a" + std::to_string(a),
+          ValueType::kSymbol});
+    }
+  }
+  Relation* rel;
+  PRODB_RETURN_IF_ERROR(
+      catalog->CreateRelation(Schema(name, attrs), storage, &rel));
+  out->reset(new RelationTokenStore(rel, std::move(arities)));
+  return Status::OK();
+}
+
+Tuple RelationTokenStore::Encode(const ReteToken& token) const {
+  Tuple row;
+  auto& vals = row.mutable_values();
+  for (size_t p = 0; p < arities_.size(); ++p) {
+    TupleId id = p < token.ids.size() ? token.ids[p] : ReteToken::kNoTuple;
+    vals.emplace_back(static_cast<int64_t>(id.page_id));
+    vals.emplace_back(static_cast<int64_t>(id.slot_id));
+  }
+  for (size_t p = 0; p < arities_.size(); ++p) {
+    for (size_t a = 0; a < arities_[p]; ++a) {
+      if (p < token.tuples.size() && a < token.tuples[p].arity()) {
+        vals.push_back(token.tuples[p][a]);
+      } else {
+        vals.emplace_back();
+      }
+    }
+  }
+  return row;
+}
+
+ReteToken RelationTokenStore::Decode(const Tuple& row) const {
+  ReteToken token;
+  const size_t n = arities_.size();
+  token.ids.assign(n, ReteToken::kNoTuple);
+  token.tuples.assign(n, Tuple());
+  size_t off = 0;
+  for (size_t p = 0; p < n; ++p) {
+    token.ids[p].page_id = static_cast<uint32_t>(row[off++].as_int());
+    token.ids[p].slot_id = static_cast<uint32_t>(row[off++].as_int());
+  }
+  for (size_t p = 0; p < n; ++p) {
+    std::vector<Value> vals;
+    vals.reserve(arities_[p]);
+    for (size_t a = 0; a < arities_[p]; ++a) {
+      vals.push_back(row[off++]);
+    }
+    token.tuples[p] = Tuple(std::move(vals));
+  }
+  return token;
+}
+
+Status RelationTokenStore::Add(const ReteToken& token) {
+  TupleId id;
+  return rel_->Insert(Encode(token), &id);
+}
+
+Status RelationTokenStore::RemoveByTuple(size_t pos, TupleId id,
+                                         std::vector<ReteToken>* removed) {
+  // Find rows whose position `pos` carries the tuple id, then delete.
+  std::vector<TupleId> victims;
+  const size_t page_col = pos * 2;
+  PRODB_RETURN_IF_ERROR(rel_->Scan([&](TupleId row_id, const Tuple& row) {
+    if (static_cast<uint32_t>(row[page_col].as_int()) == id.page_id &&
+        static_cast<uint32_t>(row[page_col + 1].as_int()) == id.slot_id) {
+      victims.push_back(row_id);
+      if (removed != nullptr) removed->push_back(Decode(row));
+    }
+    return Status::OK();
+  }));
+  for (TupleId v : victims) {
+    PRODB_RETURN_IF_ERROR(rel_->Delete(v));
+  }
+  return Status::OK();
+}
+
+Status RelationTokenStore::RemoveExact(const ReteToken& token, bool* found) {
+  *found = false;
+  TupleId victim;
+  bool have = false;
+  PRODB_RETURN_IF_ERROR(rel_->Scan([&](TupleId row_id, const Tuple& row) {
+    if (have) return Status::OK();
+    size_t off = 0;
+    for (size_t p = 0; p < arities_.size(); ++p) {
+      TupleId id = p < token.ids.size() ? token.ids[p] : ReteToken::kNoTuple;
+      if (static_cast<uint32_t>(row[off].as_int()) != id.page_id ||
+          static_cast<uint32_t>(row[off + 1].as_int()) != id.slot_id) {
+        return Status::OK();
+      }
+      off += 2;
+    }
+    victim = row_id;
+    have = true;
+    return Status::OK();
+  }));
+  if (have) {
+    PRODB_RETURN_IF_ERROR(rel_->Delete(victim));
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status RelationTokenStore::Scan(
+    const std::function<Status(const ReteToken&)>& fn) const {
+  return rel_->Scan([&](TupleId, const Tuple& row) { return fn(Decode(row)); });
+}
+
+size_t RelationTokenStore::size() const { return rel_->Count(); }
+
+size_t RelationTokenStore::FootprintBytes() const {
+  return rel_->FootprintBytes();
+}
+
+}  // namespace prodb

@@ -1,0 +1,103 @@
+#ifndef PRODB_RETE_TOKEN_STORE_H_
+#define PRODB_RETE_TOKEN_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/catalog.h"
+#include "rete/token.h"
+
+namespace prodb {
+
+/// Storage for the LEFT (or RIGHT) memory of a two-input Rete node.
+///
+/// Two implementations realize the paper's comparison: MemoryTokenStore
+/// keeps tokens in process memory (the OPS5 situation, §3.1), while
+/// RelationTokenStore keeps them in catalog relations — "the two
+/// relations used to store the tokens that correspond to the left and
+/// right input of a two-input merge node, LEFT and RIGHT" (§3.2). The
+/// relation-backed store pays DBMS costs on every token movement, which
+/// benchmark E8 measures.
+class TokenStore {
+ public:
+  virtual ~TokenStore() = default;
+
+  virtual Status Add(const ReteToken& token) = 0;
+
+  /// Removes the token whose CE position `pos` carries tuple `id`.
+  /// Multiple tokens can reference the same tuple; all are removed and
+  /// reported to `removed` (may be null).
+  virtual Status RemoveByTuple(size_t pos, TupleId id,
+                               std::vector<ReteToken>* removed) = 0;
+
+  /// Removes one token with exactly `token`'s tuple-id combination.
+  /// Returns OK whether or not a match existed; *found reports it.
+  virtual Status RemoveExact(const ReteToken& token, bool* found) = 0;
+
+  /// Visits every stored token.
+  virtual Status Scan(
+      const std::function<Status(const ReteToken&)>& fn) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t FootprintBytes() const = 0;
+};
+
+/// Tokens in a std::vector (the in-memory Rete of OPS5).
+class MemoryTokenStore : public TokenStore {
+ public:
+  Status Add(const ReteToken& token) override;
+  Status RemoveByTuple(size_t pos, TupleId id,
+                       std::vector<ReteToken>* removed) override;
+  Status RemoveExact(const ReteToken& token, bool* found) override;
+  Status Scan(
+      const std::function<Status(const ReteToken&)>& fn) const override;
+  size_t size() const override { return tokens_.size(); }
+  size_t FootprintBytes() const override;
+
+ private:
+  std::vector<ReteToken> tokens_;
+};
+
+/// Tokens serialized into a catalog relation.
+///
+/// Row layout: [pos0_page, pos0_slot, pos1_page, pos1_slot, ...] followed
+/// by the concatenated attribute values of each position's tuple. The
+/// binding is not stored; it is recomputed on scan by the owning node
+/// (it is derivable from the tuples).
+class RelationTokenStore : public TokenStore {
+ public:
+  /// Creates the backing relation `name` in `catalog`. `positions` gives,
+  /// per CE slot of the rule, the arity of that slot's class (0 for
+  /// negated slots, which never carry tuples).
+  static Status Create(Catalog* catalog, const std::string& name,
+                       std::vector<size_t> arities, StorageKind storage,
+                       std::unique_ptr<RelationTokenStore>* out);
+
+  Status Add(const ReteToken& token) override;
+  Status RemoveByTuple(size_t pos, TupleId id,
+                       std::vector<ReteToken>* removed) override;
+  Status RemoveExact(const ReteToken& token, bool* found) override;
+  Status Scan(
+      const std::function<Status(const ReteToken&)>& fn) const override;
+  size_t size() const override;
+  size_t FootprintBytes() const override;
+
+  Relation* relation() const { return rel_; }
+
+ private:
+  RelationTokenStore(Relation* rel, std::vector<size_t> arities)
+      : rel_(rel), arities_(std::move(arities)) {}
+
+  Tuple Encode(const ReteToken& token) const;
+  ReteToken Decode(const Tuple& row) const;
+
+  Relation* rel_;
+  std::vector<size_t> arities_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_RETE_TOKEN_STORE_H_

@@ -1,0 +1,120 @@
+#include "ruleindex/rulebase_query.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prodb {
+
+namespace {
+
+// Narrows box dimension `attr` by `op value`. A strict bound is nudged
+// by epsilon — sufficient for rule retrieval, where over-approximation
+// is tolerable and missing is not.
+void ApplyBound(Box* box, size_t attr, CompareOp op, double value) {
+  constexpr double kEps = 1e-9;
+  switch (op) {
+    case CompareOp::kEq:
+      box->lo[attr] = std::max(box->lo[attr], value);
+      box->hi[attr] = std::min(box->hi[attr], value);
+      break;
+    case CompareOp::kLt:
+      box->hi[attr] = std::min(box->hi[attr], value - kEps);
+      break;
+    case CompareOp::kLe:
+      box->hi[attr] = std::min(box->hi[attr], value);
+      break;
+    case CompareOp::kGt:
+      box->lo[attr] = std::max(box->lo[attr], value + kEps);
+      break;
+    case CompareOp::kGe:
+      box->lo[attr] = std::max(box->lo[attr], value);
+      break;
+    case CompareOp::kNe:
+      break;  // not box-encodable; stays unconstrained (over-approximates)
+  }
+}
+
+}  // namespace
+
+Status RuleBaseQueryIndex::EnsureClass(const std::string& cls,
+                                       ClassIndex** out) {
+  auto it = classes_.find(cls);
+  if (it != classes_.end()) {
+    *out = &it->second;
+    return Status::OK();
+  }
+  Relation* rel = catalog_->Get(cls);
+  if (rel == nullptr) return Status::NotFound("relation " + cls);
+  ClassIndex ci;
+  ci.dims = rel->schema().arity();
+  ci.tree = std::make_unique<RTree>(ci.dims);
+  *out = &classes_.emplace(cls, std::move(ci)).first->second;
+  return Status::OK();
+}
+
+Status RuleBaseQueryIndex::AddRule(int rule_id, const Rule& rule) {
+  for (const ConditionSpec& ce : rule.lhs.conditions) {
+    ClassIndex* ci;
+    PRODB_RETURN_IF_ERROR(EnsureClass(ce.relation, &ci));
+    Box box = Box::Infinite(ci->dims);
+    std::vector<ConstantTest> numeric_tests;
+    for (const ConstantTest& ct : ce.constant_tests) {
+      if (!ct.constant.is_numeric()) continue;  // symbols: unconstrained
+      ApplyBound(&box, static_cast<size_t>(ct.attr), ct.op,
+                 ct.constant.numeric());
+      numeric_tests.push_back(ct);
+    }
+    ci->tree->Insert(box, static_cast<uint64_t>(ci->entries.size()));
+    ci->entries.emplace_back(rule_id, std::move(numeric_tests));
+    ++entries_;
+  }
+  return Status::OK();
+}
+
+Status RuleBaseQueryIndex::RulesMatchingTuple(const std::string& cls,
+                                              const Tuple& t,
+                                              std::vector<int>* out) const {
+  out->clear();
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return Status::OK();
+  std::vector<double> point(it->second.dims, 0.0);
+  for (size_t a = 0; a < point.size() && a < t.arity(); ++a) {
+    // Non-numeric values are projected to 0 for the coarse tree probe;
+    // the exact verification below rejects them against bounded tests.
+    point[a] = t[a].is_numeric() ? t[a].numeric() : 0.0;
+  }
+  for (uint64_t id : it->second.tree->SearchPoint(point)) {
+    const auto& [rule_id, tests] = it->second.entries[id];
+    bool ok = true;
+    for (const ConstantTest& ct : tests) {
+      if (static_cast<size_t>(ct.attr) >= t.arity() ||
+          !t[static_cast<size_t>(ct.attr)].is_numeric() ||
+          !ct.Matches(t)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out->push_back(rule_id);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+Status RuleBaseQueryIndex::RulesMatchingConstraint(
+    const std::string& cls, int attr, CompareOp op, double value,
+    std::vector<int>* out) const {
+  out->clear();
+  auto it = classes_.find(cls);
+  if (it == classes_.end()) return Status::OK();
+  Box query = Box::Infinite(it->second.dims);
+  ApplyBound(&query, static_cast<size_t>(attr), op, value);
+  for (uint64_t id : it->second.tree->SearchBox(query)) {
+    out->push_back(it->second.entries[id].first);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+}  // namespace prodb

@@ -1,0 +1,68 @@
+#ifndef PRODB_RULEINDEX_RULEBASE_QUERY_H_
+#define PRODB_RULEINDEX_RULEBASE_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "index/rtree.h"
+#include "lang/rule.h"
+
+namespace prodb {
+
+/// Queries over the rule base itself (§4.2.3, [LIN87]): "Give me all the
+/// rules that apply on employees older than 55".
+///
+/// Every (rule, CE) pair's constant tests over numeric attributes
+/// describe an axis-aligned box in that class's attribute space; an
+/// R-tree per class indexes those boxes. A tuple maps to a point query;
+/// a constraint like "older than 55" maps to a box query. The paper
+/// notes this is only possible because conditions are stored separately
+/// from the data — "not possible in systems, such as POSTGRES, where
+/// rule information is stored together with the actual data".
+///
+/// Results may over-approximate (symbolic equality tests and join
+/// structure are not box-encodable); they never miss a rule whose
+/// numeric constraints admit the probe.
+class RuleBaseQueryIndex {
+ public:
+  /// `catalog` supplies class schemas (box dimensionality per class).
+  explicit RuleBaseQueryIndex(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Indexes every condition element of `rule`.
+  Status AddRule(int rule_id, const Rule& rule);
+
+  /// Rule ids with a CE over `cls` whose numeric constraints admit the
+  /// tuple (deduplicated, sorted).
+  Status RulesMatchingTuple(const std::string& cls, const Tuple& t,
+                            std::vector<int>* out) const;
+
+  /// Rule ids with a CE over `cls` whose box overlaps the constraint
+  /// `attr op value` (e.g. age > 55). Other attributes are unconstrained.
+  Status RulesMatchingConstraint(const std::string& cls, int attr,
+                                 CompareOp op, double value,
+                                 std::vector<int>* out) const;
+
+  size_t IndexedConditionCount() const { return entries_; }
+
+ private:
+  struct ClassIndex {
+    std::unique_ptr<RTree> tree;
+    size_t dims = 0;
+    // R-tree entry id -> (rule id, that CE's numeric constant tests);
+    // tuple probes verify candidates exactly against these.
+    std::vector<std::pair<int, std::vector<ConstantTest>>> entries;
+  };
+
+  Status EnsureClass(const std::string& cls, ClassIndex** out);
+
+  const Catalog* catalog_;
+  std::map<std::string, ClassIndex> classes_;
+  size_t entries_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_RULEINDEX_RULEBASE_QUERY_H_

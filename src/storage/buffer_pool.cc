@@ -1,0 +1,141 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace prodb {
+
+BufferPool::BufferPool(size_t capacity, DiskManager* disk) : disk_(disk) {
+  frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    free_frames_.push_back(frames_.back().get());
+  }
+}
+
+BufferPool::BufferPool(size_t capacity, std::unique_ptr<DiskManager> disk)
+    : BufferPool(capacity, disk.get()) {
+  owned_disk_ = std::move(disk);
+}
+
+Frame* BufferPool::Victim(Status* status) {
+  *status = Status::OK();
+  if (!free_frames_.empty()) {
+    Frame* f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    *status = Status::Internal("buffer pool exhausted: all frames pinned");
+    return nullptr;
+  }
+  Frame* f = lru_.front();
+  lru_.pop_front();
+  lru_pos_.erase(f);
+  page_table_.erase(f->page_id);
+  ++stats_.evictions;
+  if (f->dirty) {
+    Status st = disk_->WritePage(f->page_id, f->data);
+    if (!st.ok()) {
+      *status = st;
+      return nullptr;
+    }
+    ++stats_.dirty_writebacks;
+    f->dirty = false;
+  }
+  return f;
+}
+
+Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame* f = it->second;
+    if (f->pin_count == 0) {
+      // Remove from LRU: pinned frames are not eviction candidates.
+      auto pos = lru_pos_.find(f);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+    }
+    ++f->pin_count;
+    ++stats_.hits;
+    *frame = f;
+    return Status::OK();
+  }
+  ++stats_.misses;
+  Status st;
+  Frame* f = Victim(&st);
+  if (f == nullptr) return st;
+  PRODB_RETURN_IF_ERROR(disk_->ReadPage(page_id, f->data));
+  f->page_id = page_id;
+  f->pin_count = 1;
+  f->dirty = false;
+  page_table_[page_id] = f;
+  *frame = f;
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(uint32_t* page_id, Frame** frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st;
+  Frame* f = Victim(&st);
+  if (f == nullptr) return st;
+  st = disk_->AllocatePage(page_id);
+  if (!st.ok()) {
+    free_frames_.push_back(f);
+    return st;
+  }
+  std::memset(f->data, 0, kPageSize);
+  f->page_id = *page_id;
+  f->pin_count = 1;
+  f->dirty = true;
+  page_table_[*page_id] = f;
+  *frame = f;
+  return Status::OK();
+}
+
+Status BufferPool::UnpinPage(uint32_t page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page " +
+                            std::to_string(page_id));
+  }
+  Frame* f = it->second;
+  if (f->pin_count <= 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page_id));
+  }
+  f->dirty = f->dirty || dirty;
+  if (--f->pin_count == 0) {
+    lru_.push_back(f);
+    lru_pos_[f] = std::prev(lru_.end());
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame* f = it->second;
+  if (f->dirty) {
+    PRODB_RETURN_IF_ERROR(disk_->WritePage(f->page_id, f->data));
+    f->dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [pid, f] : page_table_) {
+    if (f->dirty) {
+      PRODB_RETURN_IF_ERROR(disk_->WritePage(f->page_id, f->data));
+      f->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prodb

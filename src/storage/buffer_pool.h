@@ -1,0 +1,123 @@
+#ifndef PRODB_STORAGE_BUFFER_POOL_H_
+#define PRODB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace prodb {
+
+/// A frame in the buffer pool holding one disk page.
+struct Frame {
+  uint32_t page_id = UINT32_MAX;
+  int pin_count = 0;
+  bool dirty = false;
+  char data[kPageSize] = {};
+};
+
+/// Counters exposed for the I/O benchmarks (E3, E8).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Fixed-capacity page cache with LRU replacement and pin counting.
+///
+/// All access to disk pages by the heap files and disk-backed indexes goes
+/// through FetchPage/UnpinPage pairs. A pinned frame is never evicted; an
+/// unpinned frame enters the LRU list and may be written back and reused.
+/// Thread-safe via a single pool latch — adequate at our scale, and it
+/// keeps the eviction logic obviously correct.
+class BufferPool {
+ public:
+  /// `capacity` frames over `disk` (not owned unless passed as unique_ptr
+  /// via the owning constructor below).
+  BufferPool(size_t capacity, DiskManager* disk);
+  BufferPool(size_t capacity, std::unique_ptr<DiskManager> disk);
+
+  /// Pins page `page_id`, faulting it in from disk if needed. On success
+  /// *frame points at the pinned frame; caller must UnpinPage it.
+  Status FetchPage(uint32_t page_id, Frame** frame);
+
+  /// Allocates a fresh page on disk and returns it pinned.
+  Status NewPage(uint32_t* page_id, Frame** frame);
+
+  /// Drops a pin; `dirty` marks the frame as modified.
+  Status UnpinPage(uint32_t page_id, bool dirty);
+
+  /// Writes a page back if it is resident and dirty.
+  Status FlushPage(uint32_t page_id);
+
+  /// Writes back every dirty resident page.
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  /// Finds a frame to (re)use: a free frame if any, else the LRU unpinned
+  /// frame (writing it back if dirty). Returns nullptr if all are pinned.
+  Frame* Victim(Status* status);
+
+  mutable std::mutex mu_;
+  DiskManager* disk_;
+  std::unique_ptr<DiskManager> owned_disk_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<uint32_t, Frame*> page_table_;
+  std::list<Frame*> lru_;  // front = least recently used; unpinned only
+  std::unordered_map<Frame*, std::list<Frame*>::iterator> lru_pos_;
+  std::vector<Frame*> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Frame* frame, bool dirty = false)
+      : pool_(pool), frame_(frame), dirty_(dirty) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.frame_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  Frame* frame() const { return frame_; }
+  char* data() const { return frame_->data; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ && frame_) {
+      pool_->UnpinPage(frame_->page_id, dirty_);
+      pool_ = nullptr;
+      frame_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,112 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+#include <memory>
+
+namespace prodb {
+
+Status FileDiskManager::Open(const std::string& path, bool truncate,
+                             std::unique_ptr<FileDiskManager>* out) {
+  auto dm = std::unique_ptr<FileDiskManager>(new FileDiskManager());
+  dm->path_ = path;
+  auto mode = std::ios::binary | std::ios::in | std::ios::out;
+  if (truncate) mode |= std::ios::trunc;
+  dm->file_.open(path, mode);
+  if (!dm->file_.is_open()) {
+    // The file may not exist yet; create it, then reopen read/write.
+    std::ofstream create(path, std::ios::binary);
+    if (!create.is_open()) {
+      return Status::IOError("cannot create " + path);
+    }
+    create.close();
+    dm->file_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!dm->file_.is_open()) {
+      return Status::IOError("cannot open " + path);
+    }
+  }
+  dm->file_.seekg(0, std::ios::end);
+  auto bytes = static_cast<uint64_t>(dm->file_.tellg());
+  dm->page_count_ = static_cast<uint32_t>(bytes / kPageSize);
+  *out = std::move(dm);
+  return Status::OK();
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_.is_open()) file_.close();
+}
+
+Status FileDiskManager::AllocatePage(uint32_t* page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *page_id = page_count_++;
+  char zeros[kPageSize] = {};
+  file_.seekp(static_cast<std::streamoff>(*page_id) * kPageSize);
+  file_.write(zeros, kPageSize);
+  file_.flush();
+  if (!file_.good()) return Status::IOError("allocate failed: " + path_);
+  ++writes_;
+  return Status::OK();
+}
+
+Status FileDiskManager::ReadPage(uint32_t page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_id));
+  }
+  file_.seekg(static_cast<std::streamoff>(page_id) * kPageSize);
+  file_.read(out, kPageSize);
+  if (!file_.good()) return Status::IOError("read failed: " + path_);
+  ++reads_;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(uint32_t page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_id));
+  }
+  file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
+  file_.write(data, kPageSize);
+  file_.flush();
+  if (!file_.good()) return Status::IOError("write failed: " + path_);
+  ++writes_;
+  return Status::OK();
+}
+
+uint32_t FileDiskManager::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+Status MemoryDiskManager::AllocatePage(uint32_t* page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *page_id = static_cast<uint32_t>(pages_.size());
+  pages_.emplace_back(kPageSize, 0);
+  return Status::OK();
+}
+
+Status MemoryDiskManager::ReadPage(uint32_t page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(page_id));
+  }
+  std::memcpy(out, pages_[page_id].data(), kPageSize);
+  ++reads_;
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(uint32_t page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(page_id));
+  }
+  std::memcpy(pages_[page_id].data(), data, kPageSize);
+  ++writes_;
+  return Status::OK();
+}
+
+uint32_t MemoryDiskManager::PageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(pages_.size());
+}
+
+}  // namespace prodb

@@ -1,0 +1,92 @@
+#ifndef PRODB_STORAGE_DISK_MANAGER_H_
+#define PRODB_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prodb {
+
+/// Fixed page size used throughout the storage engine.
+inline constexpr size_t kPageSize = 4096;
+
+/// Abstraction over the page-granular backing store.
+///
+/// The paper's premise is that "large knowledge bases cannot, and perhaps
+/// should not, reside in main memory" (§1) — working memory lives on
+/// secondary storage. The DiskManager is that secondary storage. Two
+/// implementations are provided: a real file (FileDiskManager) and an
+/// in-memory store (MemoryDiskManager) so unit tests and benchmarks can
+/// run without filesystem effects while exercising identical code paths.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id via *page_id.
+  virtual Status AllocatePage(uint32_t* page_id) = 0;
+
+  /// Reads page `page_id` into `out` (exactly kPageSize bytes).
+  virtual Status ReadPage(uint32_t page_id, char* out) = 0;
+
+  /// Writes exactly kPageSize bytes from `data` to page `page_id`.
+  virtual Status WritePage(uint32_t page_id, const char* data) = 0;
+
+  /// Number of pages ever allocated.
+  virtual uint32_t PageCount() const = 0;
+
+  /// Total physical reads / writes, for the I/O-cost benchmarks.
+  virtual uint64_t reads() const = 0;
+  virtual uint64_t writes() const = 0;
+};
+
+/// DiskManager over an ordinary file. Thread-safe.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Creates (truncating) or opens the file at `path`.
+  static Status Open(const std::string& path, bool truncate,
+                     std::unique_ptr<FileDiskManager>* out);
+  ~FileDiskManager() override;
+
+  Status AllocatePage(uint32_t* page_id) override;
+  Status ReadPage(uint32_t page_id, char* out) override;
+  Status WritePage(uint32_t page_id, const char* data) override;
+  uint32_t PageCount() const override;
+  uint64_t reads() const override { return reads_; }
+  uint64_t writes() const override { return writes_; }
+
+ private:
+  FileDiskManager() = default;
+
+  mutable std::mutex mu_;
+  std::fstream file_;
+  std::string path_;
+  uint32_t page_count_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// DiskManager over a heap-allocated page vector. Thread-safe.
+class MemoryDiskManager : public DiskManager {
+ public:
+  Status AllocatePage(uint32_t* page_id) override;
+  Status ReadPage(uint32_t page_id, char* out) override;
+  Status WritePage(uint32_t page_id, const char* data) override;
+  uint32_t PageCount() const override;
+  uint64_t reads() const override { return reads_; }
+  uint64_t writes() const override { return writes_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<char>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_DISK_MANAGER_H_

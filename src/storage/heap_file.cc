@@ -1,0 +1,338 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+namespace prodb {
+
+namespace {
+
+// Page header field offsets (see layout in heap_file.h).
+constexpr size_t kNextPageOff = 0;   // u32
+constexpr size_t kSlotCountOff = 4;  // u16
+constexpr size_t kFreeEndOff = 6;    // u16
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kSlotSize = 4;  // u16 offset + u16 length
+constexpr uint16_t kDeadSlot = 0xFFFF;
+constexpr uint32_t kNoPage = UINT32_MAX;
+
+uint16_t GetU16(const char* p, size_t off) {
+  uint16_t v;
+  std::memcpy(&v, p + off, 2);
+  return v;
+}
+void PutU16(char* p, size_t off, uint16_t v) { std::memcpy(p + off, &v, 2); }
+uint32_t GetU32(const char* p, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, p + off, 4);
+  return v;
+}
+void PutU32(char* p, size_t off, uint32_t v) { std::memcpy(p + off, &v, 4); }
+
+uint16_t SlotOffset(const char* page, uint16_t slot) {
+  return GetU16(page, kHeaderSize + slot * kSlotSize);
+}
+uint16_t SlotLength(const char* page, uint16_t slot) {
+  return GetU16(page, kHeaderSize + slot * kSlotSize + 2);
+}
+void SetSlot(char* page, uint16_t slot, uint16_t offset, uint16_t length) {
+  PutU16(page, kHeaderSize + slot * kSlotSize, offset);
+  PutU16(page, kHeaderSize + slot * kSlotSize + 2, length);
+}
+
+void InitPage(char* page) {
+  PutU32(page, kNextPageOff, kNoPage);
+  PutU16(page, kSlotCountOff, 0);
+  PutU16(page, kFreeEndOff, static_cast<uint16_t>(kPageSize));
+}
+
+// Contiguous free bytes between the slot directory and the record area.
+size_t ContiguousFree(const char* page) {
+  uint16_t slots = GetU16(page, kSlotCountOff);
+  uint16_t free_end = GetU16(page, kFreeEndOff);
+  size_t dir_end = kHeaderSize + slots * kSlotSize;
+  return free_end > dir_end ? free_end - dir_end : 0;
+}
+
+// Free bytes counting dead-record space that compaction can recover.
+size_t ReclaimableFree(const char* page) {
+  uint16_t slots = GetU16(page, kSlotCountOff);
+  size_t used = 0;
+  for (uint16_t s = 0; s < slots; ++s) {
+    if (SlotLength(page, s) != kDeadSlot) used += SlotLength(page, s);
+  }
+  size_t dir_end = kHeaderSize + slots * kSlotSize;
+  return kPageSize - dir_end - used;
+}
+
+// Moves all live records to the end of the page, squeezing out holes left
+// by deletions. Slot ids are preserved.
+void CompactPage(char* page) {
+  uint16_t slots = GetU16(page, kSlotCountOff);
+  char buf[kPageSize];
+  size_t write_end = kPageSize;
+  // First copy records out to avoid overlapping-move hazards.
+  std::memcpy(buf, page, kPageSize);
+  for (uint16_t s = 0; s < slots; ++s) {
+    uint16_t len = SlotLength(buf, s);
+    if (len == kDeadSlot || len == 0) continue;
+    uint16_t off = SlotOffset(buf, s);
+    write_end -= len;
+    std::memcpy(page + write_end, buf + off, len);
+    SetSlot(page, s, static_cast<uint16_t>(write_end), len);
+  }
+  PutU16(page, kFreeEndOff, static_cast<uint16_t>(write_end));
+}
+
+// Inserts an encoded record into the page if it fits. Returns the slot id
+// or -1 if there is not enough space even after compaction.
+int InsertIntoPage(char* page, const std::string& rec) {
+  if (rec.size() > kPageSize - kHeaderSize - kSlotSize) return -1;
+  uint16_t slots = GetU16(page, kSlotCountOff);
+  // Prefer reusing a dead slot (no directory growth).
+  int free_slot = -1;
+  for (uint16_t s = 0; s < slots; ++s) {
+    if (SlotLength(page, s) == kDeadSlot) {
+      free_slot = s;
+      break;
+    }
+  }
+  size_t need = rec.size() + (free_slot < 0 ? kSlotSize : 0);
+  if (ContiguousFree(page) < need) {
+    if (ReclaimableFree(page) < need) return -1;
+    CompactPage(page);
+    if (ContiguousFree(page) < need) return -1;
+  }
+  uint16_t free_end = GetU16(page, kFreeEndOff);
+  free_end = static_cast<uint16_t>(free_end - rec.size());
+  std::memcpy(page + free_end, rec.data(), rec.size());
+  PutU16(page, kFreeEndOff, free_end);
+  uint16_t slot;
+  if (free_slot >= 0) {
+    slot = static_cast<uint16_t>(free_slot);
+  } else {
+    slot = slots;
+    PutU16(page, kSlotCountOff, static_cast<uint16_t>(slots + 1));
+  }
+  SetSlot(page, slot, free_end, static_cast<uint16_t>(rec.size()));
+  return slot;
+}
+
+}  // namespace
+
+Status HeapFile::Create(BufferPool* pool, std::unique_ptr<HeapFile>* out) {
+  auto hf = std::unique_ptr<HeapFile>(new HeapFile(pool));
+  uint32_t page_id;
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool->NewPage(&page_id, &frame));
+  InitPage(frame->data);
+  PRODB_RETURN_IF_ERROR(pool->UnpinPage(page_id, /*dirty=*/true));
+  hf->pages_.push_back(page_id);
+  hf->free_space_[page_id] =
+      static_cast<uint16_t>(kPageSize - kHeaderSize);
+  *out = std::move(hf);
+  return Status::OK();
+}
+
+Status HeapFile::Open(BufferPool* pool, uint32_t head_page_id,
+                      std::unique_ptr<HeapFile>* out) {
+  auto hf = std::unique_ptr<HeapFile>(new HeapFile(pool));
+  uint32_t pid = head_page_id;
+  while (pid != kNoPage) {
+    Frame* frame;
+    PRODB_RETURN_IF_ERROR(pool->FetchPage(pid, &frame));
+    hf->pages_.push_back(pid);
+    hf->free_space_[pid] =
+        static_cast<uint16_t>(ReclaimableFree(frame->data));
+    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    for (uint16_t s = 0; s < slots; ++s) {
+      if (SlotLength(frame->data, s) != kDeadSlot) ++hf->live_tuples_;
+    }
+    uint32_t next = GetU32(frame->data, kNextPageOff);
+    PRODB_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/false));
+    pid = next;
+  }
+  if (hf->pages_.empty()) {
+    return Status::InvalidArgument("heap file has no pages");
+  }
+  *out = std::move(hf);
+  return Status::OK();
+}
+
+Status HeapFile::AppendPage(uint32_t* page_id) {
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool_->NewPage(page_id, &frame));
+  InitPage(frame->data);
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(*page_id, /*dirty=*/true));
+  // Link from the current tail.
+  uint32_t tail = pages_.back();
+  Frame* tail_frame;
+  PRODB_RETURN_IF_ERROR(pool_->FetchPage(tail, &tail_frame));
+  PutU32(tail_frame->data, kNextPageOff, *page_id);
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(tail, /*dirty=*/true));
+  pages_.push_back(*page_id);
+  free_space_[*page_id] = static_cast<uint16_t>(kPageSize - kHeaderSize);
+  return Status::OK();
+}
+
+Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string rec;
+  tuple.SerializeTo(&rec);
+  if (rec.size() > kPageSize - kHeaderSize - kSlotSize) {
+    return Status::InvalidArgument("tuple larger than a page");
+  }
+  // Try the most recently appended page first (common append workload),
+  // then any page the free-space map says could fit the record.
+  std::vector<uint32_t> candidates;
+  candidates.push_back(pages_.back());
+  for (const auto& [pid, free] : free_space_) {
+    if (pid != pages_.back() && free >= rec.size() + kSlotSize) {
+      candidates.push_back(pid);
+    }
+  }
+  for (uint32_t pid : candidates) {
+    Frame* frame;
+    PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
+    int slot = InsertIntoPage(frame->data, rec);
+    if (slot >= 0) {
+      free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
+      PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+      id->page_id = pid;
+      id->slot_id = static_cast<uint32_t>(slot);
+      ++live_tuples_;
+      return Status::OK();
+    }
+    PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+  }
+  uint32_t pid;
+  PRODB_RETURN_IF_ERROR(AppendPage(&pid));
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
+  int slot = InsertIntoPage(frame->data, rec);
+  free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+  if (slot < 0) return Status::Internal("insert failed on fresh page");
+  id->page_id = pid;
+  id->slot_id = static_cast<uint32_t>(slot);
+  ++live_tuples_;
+  return Status::OK();
+}
+
+Status HeapFile::Get(TupleId id, Tuple* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
+  Status st = Status::OK();
+  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  if (id.slot_id >= slots || SlotLength(frame->data, id.slot_id) == kDeadSlot) {
+    st = Status::NotFound("tuple " + id.ToString());
+  } else {
+    size_t off = SlotOffset(frame->data, id.slot_id);
+    size_t len = SlotLength(frame->data, id.slot_id);
+    size_t pos = 0;
+    if (!Tuple::DeserializeFrom(frame->data + off, len, &pos, out)) {
+      st = Status::Corruption("bad tuple encoding at " + id.ToString());
+    }
+  }
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, /*dirty=*/false));
+  return st;
+}
+
+Status HeapFile::Delete(TupleId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
+  Status st = Status::OK();
+  bool dirty = false;
+  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  if (id.slot_id >= slots || SlotLength(frame->data, id.slot_id) == kDeadSlot) {
+    st = Status::NotFound("tuple " + id.ToString());
+  } else {
+    SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), 0, kDeadSlot);
+    free_space_[id.page_id] =
+        static_cast<uint16_t>(ReclaimableFree(frame->data));
+    --live_tuples_;
+    dirty = true;
+  }
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, dirty));
+  return st;
+}
+
+Status HeapFile::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string rec;
+    tuple.SerializeTo(&rec);
+    Frame* frame;
+    PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
+    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    if (id.slot_id >= slots ||
+        SlotLength(frame->data, id.slot_id) == kDeadSlot) {
+      PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, false));
+      return Status::NotFound("tuple " + id.ToString());
+    }
+    uint16_t old_len = SlotLength(frame->data, id.slot_id);
+    if (rec.size() <= old_len) {
+      // Overwrite in place; tail of the old record becomes a hole that
+      // compaction reclaims later.
+      uint16_t off = SlotOffset(frame->data, id.slot_id);
+      std::memcpy(frame->data + off, rec.data(), rec.size());
+      SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), off,
+              static_cast<uint16_t>(rec.size()));
+      free_space_[id.page_id] =
+          static_cast<uint16_t>(ReclaimableFree(frame->data));
+      PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, true));
+      *new_id = id;
+      return Status::OK();
+    }
+    PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, false));
+  }
+  // Record grew: move it (delete + insert), matching the paper's treatment
+  // of modify as delete-followed-by-insert.
+  PRODB_RETURN_IF_ERROR(Delete(id));
+  return Insert(tuple, new_id);
+}
+
+size_t HeapFile::TupleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_tuples_;
+}
+
+Status HeapFile::Scan(
+    const std::function<Status(TupleId, const Tuple&)>& fn) const {
+  std::vector<uint32_t> pages;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages = pages_;
+  }
+  for (uint32_t pid : pages) {
+    Frame* frame;
+    PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
+    // Copy out the live tuples, then unpin before invoking callbacks so a
+    // callback that re-enters the heap file cannot deadlock on the pin.
+    std::vector<std::pair<TupleId, Tuple>> batch;
+    Status st = Status::OK();
+    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    for (uint16_t s = 0; s < slots && st.ok(); ++s) {
+      uint16_t len = SlotLength(frame->data, s);
+      if (len == kDeadSlot) continue;
+      uint16_t off = SlotOffset(frame->data, s);
+      Tuple t;
+      size_t pos = 0;
+      if (!Tuple::DeserializeFrom(frame->data + off, len, &pos, &t)) {
+        st = Status::Corruption("bad tuple encoding in page " +
+                                std::to_string(pid));
+        break;
+      }
+      batch.emplace_back(TupleId{pid, s}, std::move(t));
+    }
+    PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+    PRODB_RETURN_IF_ERROR(st);
+    for (auto& [id, t] : batch) {
+      PRODB_RETURN_IF_ERROR(fn(id, t));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prodb

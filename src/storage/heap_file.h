@@ -1,0 +1,79 @@
+#ifndef PRODB_STORAGE_HEAP_FILE_H_
+#define PRODB_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "storage/buffer_pool.h"
+
+namespace prodb {
+
+/// Unordered collection of variable-length tuples stored in slotted pages.
+///
+/// Page layout:
+///   [u32 next_page_id][u16 slot_count][u16 free_end][slot 0][slot 1]...
+///   ... free space ...                         [record k]...[record 0]
+/// where each slot is (u16 offset, u16 length). Records grow downward
+/// from the end of the page; the slot directory grows upward. A deleted
+/// slot has length kDeadSlot and its space is reclaimed by CompactPage
+/// when an insertion would otherwise not fit.
+///
+/// Pages of one heap file form a singly linked list through next_page_id,
+/// so a file can be reopened from its head page id after restart.
+class HeapFile {
+ public:
+  /// Creates a new heap file: allocates the head page.
+  static Status Create(BufferPool* pool, std::unique_ptr<HeapFile>* out);
+
+  /// Reopens an existing heap file rooted at `head_page_id`.
+  static Status Open(BufferPool* pool, uint32_t head_page_id,
+                     std::unique_ptr<HeapFile>* out);
+
+  uint32_t head_page_id() const { return pages_.front(); }
+
+  /// Appends `tuple`; returns its TupleId via *id.
+  Status Insert(const Tuple& tuple, TupleId* id);
+
+  /// Reads the tuple at `id` into *out.
+  Status Get(TupleId id, Tuple* out) const;
+
+  /// Tombstones the slot at `id`. Space is reclaimed lazily.
+  Status Delete(TupleId id);
+
+  /// Replaces the tuple at `id`. If the new encoding fits in place (after
+  /// compaction) the TupleId is preserved; otherwise the record moves and
+  /// *new_id receives its new location.
+  Status Update(TupleId id, const Tuple& tuple, TupleId* new_id);
+
+  /// Number of live tuples.
+  size_t TupleCount() const;
+
+  /// Number of pages owned by this file.
+  size_t PageCount() const { return pages_.size(); }
+
+  /// Invokes `fn(id, tuple)` for every live tuple; stops early and
+  /// propagates if `fn` returns a non-OK status.
+  Status Scan(const std::function<Status(TupleId, const Tuple&)>& fn) const;
+
+ private:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  Status AppendPage(uint32_t* page_id);
+
+  BufferPool* pool_;
+  mutable std::mutex mu_;
+  std::vector<uint32_t> pages_;
+  // page id -> approximate free bytes, maintained on insert/delete.
+  std::unordered_map<uint32_t, uint16_t> free_space_;
+  size_t live_tuples_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_HEAP_FILE_H_

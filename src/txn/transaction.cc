@@ -1,0 +1,106 @@
+#include "txn/transaction.h"
+
+#include <map>
+
+namespace prodb {
+
+Status Transaction::ReadLock(const std::string& rel, TupleId id) {
+  PRODB_RETURN_IF_ERROR(locks_->Acquire(id_, ResourceId::Rel(rel),
+                                        LockMode::kIS));
+  return locks_->Acquire(id_, ResourceId::Tup(rel, id), LockMode::kS);
+}
+
+Status Transaction::ReadLockRelation(const std::string& rel) {
+  return locks_->Acquire(id_, ResourceId::Rel(rel), LockMode::kS);
+}
+
+Status Transaction::WriteLock(const std::string& rel, TupleId id) {
+  PRODB_RETURN_IF_ERROR(locks_->Acquire(id_, ResourceId::Rel(rel),
+                                        LockMode::kIX));
+  return locks_->Acquire(id_, ResourceId::Tup(rel, id), LockMode::kX);
+}
+
+Status Transaction::WriteIntent(const std::string& rel) {
+  return locks_->Acquire(id_, ResourceId::Rel(rel), LockMode::kIX);
+}
+
+Status Transaction::Insert(const std::string& rel, const Tuple& t,
+                           TupleId* id) {
+  Relation* r = catalog_->Get(rel);
+  if (r == nullptr) return Status::NotFound("relation " + rel);
+  PRODB_RETURN_IF_ERROR(WriteIntent(rel));
+  PRODB_RETURN_IF_ERROR(r->Insert(t, id));
+  // Lock the new tuple so no reader observes it before we commit.
+  PRODB_RETURN_IF_ERROR(
+      locks_->Acquire(id_, ResourceId::Tup(rel, *id), LockMode::kX));
+  changes_.push_back(Change{rel, /*inserted=*/true, *id, t});
+  return Status::OK();
+}
+
+Status Transaction::Delete(const std::string& rel, TupleId id) {
+  Relation* r = catalog_->Get(rel);
+  if (r == nullptr) return Status::NotFound("relation " + rel);
+  PRODB_RETURN_IF_ERROR(WriteLock(rel, id));
+  Tuple old;
+  PRODB_RETURN_IF_ERROR(r->Get(id, &old));
+  PRODB_RETURN_IF_ERROR(r->Delete(id));
+  changes_.push_back(Change{rel, /*inserted=*/false, id, std::move(old)});
+  return Status::OK();
+}
+
+Status Transaction::Update(const std::string& rel, TupleId id, const Tuple& t,
+                           TupleId* new_id) {
+  // §3.1 / §5: a modification is a deletion followed by an insertion, and
+  // the maintenance algorithms see it exactly that way.
+  PRODB_RETURN_IF_ERROR(Delete(rel, id));
+  return Insert(rel, t, new_id);
+}
+
+Status Transaction::Read(const std::string& rel, TupleId id, Tuple* out) {
+  Relation* r = catalog_->Get(rel);
+  if (r == nullptr) return Status::NotFound("relation " + rel);
+  PRODB_RETURN_IF_ERROR(ReadLock(rel, id));
+  return r->Get(id, out);
+}
+
+Status Transaction::Rollback() {
+  // Undoing a deletion re-inserts the tuple under a fresh id; if the
+  // transaction later deleted that same (already re-identified) tuple,
+  // the corresponding insert-undo must chase the remapping.
+  std::map<std::pair<std::string, TupleId>, TupleId> remap;
+  for (auto it = changes_.rbegin(); it != changes_.rend(); ++it) {
+    Relation* r = catalog_->Get(it->relation);
+    if (r == nullptr) continue;
+    if (it->inserted) {
+      TupleId target = it->id;
+      auto rit = remap.find({it->relation, it->id});
+      if (rit != remap.end()) target = rit->second;
+      PRODB_RETURN_IF_ERROR(r->Delete(target));
+    } else {
+      TupleId id;
+      PRODB_RETURN_IF_ERROR(r->Insert(it->tuple, &id));
+      remap[{it->relation, it->id}] = id;
+    }
+  }
+  changes_.clear();
+  state_ = TxnState::kAborted;
+  return Status::OK();
+}
+
+std::unique_ptr<Transaction> TxnManager::Begin() {
+  return std::make_unique<Transaction>(next_id_.fetch_add(1), catalog_,
+                                       locks_);
+}
+
+void TxnManager::Commit(Transaction* txn) {
+  txn->MarkCommitted();
+  locks_->ReleaseAll(txn->id());
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  Status st = txn->Rollback();
+  locks_->ReleaseAll(txn->id());
+  return st;
+}
+
+}  // namespace prodb

@@ -1,0 +1,106 @@
+#ifndef PRODB_TXN_TRANSACTION_H_
+#define PRODB_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "db/catalog.h"
+#include "txn/lock_manager.h"
+
+namespace prodb {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// A transaction: lock scope + undo log over catalog relations.
+///
+/// §5 treats every selected production (matching pattern plus the WM
+/// tuples it selects) as a transaction. The RHS actions run through
+/// Transaction::{Insert,Delete,Update} so that (a) writes take X locks
+/// first, (b) an abort can undo them, and (c) the engine can defer lock
+/// release until COND maintenance has finished (strict 2PL with the
+/// paper's "commit after maintenance" rule).
+class Transaction {
+ public:
+  Transaction(uint64_t id, Catalog* catalog, LockManager* locks)
+      : id_(id), catalog_(catalog), locks_(locks) {}
+
+  uint64_t id() const { return id_; }
+  TxnState state() const { return state_; }
+
+  /// --- Locking ---------------------------------------------------------
+  /// Tuple read lock (takes relation IS first).
+  Status ReadLock(const std::string& rel, TupleId id);
+  /// Whole-relation read lock — negative dependence (§5.2).
+  Status ReadLockRelation(const std::string& rel);
+  /// Tuple write lock (takes relation IX first).
+  Status WriteLock(const std::string& rel, TupleId id);
+  /// Relation IX lock, needed before inserting new tuples.
+  Status WriteIntent(const std::string& rel);
+
+  /// --- Logged mutations -------------------------------------------------
+  /// Each takes the required lock, applies the change, and records undo.
+  Status Insert(const std::string& rel, const Tuple& t, TupleId* id);
+  Status Delete(const std::string& rel, TupleId id);
+  Status Update(const std::string& rel, TupleId id, const Tuple& t,
+                TupleId* new_id);
+
+  /// Reads a tuple under a read lock.
+  Status Read(const std::string& rel, TupleId id, Tuple* out);
+
+  /// Marks committed; the owner (TxnManager / engine) releases locks.
+  void MarkCommitted() { state_ = TxnState::kCommitted; }
+
+  /// Rolls back every logged mutation in reverse order and marks aborted.
+  Status Rollback();
+
+  /// Changed (relation, tuple, inserted?) triples, in application order —
+  /// consumed by the engine to drive COND maintenance before commit.
+  struct Change {
+    std::string relation;
+    bool inserted;  // false = deleted
+    TupleId id;
+    Tuple tuple;
+  };
+  const std::vector<Change>& changes() const { return changes_; }
+
+ private:
+  uint64_t id_;
+  Catalog* catalog_;
+  LockManager* locks_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<Change> changes_;
+};
+
+/// Issues transaction ids and finalizes commit/abort.
+class TxnManager {
+ public:
+  TxnManager(Catalog* catalog, LockManager* locks)
+      : catalog_(catalog), locks_(locks) {}
+
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commit: mark committed and release locks. The caller must have
+  /// finished all maintenance before calling (the §5.2 commit point).
+  void Commit(Transaction* txn);
+
+  /// Abort: undo, mark aborted, release locks.
+  Status Abort(Transaction* txn);
+
+  LockManager* lock_manager() { return locks_; }
+  uint64_t started() const { return next_id_.load(); }
+
+ private:
+  Catalog* catalog_;
+  LockManager* locks_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_TXN_TRANSACTION_H_

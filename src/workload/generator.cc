@@ -1,0 +1,121 @@
+#include "workload/generator.h"
+
+namespace prodb {
+
+Status WorkloadGenerator::CreateClasses(Catalog* catalog) const {
+  return CreateClasses(catalog, StorageKind::kMemory);
+}
+
+Status WorkloadGenerator::CreateClasses(Catalog* catalog,
+                                        StorageKind kind) const {
+  for (size_t c = 0; c < spec_.num_classes; ++c) {
+    std::vector<Attribute> attrs;
+    for (size_t a = 0; a < spec_.attrs_per_class; ++a) {
+      attrs.push_back(Attribute{"a" + std::to_string(a), ValueType::kInt});
+    }
+    Relation* rel;
+    PRODB_RETURN_IF_ERROR(
+        catalog->CreateRelation(Schema(ClassName(c), attrs), kind, &rel));
+  }
+  return Status::OK();
+}
+
+std::vector<Rule> WorkloadGenerator::GenerateRules() const {
+  Rng rng(spec_.seed);
+  std::vector<Rule> rules;
+  rules.reserve(spec_.num_rules);
+  const int kJoinAttrOut = spec_.attrs_per_class > 2 ? 2 : 0;
+  const int kJoinAttrIn = spec_.attrs_per_class > 1 ? 1 : 0;
+
+  for (size_t j = 0; j < spec_.num_rules; ++j) {
+    Rule rule;
+    rule.name = "R" + std::to_string(j);
+    int next_var = 0;
+
+    for (size_t k = 0; k < spec_.ces_per_rule; ++k) {
+      ConditionSpec ce;
+      ce.relation = ClassName((j + k) % spec_.num_classes);
+      // Constant equality on attr 0: controls how many WM tuples pass
+      // the alpha test.
+      ce.constant_tests.push_back(ConstantTest{
+          0, CompareOp::kEq,
+          Value(static_cast<int64_t>(rng.Uniform(
+              static_cast<uint64_t>(spec_.domain))))});
+      if (spec_.ces_per_rule > 1) {
+        if (spec_.chain_join) {
+          // Chain: CE_k exports a variable on attr 2, CE_{k+1} imports it
+          // on attr 1.
+          if (k > 0) {
+            ce.var_uses.push_back(
+                VarUse{kJoinAttrIn, next_var - 1, CompareOp::kEq});
+          }
+          if (k + 1 < spec_.ces_per_rule) {
+            ce.var_uses.push_back(
+                VarUse{kJoinAttrOut, next_var++, CompareOp::kEq});
+          }
+        } else {
+          // Star: every CE shares variable 0 (exported by CE_0).
+          if (k == 0) {
+            ce.var_uses.push_back(VarUse{kJoinAttrOut, 0, CompareOp::kEq});
+            next_var = 1;
+          } else {
+            ce.var_uses.push_back(VarUse{kJoinAttrIn, 0, CompareOp::kEq});
+          }
+        }
+      }
+      rule.lhs.conditions.push_back(std::move(ce));
+    }
+
+    if (spec_.negation_prob > 0 && rng.Chance(spec_.negation_prob)) {
+      ConditionSpec neg;
+      neg.relation =
+          ClassName((j + spec_.ces_per_rule) % spec_.num_classes);
+      neg.negated = true;
+      neg.constant_tests.push_back(ConstantTest{
+          0, CompareOp::kEq,
+          Value(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(spec_.domain))))});
+      if (next_var > 0) {
+        neg.var_uses.push_back(
+            VarUse{kJoinAttrIn, next_var - 1, CompareOp::kEq});
+      }
+      rule.lhs.conditions.push_back(std::move(neg));
+    }
+    rule.lhs.num_vars = next_var;
+    for (int v = 0; v < next_var; ++v) {
+      rule.var_names.push_back("v" + std::to_string(v));
+    }
+
+    if (spec_.consuming_actions) {
+      CompiledAction remove;
+      remove.kind = ActionKind::kRemove;
+      remove.ce_index = 0;
+      rule.actions.push_back(std::move(remove));
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Tuple WorkloadGenerator::RandomTuple(Rng* rng) const {
+  std::vector<Value> vals;
+  vals.reserve(spec_.attrs_per_class);
+  for (size_t a = 0; a < spec_.attrs_per_class; ++a) {
+    vals.emplace_back(static_cast<int64_t>(
+        rng->Uniform(static_cast<uint64_t>(spec_.domain))));
+  }
+  return Tuple(std::move(vals));
+}
+
+Tuple WorkloadGenerator::MatchingTuple(const Rule& rule, size_t ce,
+                                       Rng* rng) const {
+  Tuple t = RandomTuple(rng);
+  for (const ConstantTest& ct : rule.lhs.conditions[ce].constant_tests) {
+    if (ct.op == CompareOp::kEq) {
+      t[static_cast<size_t>(ct.attr)] = ct.constant;
+    }
+  }
+  return t;
+}
+
+}  // namespace prodb

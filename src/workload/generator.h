@@ -1,0 +1,68 @@
+#ifndef PRODB_WORKLOAD_GENERATOR_H_
+#define PRODB_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/catalog.h"
+#include "lang/rule.h"
+
+namespace prodb {
+
+/// Parameters of a synthetic production-system workload.
+///
+/// The 1988 paper evaluates no concrete benchmark programs (OPS5-era
+/// suites are unavailable), so the benchmarks sweep these knobs to cover
+/// the qualitative regimes its claims address: rule-base size, LHS join
+/// width, constant selectivity, negation, and condition overlap.
+struct WorkloadSpec {
+  size_t num_classes = 4;
+  size_t attrs_per_class = 4;
+  size_t num_rules = 32;
+  /// Positive condition elements per rule (join width).
+  size_t ces_per_rule = 3;
+  /// Attribute-value domain [0, domain); smaller = denser joins.
+  int64_t domain = 64;
+  /// Probability that a rule carries one extra negated CE.
+  double negation_prob = 0.0;
+  /// Chain joins (CE_k ~ CE_{k+1}) when true; star joins (all CEs share
+  /// one variable with CE_0) otherwise.
+  bool chain_join = true;
+  /// Give rules a consuming `(remove 1)` action so engine runs terminate.
+  bool consuming_actions = false;
+  uint64_t seed = 42;
+};
+
+/// Deterministic generator of classes, rules, and WM tuples.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadSpec spec) : spec_(spec) {}
+
+  const WorkloadSpec& spec() const { return spec_; }
+  std::string ClassName(size_t i) const { return "C" + std::to_string(i); }
+
+  /// Registers Class relations C0..C{n-1}, each with attributes
+  /// a0..a{k-1}, in `catalog`.
+  Status CreateClasses(Catalog* catalog) const;
+  Status CreateClasses(Catalog* catalog, StorageKind kind) const;
+
+  /// Compiled rules over those classes. Rule j's CE k reads class
+  /// (j + k) mod num_classes; attr 0 carries a constant equality test,
+  /// attrs 1 and 2 carry the join variables.
+  std::vector<Rule> GenerateRules() const;
+
+  /// A random tuple for class `cls` drawn from the value domain.
+  Tuple RandomTuple(Rng* rng) const;
+
+  /// A tuple crafted to satisfy rule `rule`'s CE `ce` constant test (join
+  /// attrs still random) — drives match-positive workloads.
+  Tuple MatchingTuple(const Rule& rule, size_t ce, Rng* rng) const;
+
+ private:
+  WorkloadSpec spec_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_WORKLOAD_GENERATOR_H_

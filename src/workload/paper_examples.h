@@ -1,0 +1,94 @@
+#ifndef PRODB_WORKLOAD_PAPER_EXAMPLES_H_
+#define PRODB_WORKLOAD_PAPER_EXAMPLES_H_
+
+namespace prodb {
+
+/// The rule programs the paper uses as running examples, in the OPS5-like
+/// concrete syntax of src/lang (see README). Load with LoadProgram().
+
+/// Example 2: algebraic simplification. Plus0X rewrites `0 + x` and
+/// Time0X rewrites `0 * x` (the paper's modify writes NIL into the Op
+/// and Arg2 fields).
+inline constexpr char kExpressionSimplification[] = R"(
+(literalize Goal type object)
+(literalize Expression name arg1 op arg2)
+
+(p Plus0X
+  (Goal ^type Simplify ^object <n>)
+  (Expression ^name <n> ^arg1 0 ^op + ^arg2 <x>)
+  -->
+  (modify 2 ^op nil ^arg1 nil))
+
+(p Time0X
+  (Goal ^type Simplify ^object <n>)
+  (Expression ^name <n> ^arg1 0 ^op |*| ^arg2 <x>)
+  -->
+  (modify 2 ^op nil ^arg2 nil))
+)";
+
+/// Example 3: the Emp/Dept rules. R1 deletes Mike if he makes more than
+/// his manager; R2 deletes employees working on the first floor of the
+/// Toy department.
+inline constexpr char kEmpDept[] = R"(
+(literalize Emp name age salary dno manager)
+(literalize Dept dno dname floor manager)
+
+(p R1
+  (Emp ^name Mike ^salary <s> ^manager <m>)
+  (Emp ^name <m> ^salary < <s>)
+  -->
+  (remove 1))
+
+(p R2
+  (Emp ^dno <d>)
+  (Dept ^dno <d> ^dname Toy ^floor 1)
+  -->
+  (remove 1))
+)";
+
+/// Example 4: Rule-1, the three-way join over classes A, B, C that the
+/// matching-pattern walkthrough of Example 5 traces.
+inline constexpr char kThreeWayJoin[] = R"(
+(literalize A a1 a2 a3)
+(literalize B b1 b2 b3)
+(literalize C c1 c2 c3)
+
+(p Rule-1
+  (A ^a1 <x> ^a2 a ^a3 <z>)
+  (B ^b1 <x> ^b2 <y> ^b3 b)
+  (C ^c1 c ^c2 <y> ^c3 <z>)
+  -->
+  (remove 1))
+)";
+
+/// A small manufacturing scheduler in the spirit of the paper's intro
+/// ("engineering processes, manufacturing"): pending orders are assigned
+/// to idle machines of the right kind; finished assignments free their
+/// machine. Used by examples/factory_floor and the integration tests.
+inline constexpr char kFactoryFloor[] = R"(
+(literalize Order id part qty status)
+(literalize Machine id kind status)
+(literalize Capability part kind)
+(literalize Assignment order machine)
+
+(p AssignOrder
+  (Order ^id <o> ^part <p> ^status pending)
+  (Capability ^part <p> ^kind <k>)
+  (Machine ^id <m> ^kind <k> ^status idle)
+  -->
+  (modify 1 ^status running)
+  (modify 3 ^status busy)
+  (make Assignment ^order <o> ^machine <m>))
+
+(p FinishOrder
+  (Order ^id <o> ^status done)
+  (Assignment ^order <o> ^machine <m>)
+  (Machine ^id <m> ^status busy)
+  -->
+  (remove 2)
+  (modify 3 ^status idle))
+)";
+
+}  // namespace prodb
+
+#endif  // PRODB_WORKLOAD_PAPER_EXAMPLES_H_

@@ -1,0 +1,163 @@
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+namespace prodb {
+namespace {
+
+TupleId Id(uint32_t n) { return TupleId{n, 0}; }
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree(8);
+  tree.Insert(Value(5), Id(1));
+  tree.Insert(Value(3), Id(2));
+  tree.Insert(Value(5), Id(3));  // duplicate key
+  auto r = tree.Lookup(Value(5));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(tree.Lookup(Value(3)).size(), 1u);
+  EXPECT_TRUE(tree.Lookup(Value(9)).empty());
+  EXPECT_EQ(tree.KeyCount(), 2u);
+  EXPECT_EQ(tree.PostingCount(), 3u);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree(4);
+  EXPECT_EQ(tree.Height(), 1);
+  for (int i = 0; i < 100; ++i) tree.Insert(Value(i), Id(static_cast<uint32_t>(i)));
+  EXPECT_GT(tree.Height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(tree.Lookup(Value(i)).size(), 1u) << "key " << i;
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanOrdered) {
+  BPlusTree tree(6);
+  for (int i = 99; i >= 0; --i) tree.Insert(Value(i), Id(static_cast<uint32_t>(i)));
+  std::vector<int64_t> keys;
+  tree.RangeScan(Value(10), Value(20), [&](const Value& k, TupleId) {
+    keys.push_back(k.as_int());
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<int64_t>(10 + i));
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanUnboundedAndEarlyStop) {
+  BPlusTree tree;
+  for (int i = 0; i < 50; ++i) tree.Insert(Value(i), Id(static_cast<uint32_t>(i)));
+  int count = 0;
+  tree.RangeScan(std::nullopt, std::nullopt, [&](const Value&, TupleId) {
+    return ++count < 7;
+  });
+  EXPECT_EQ(count, 7);
+  count = 0;
+  tree.RangeScan(Value(45), std::nullopt, [&](const Value&, TupleId) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BPlusTreeTest, RemovePostingsAndKeys) {
+  BPlusTree tree(4);
+  tree.Insert(Value(1), Id(10));
+  tree.Insert(Value(1), Id(11));
+  EXPECT_TRUE(tree.Remove(Value(1), Id(10)));
+  EXPECT_EQ(tree.Lookup(Value(1)).size(), 1u);
+  EXPECT_FALSE(tree.Remove(Value(1), Id(10)));  // gone already
+  EXPECT_TRUE(tree.Remove(Value(1), Id(11)));
+  EXPECT_TRUE(tree.Lookup(Value(1)).empty());
+  EXPECT_EQ(tree.KeyCount(), 0u);
+  EXPECT_FALSE(tree.Remove(Value(2), Id(1)));  // never existed
+}
+
+TEST(BPlusTreeTest, MixedTypeKeysOrdered) {
+  BPlusTree tree;
+  tree.Insert(Value("zeta"), Id(1));
+  tree.Insert(Value(10), Id(2));
+  tree.Insert(Value("alpha"), Id(3));
+  tree.Insert(Value(-5), Id(4));
+  std::vector<std::string> order;
+  tree.RangeScan(std::nullopt, std::nullopt, [&](const Value& k, TupleId) {
+    order.push_back(k.ToString());
+    return true;
+  });
+  // Numbers sort before symbols.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "-5");
+  EXPECT_EQ(order[1], "10");
+  EXPECT_EQ(order[2], "alpha");
+  EXPECT_EQ(order[3], "zeta");
+}
+
+TEST(BPlusTreeTest, IntervalMarkers) {
+  BPlusTree tree;
+  tree.MarkInterval(Value(10), Value(20), 1);
+  tree.MarkInterval(std::nullopt, Value(15), 2);
+  tree.MarkInterval(Value(18), std::nullopt, 3);
+  auto at = [&](int64_t v) {
+    auto ids = tree.MarkersCovering(Value(v));
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(at(5), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(at(12), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(at(19), (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(at(25), (std::vector<uint32_t>{3}));
+  tree.UnmarkInterval(1);
+  EXPECT_EQ(at(12), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(tree.IntervalMarkerCount(), 2u);
+}
+
+// Property sweep over tree orders: random churn against a reference
+// multimap, with invariants checked throughout.
+class BPlusTreeOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeOrderTest, RandomChurnMatchesReference) {
+  const int order = GetParam();
+  BPlusTree tree(order);
+  std::multimap<int64_t, uint32_t> reference;
+  Rng rng(static_cast<uint64_t>(order) * 1234567);
+  for (int step = 0; step < 3000; ++step) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(200));
+    if (rng.Chance(0.65) || reference.empty()) {
+      uint32_t id = static_cast<uint32_t>(step);
+      tree.Insert(Value(key), Id(id));
+      reference.emplace(key, id);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      EXPECT_TRUE(tree.Remove(Value(it->first), Id(it->second)));
+      reference.erase(it);
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.PostingCount(), reference.size());
+  for (int64_t key = 0; key < 200; ++key) {
+    auto range = reference.equal_range(key);
+    std::multiset<uint32_t> want;
+    for (auto it = range.first; it != range.second; ++it) {
+      want.insert(it->second);
+    }
+    std::multiset<uint32_t> got;
+    for (TupleId id : tree.Lookup(Value(key))) got.insert(id.page_id);
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BPlusTreeOrderTest,
+                         ::testing::Values(4, 8, 16, 64, 128));
+
+}  // namespace
+}  // namespace prodb

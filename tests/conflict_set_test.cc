@@ -1,0 +1,89 @@
+#include "match/conflict_set.h"
+
+#include <gtest/gtest.h>
+
+namespace prodb {
+namespace {
+
+Instantiation Make(int rule, std::vector<uint32_t> pages) {
+  Instantiation inst;
+  inst.rule_index = rule;
+  inst.rule_name = "R" + std::to_string(rule);
+  for (uint32_t p : pages) {
+    inst.tuple_ids.push_back(TupleId{p, 0});
+    inst.tuples.push_back(Tuple{Value(static_cast<int64_t>(p))});
+  }
+  return inst;
+}
+
+TEST(ConflictSetTest, AddDeduplicates) {
+  ConflictSet cs;
+  EXPECT_TRUE(cs.Add(Make(0, {1, 2})));
+  EXPECT_FALSE(cs.Add(Make(0, {1, 2})));  // same rule + tuples
+  EXPECT_TRUE(cs.Add(Make(1, {1, 2})));   // different rule
+  EXPECT_TRUE(cs.Add(Make(0, {1, 3})));   // different tuples
+  EXPECT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs.total_added(), 3u);
+}
+
+TEST(ConflictSetTest, RecencyMonotone) {
+  ConflictSet cs;
+  cs.Add(Make(0, {1}));
+  cs.Add(Make(0, {2}));
+  auto snap = cs.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_NE(snap[0].recency, snap[1].recency);
+}
+
+TEST(ConflictSetTest, RemoveAndContains) {
+  ConflictSet cs;
+  Instantiation inst = Make(0, {1, 2});
+  cs.Add(inst);
+  EXPECT_TRUE(cs.Contains(inst.Key()));
+  EXPECT_TRUE(cs.Remove(inst));
+  EXPECT_FALSE(cs.Remove(inst));
+  EXPECT_TRUE(cs.empty());
+}
+
+TEST(ConflictSetTest, RemoveIfByPredicate) {
+  ConflictSet cs;
+  cs.Add(Make(0, {1, 2}));
+  cs.Add(Make(0, {1, 3}));
+  cs.Add(Make(1, {9}));
+  size_t removed = cs.RemoveIf([](const Instantiation& inst) {
+    return inst.rule_index == 0 && inst.tuple_ids[0] == TupleId{1, 0};
+  });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST(ConflictSetTest, TakeWithChooser) {
+  ConflictSet cs;
+  cs.Add(Make(0, {1}));
+  cs.Add(Make(1, {2}));
+  Instantiation out;
+  // Chooser picks the second element of the snapshot.
+  ASSERT_TRUE(cs.Take([](const std::vector<Instantiation>&) { return 1; },
+                      &out));
+  EXPECT_EQ(cs.size(), 1u);
+  // Declining chooser takes nothing.
+  EXPECT_FALSE(cs.Take([](const std::vector<Instantiation>&) { return -1; },
+                       &out));
+  EXPECT_EQ(cs.size(), 1u);
+  // Empty set.
+  cs.Clear();
+  EXPECT_FALSE(cs.Take([](const std::vector<Instantiation>&) { return 0; },
+                       &out));
+}
+
+TEST(ConflictSetTest, NegatedPositionsInKey) {
+  Instantiation a = Make(0, {1});
+  a.tuple_ids.push_back(Instantiation::kNoTuple);
+  a.tuples.push_back(Tuple());
+  Instantiation b = Make(0, {1});
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.ToString().find("-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,108 @@
+#include "index/interval_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace prodb {
+namespace {
+
+std::set<uint32_t> StabSet(const IntervalTree& tree, double x) {
+  std::vector<uint32_t> out;
+  tree.Stab(x, &out);
+  return std::set<uint32_t>(out.begin(), out.end());
+}
+
+TEST(IntervalTreeTest, BasicStabbing) {
+  IntervalTree tree;
+  tree.Insert(10, 20, 1);
+  tree.Insert(15, 30, 2);
+  tree.Insert(-5, 12, 3);
+  EXPECT_EQ(StabSet(tree, 11), (std::set<uint32_t>{1, 3}));
+  EXPECT_EQ(StabSet(tree, 16), (std::set<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSet(tree, 25), (std::set<uint32_t>{2}));
+  EXPECT_EQ(StabSet(tree, 100), (std::set<uint32_t>{}));
+  EXPECT_EQ(StabSet(tree, 10), (std::set<uint32_t>{1, 3}));  // inclusive
+  EXPECT_EQ(StabSet(tree, 20), (std::set<uint32_t>{1, 2}));
+}
+
+TEST(IntervalTreeTest, EmptyAndSingle) {
+  IntervalTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(StabSet(tree, 0), (std::set<uint32_t>{}));
+  tree.Insert(0, 0, 9);
+  EXPECT_EQ(StabSet(tree, 0), (std::set<uint32_t>{9}));
+  EXPECT_EQ(StabSet(tree, 0.001), (std::set<uint32_t>{}));
+}
+
+TEST(IntervalTreeTest, EraseRemovesAllWithId) {
+  IntervalTree tree;
+  tree.Insert(0, 10, 1);
+  tree.Insert(5, 15, 1);  // same id twice
+  tree.Insert(0, 10, 2);
+  EXPECT_EQ(tree.Erase(1), 2u);
+  EXPECT_EQ(StabSet(tree, 7), (std::set<uint32_t>{2}));
+  EXPECT_EQ(tree.Erase(1), 0u);
+}
+
+TEST(IntervalTreeTest, UnboundedSentinels) {
+  IntervalTree tree;
+  tree.Insert(-1e308, 30, 1);   // x <= 30
+  tree.Insert(55, 1e308, 2);    // x >= 55
+  tree.Insert(-1e308, 1e308, 3);  // everything
+  EXPECT_EQ(StabSet(tree, 0), (std::set<uint32_t>{1, 3}));
+  EXPECT_EQ(StabSet(tree, 60), (std::set<uint32_t>{2, 3}));
+  EXPECT_EQ(StabSet(tree, 40), (std::set<uint32_t>{3}));
+}
+
+TEST(IntervalTreeTest, IdenticalIntervalsDoNotDegenerate) {
+  IntervalTree tree;
+  for (uint32_t i = 0; i < 100; ++i) tree.Insert(5, 5, i);
+  EXPECT_EQ(StabSet(tree, 5).size(), 100u);
+  EXPECT_TRUE(StabSet(tree, 6).empty());
+}
+
+TEST(IntervalTreeTest, InterleavedMutationsAndQueries) {
+  IntervalTree tree;
+  tree.Insert(0, 10, 1);
+  EXPECT_EQ(StabSet(tree, 5), (std::set<uint32_t>{1}));
+  tree.Insert(3, 7, 2);  // dirties after a query
+  EXPECT_EQ(StabSet(tree, 5), (std::set<uint32_t>{1, 2}));
+  tree.Erase(1);
+  EXPECT_EQ(StabSet(tree, 5), (std::set<uint32_t>{2}));
+}
+
+TEST(IntervalTreeProperty, MatchesBruteForce) {
+  Rng rng(17);
+  IntervalTree tree;
+  std::vector<IntervalTree::Interval> reference;
+  uint32_t next_id = 0;
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Chance(0.7) || reference.empty()) {
+      double lo = rng.NextDouble() * 100;
+      double hi = lo + rng.NextDouble() * 30;
+      tree.Insert(lo, hi, next_id);
+      reference.push_back({lo, hi, next_id});
+      ++next_id;
+    } else {
+      size_t pick = rng.Uniform(reference.size());
+      uint32_t id = reference[pick].id;
+      tree.Erase(id);
+      reference.erase(reference.begin() + static_cast<long>(pick));
+    }
+    if (step % 20 == 0) {
+      double x = rng.NextDouble() * 130;
+      std::set<uint32_t> want;
+      for (const auto& iv : reference) {
+        if (iv.lo <= x && x <= iv.hi) want.insert(iv.id);
+      }
+      EXPECT_EQ(StabSet(tree, x), want) << "step " << step << " x=" << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prodb

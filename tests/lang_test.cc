@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "lang/analyzer.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "workload/paper_examples.h"
+
+namespace prodb {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lex("(p R1 ^a <x> --> )", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 9u);  // ( p R1 ^ a <x> --> ) EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[1].text, "p");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kCaret);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[5].text, "x");
+  EXPECT_EQ(tokens[6].kind, TokenKind::kArrow);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndReal) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lex("42 -17 3.5 -0.25", &tokens).ok());
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_FALSE(tokens[0].is_real);
+  EXPECT_EQ(tokens[1].text, "-17");
+  EXPECT_TRUE(tokens[2].is_real);
+  EXPECT_EQ(tokens[3].text, "-0.25");
+}
+
+TEST(LexerTest, OperatorsVsVariables) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lex("< <= <> <x> > >= =", &tokens).ok());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kGt);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, CommentsAndQuotedSymbols) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lex("abc ; this is a comment\n|two words|", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "two words");
+  EXPECT_TRUE(Lex("|unterminated", &tokens).IsInvalidArgument());
+}
+
+TEST(LexerTest, MinusBeforeParenIsNegation) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lex("-(Emp)", &tokens).ok());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kMinus);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+}
+
+TEST(ParserTest, ParsesExampleTwoProgram) {
+  ProgramAst program;
+  ASSERT_TRUE(ParseProgram(kExpressionSimplification, &program).ok());
+  ASSERT_EQ(program.classes.size(), 2u);
+  EXPECT_EQ(program.classes[0].class_name, "Goal");
+  EXPECT_EQ(program.classes[1].attrs.size(), 4u);
+  ASSERT_EQ(program.rules.size(), 2u);
+  const RuleAst& plus = program.rules[0];
+  EXPECT_EQ(plus.name, "Plus0X");
+  ASSERT_EQ(plus.conditions.size(), 2u);
+  EXPECT_EQ(plus.conditions[1].class_name, "Expression");
+  ASSERT_EQ(plus.actions.size(), 1u);
+  EXPECT_EQ(plus.actions[0].kind, ActionKind::kModify);
+  EXPECT_EQ(plus.actions[0].ce_index, 2);
+}
+
+TEST(ParserTest, ParsesNegationAndPredicates) {
+  RuleAst rule;
+  ASSERT_TRUE(ParseRule(R"((p guard
+      (Emp ^salary { > 100 <= 500 } ^age <a>)
+      -(Dept ^floor 1)
+      -->
+      (halt)))",
+                        &rule)
+                  .ok());
+  ASSERT_EQ(rule.conditions.size(), 2u);
+  EXPECT_FALSE(rule.conditions[0].negated);
+  EXPECT_TRUE(rule.conditions[1].negated);
+  const auto& preds = rule.conditions[0].tests[0].preds;
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].first, CompareOp::kGt);
+  EXPECT_EQ(preds[1].first, CompareOp::kLe);
+  EXPECT_EQ(rule.actions[0].kind, ActionKind::kHalt);
+}
+
+TEST(ParserTest, BareOperatorTest) {
+  RuleAst rule;
+  ASSERT_TRUE(ParseRule("(p r (Emp ^salary < <s>) --> (remove 1))", &rule).ok());
+  const auto& preds = rule.conditions[0].tests[0].preds;
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].first, CompareOp::kLt);
+  EXPECT_EQ(preds[0].second.kind, AstValue::Kind::kVar);
+}
+
+TEST(ParserTest, NilBecomesNullConstant) {
+  RuleAst rule;
+  ASSERT_TRUE(
+      ParseRule("(p r (E ^op +) --> (modify 1 ^op nil))", &rule).ok());
+  const AstValue& v = rule.actions[0].assignments[0].second;
+  EXPECT_EQ(v.kind, AstValue::Kind::kConst);
+  EXPECT_TRUE(v.constant.is_null());
+}
+
+TEST(ParserTest, ErrorsHaveLineContext) {
+  ProgramAst program;
+  Status st = ParseProgram("(p)\n", &program);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  RuleAst rule;
+  EXPECT_TRUE(ParseRule("(q r --> )", &rule).IsInvalidArgument());
+  EXPECT_TRUE(ParseRule("(p r (A) --> (explode))", &rule).IsInvalidArgument());
+  EXPECT_TRUE(ParseRule("(p r (A) --> (remove x))", &rule).IsInvalidArgument());
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Relation* rel;
+    ASSERT_TRUE(catalog_
+                    .CreateRelation(Schema("Emp", {{"name", ValueType::kSymbol},
+                                                   {"salary", ValueType::kInt},
+                                                   {"manager", ValueType::kSymbol}}),
+                                    &rel)
+                    .ok());
+  }
+  Status CompileSource(const std::string& src, Rule* rule) {
+    RuleAst ast;
+    PRODB_RETURN_IF_ERROR(ParseRule(src, &ast));
+    Analyzer analyzer(&catalog_);
+    return analyzer.Compile(ast, rule);
+  }
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, CompilesSelfJoin) {
+  Rule rule;
+  ASSERT_TRUE(CompileSource(R"((p R1
+      (Emp ^name Mike ^salary <s> ^manager <m>)
+      (Emp ^name <m> ^salary < <s>)
+      -->
+      (remove 1)))",
+                            &rule)
+                  .ok());
+  EXPECT_EQ(rule.name, "R1");
+  EXPECT_EQ(rule.lhs.num_vars, 2);
+  ASSERT_EQ(rule.lhs.conditions.size(), 2u);
+  EXPECT_EQ(rule.lhs.conditions[0].constant_tests.size(), 1u);
+  EXPECT_EQ(rule.lhs.conditions[0].var_uses.size(), 2u);
+  // Second CE: name = <m> (eq), salary < <s>.
+  const auto& uses = rule.lhs.conditions[1].var_uses;
+  ASSERT_EQ(uses.size(), 2u);
+  EXPECT_EQ(uses[1].op, CompareOp::kLt);
+  ASSERT_EQ(rule.actions.size(), 1u);
+  EXPECT_EQ(rule.actions[0].kind, ActionKind::kRemove);
+  EXPECT_EQ(rule.actions[0].ce_index, 0);
+}
+
+TEST_F(AnalyzerTest, RejectsUndeclaredClassAndAttr) {
+  Rule rule;
+  EXPECT_TRUE(CompileSource("(p r (Ghost ^x 1) --> (halt))", &rule)
+                  .IsInvalidArgument() ||
+              CompileSource("(p r (Ghost ^x 1) --> (halt))", &rule)
+                  .IsNotFound());
+  EXPECT_FALSE(
+      CompileSource("(p r (Emp ^bogus 1) --> (halt))", &rule).ok());
+}
+
+TEST_F(AnalyzerTest, RejectsUnboundComparisons) {
+  Rule rule;
+  // <s> tested with < before any binding occurrence.
+  EXPECT_FALSE(
+      CompileSource("(p r (Emp ^salary < <s>) --> (halt))", &rule).ok());
+}
+
+TEST_F(AnalyzerTest, RejectsActionsOnNegatedOrMissingCe) {
+  Rule rule;
+  EXPECT_FALSE(CompileSource(
+                   "(p r (Emp ^name a) -(Emp ^name b) --> (remove 2))", &rule)
+                   .ok());
+  EXPECT_FALSE(
+      CompileSource("(p r (Emp ^name a) --> (remove 5))", &rule).ok());
+}
+
+TEST_F(AnalyzerTest, RejectsUnboundActionVariable) {
+  Rule rule;
+  EXPECT_FALSE(CompileSource(
+                   "(p r (Emp ^name a) --> (make Emp ^name <ghost>))", &rule)
+                   .ok());
+  // Variables bound only in a negated CE stay local.
+  EXPECT_FALSE(
+      CompileSource(
+          "(p r (Emp ^name a) -(Emp ^manager <m>) --> (make Emp ^name <m>))",
+          &rule)
+          .ok());
+}
+
+TEST_F(AnalyzerTest, RejectsAllNegatedRules) {
+  Rule rule;
+  EXPECT_FALSE(
+      CompileSource("(p r -(Emp ^name a) --> (halt))", &rule).ok());
+}
+
+TEST_F(AnalyzerTest, MakeFillsUnassignedAttrsWithNull) {
+  Rule rule;
+  ASSERT_TRUE(CompileSource(
+                  "(p r (Emp ^name <n>) --> (make Emp ^manager <n>))", &rule)
+                  .ok());
+  const CompiledAction& make = rule.actions[0];
+  ASSERT_EQ(make.values.size(), 3u);
+  EXPECT_EQ(make.values[0].kind, CompiledValue::Kind::kConst);
+  EXPECT_TRUE(make.values[0].constant.is_null());
+  EXPECT_EQ(make.values[2].kind, CompiledValue::Kind::kVar);
+}
+
+TEST(LoadProgramTest, LoadsAllPaperExamples) {
+  for (const char* src :
+       {kExpressionSimplification, kEmpDept, kThreeWayJoin, kFactoryFloor}) {
+    Catalog catalog;
+    std::vector<Rule> rules;
+    ASSERT_TRUE(LoadProgram(src, &catalog, &rules).ok()) << src;
+    EXPECT_GE(rules.size(), 1u);
+  }
+}
+
+TEST(LoadProgramTest, RepeatedLiteralizeIsIdempotent) {
+  Catalog catalog;
+  std::vector<Rule> rules;
+  ASSERT_TRUE(LoadProgram("(literalize E a b)", &catalog, &rules).ok());
+  // Same shape again: fine (programs loaded in pieces repeat headers).
+  ASSERT_TRUE(LoadProgram("(literalize E a b)", &catalog, &rules).ok());
+  EXPECT_EQ(catalog.RelationCount(), 1u);
+  // Conflicting shape: rejected.
+  EXPECT_TRUE(LoadProgram("(literalize E a b c)", &catalog, &rules)
+                  .IsInvalidArgument());
+}
+
+TEST(LoadProgramTest, ThreeWayJoinVariablesWireUp) {
+  Catalog catalog;
+  std::vector<Rule> rules;
+  ASSERT_TRUE(LoadProgram(kThreeWayJoin, &catalog, &rules).ok());
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule& r = rules[0];
+  EXPECT_EQ(r.lhs.num_vars, 3);  // <x>, <z>, <y>
+  ASSERT_EQ(r.lhs.conditions.size(), 3u);
+  // A exports x and z; B uses x, exports y; C uses y and z.
+  EXPECT_EQ(r.lhs.conditions[0].var_uses.size(), 2u);
+  EXPECT_EQ(r.lhs.conditions[1].var_uses.size(), 2u);
+  EXPECT_EQ(r.lhs.conditions[2].var_uses.size(), 2u);
+}
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,249 @@
+// Cross-matcher equivalence: the four matching architectures the paper
+// compares (in-memory Rete §3.1, DBMS-backed Rete §3.2, query matcher
+// §4.1, matching-pattern matcher §4.2) must produce identical conflict
+// sets on any sequence of WM insertions and deletions. The query matcher
+// recomputes from base relations each time and serves as the oracle.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "match/pattern_matcher.h"
+#include "match/query_matcher.h"
+#include "matcher_test_util.h"
+#include "rete/network.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace prodb {
+namespace {
+
+struct MatcherCase {
+  std::string name;
+  std::function<std::unique_ptr<Matcher>(Catalog*)> factory;
+};
+
+std::vector<MatcherCase> AllMatchers() {
+  return {
+      {"query",
+       [](Catalog* c) { return std::make_unique<QueryMatcher>(c); }},
+      {"pattern",
+       [](Catalog* c) { return std::make_unique<PatternMatcher>(c); }},
+      {"rete",
+       [](Catalog* c) { return std::make_unique<ReteNetwork>(c); }},
+      {"rete-dbms",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.dbms_backed = true;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+  };
+}
+
+// Replays one insert/delete trace against every matcher and compares the
+// canonical conflict sets after every step.
+void RunTrace(const std::string& program,
+              const std::vector<std::string>& classes,
+              const std::function<Tuple(const std::string&, Rng*)>& gen,
+              uint64_t seed, int steps, double delete_prob) {
+  std::vector<MatcherHarness> harnesses;
+  for (const MatcherCase& mc : AllMatchers()) {
+    MatcherHarness h;
+    ASSERT_TRUE(h.Init(program, mc.factory).ok()) << mc.name;
+    harnesses.push_back(std::move(h));
+  }
+  Rng rng(seed);
+  // Track live tuples (by value) per class so deletes hit real tuples.
+  std::map<std::string, std::vector<std::vector<TupleId>>> live_ids;
+  std::map<std::string, std::vector<Tuple>> live_tuples;
+  for (const auto& cls : classes) {
+    live_ids[cls].clear();
+    live_tuples[cls].clear();
+  }
+
+  for (int step = 0; step < steps; ++step) {
+    const std::string& cls = classes[rng.Uniform(classes.size())];
+    bool do_delete =
+        rng.Chance(delete_prob) && !live_tuples[cls].empty();
+    if (do_delete) {
+      size_t pick = rng.Uniform(live_tuples[cls].size());
+      for (size_t m = 0; m < harnesses.size(); ++m) {
+        ASSERT_TRUE(harnesses[m]
+                        .wm->Delete(cls, live_ids[cls][pick][m])
+                        .ok())
+            << AllMatchers()[m].name << " step " << step;
+      }
+      live_ids[cls].erase(live_ids[cls].begin() + static_cast<long>(pick));
+      live_tuples[cls].erase(live_tuples[cls].begin() +
+                             static_cast<long>(pick));
+    } else {
+      Tuple t = gen(cls, &rng);
+      std::vector<TupleId> ids;
+      for (size_t m = 0; m < harnesses.size(); ++m) {
+        TupleId id;
+        ASSERT_TRUE(harnesses[m].wm->Insert(cls, t, &id).ok())
+            << AllMatchers()[m].name << " step " << step;
+        ids.push_back(id);
+      }
+      live_ids[cls].push_back(std::move(ids));
+      live_tuples[cls].push_back(std::move(t));
+    }
+    auto oracle = CanonicalConflictSet(*harnesses[0].matcher);
+    for (size_t m = 1; m < harnesses.size(); ++m) {
+      auto got = CanonicalConflictSet(*harnesses[m].matcher);
+      ASSERT_EQ(got, oracle)
+          << "matcher " << AllMatchers()[m].name << " diverged at step "
+          << step << " (" << (do_delete ? "delete" : "insert") << " on "
+          << cls << ")";
+    }
+  }
+}
+
+TEST(MatcherEquivalence, ThreeWayJoinRandomChurn) {
+  auto gen = [](const std::string& cls, Rng* rng) {
+    int64_t lo = static_cast<int64_t>(rng->Uniform(4));
+    int64_t hi = static_cast<int64_t>(rng->Uniform(4));
+    if (cls == "A") return Tuple{Value(lo), Value("a"), Value(hi)};
+    if (cls == "B") return Tuple{Value(lo), Value(hi), Value("b")};
+    return Tuple{Value("c"), Value(lo), Value(hi)};
+  };
+  RunTrace(kThreeWayJoin, {"A", "B", "C"}, gen, 11, 250, 0.25);
+}
+
+TEST(MatcherEquivalence, ThreeWayJoinSometimesFailingAlpha) {
+  auto gen = [](const std::string& cls, Rng* rng) {
+    // Half the tuples fail their class's constant test.
+    bool pass = rng->Chance(0.5);
+    int64_t lo = static_cast<int64_t>(rng->Uniform(3));
+    int64_t hi = static_cast<int64_t>(rng->Uniform(3));
+    if (cls == "A") return Tuple{Value(lo), Value(pass ? "a" : "q"), Value(hi)};
+    if (cls == "B") return Tuple{Value(lo), Value(hi), Value(pass ? "b" : "q")};
+    return Tuple{Value(pass ? "c" : "q"), Value(lo), Value(hi)};
+  };
+  RunTrace(kThreeWayJoin, {"A", "B", "C"}, gen, 23, 250, 0.3);
+}
+
+TEST(MatcherEquivalence, EmpDeptChurn) {
+  auto gen = [](const std::string& cls, Rng* rng) {
+    static const char* names[] = {"Mike", "Sam", "Ann", "Bob"};
+    if (cls == "Emp") {
+      return Tuple{Value(names[rng->Uniform(4)]),
+                   Value(static_cast<int64_t>(rng->Uniform(60))),
+                   Value(static_cast<int64_t>(rng->Uniform(300))),
+                   Value(static_cast<int64_t>(rng->Uniform(3))),
+                   Value(names[rng->Uniform(4)])};
+    }
+    return Tuple{Value(static_cast<int64_t>(rng->Uniform(3))),
+                 Value(rng->Chance(0.5) ? "Toy" : "Shoe"),
+                 Value(static_cast<int64_t>(1 + rng->Uniform(2))),
+                 Value(names[rng->Uniform(4)])};
+  };
+  RunTrace(kEmpDept, {"Emp", "Dept"}, gen, 31, 300, 0.3);
+}
+
+TEST(MatcherEquivalence, NegationChurn) {
+  const char* program = R"(
+(literalize Order id status)
+(literalize Assignment order machine)
+(p Idle
+  (Order ^id <o> ^status pending)
+  -(Assignment ^order <o>)
+  -->
+  (remove 1))
+(p Busy
+  (Order ^id <o> ^status pending)
+  (Assignment ^order <o> ^machine <m>)
+  -->
+  (remove 2))
+)";
+  auto gen = [](const std::string& cls, Rng* rng) {
+    if (cls == "Order") {
+      return Tuple{Value(static_cast<int64_t>(rng->Uniform(5))),
+                   Value(rng->Chance(0.7) ? "pending" : "done")};
+    }
+    return Tuple{Value(static_cast<int64_t>(rng->Uniform(5))),
+                 Value(static_cast<int64_t>(rng->Uniform(3)))};
+  };
+  RunTrace(program, {"Order", "Assignment"}, gen, 47, 300, 0.35);
+}
+
+// Parameterized sweep over synthetic workloads: join widths 2..4, chain
+// and star shapes.
+struct SweepParam {
+  size_t ces;
+  bool chain;
+  uint64_t seed;
+};
+
+class MatcherEquivalenceSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MatcherEquivalenceSweep, SyntheticWorkload) {
+  const SweepParam param = GetParam();
+  WorkloadSpec spec;
+  spec.num_classes = 3;
+  spec.attrs_per_class = 4;
+  spec.num_rules = 6;
+  spec.ces_per_rule = param.ces;
+  spec.chain_join = param.chain;
+  spec.domain = 4;  // dense joins
+  spec.seed = param.seed;
+  WorkloadGenerator gen(spec);
+  std::vector<Rule> rules = gen.GenerateRules();
+
+  std::vector<MatcherHarness> harnesses;
+  for (const MatcherCase& mc : AllMatchers()) {
+    MatcherHarness h;
+    h.catalog = std::make_unique<Catalog>();
+    ASSERT_TRUE(gen.CreateClasses(h.catalog.get()).ok());
+    h.rules = rules;
+    h.matcher = mc.factory(h.catalog.get());
+    for (const Rule& r : rules) {
+      ASSERT_TRUE(h.matcher->AddRule(r).ok());
+    }
+    h.wm = std::make_unique<WorkingMemory>(h.catalog.get(),
+                                           h.matcher.get());
+    harnesses.push_back(std::move(h));
+  }
+
+  Rng rng(param.seed * 131);
+  std::vector<std::pair<std::string, std::vector<TupleId>>> live;
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Chance(0.3) && !live.empty()) {
+      size_t pick = rng.Uniform(live.size());
+      for (size_t m = 0; m < harnesses.size(); ++m) {
+        ASSERT_TRUE(
+            harnesses[m].wm->Delete(live[pick].first, live[pick].second[m])
+                .ok());
+      }
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      std::string cls = gen.ClassName(rng.Uniform(spec.num_classes));
+      Tuple t = gen.RandomTuple(&rng);
+      std::vector<TupleId> ids;
+      for (auto& h : harnesses) {
+        TupleId id;
+        ASSERT_TRUE(h.wm->Insert(cls, t, &id).ok());
+        ids.push_back(id);
+      }
+      live.emplace_back(cls, std::move(ids));
+    }
+    auto oracle = CanonicalConflictSet(*harnesses[0].matcher);
+    for (size_t m = 1; m < harnesses.size(); ++m) {
+      ASSERT_EQ(CanonicalConflictSet(*harnesses[m].matcher), oracle)
+          << AllMatchers()[m].name << " diverged at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatcherEquivalenceSweep,
+    ::testing::Values(SweepParam{2, true, 1}, SweepParam{3, true, 2},
+                      SweepParam{4, true, 3}, SweepParam{3, false, 4},
+                      SweepParam{4, false, 5}),
+    [](const auto& info) {
+      return "Ces" + std::to_string(info.param.ces) +
+             (info.param.chain ? "Chain" : "Star") + "Seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,57 @@
+#ifndef PRODB_TESTS_MATCHER_TEST_UTIL_H_
+#define PRODB_TESTS_MATCHER_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "engine/working_memory.h"
+#include "lang/analyzer.h"
+#include "match/matcher.h"
+
+namespace prodb {
+
+/// Canonical view of a conflict set for cross-matcher comparison: the set
+/// of (rule name, matched tuple *values* per positive CE). Tuple ids are
+/// matcher-independent only within one catalog, so value-level comparison
+/// is used when comparing matchers running on separate catalogs.
+inline std::multiset<std::string> CanonicalConflictSet(Matcher& m) {
+  std::multiset<std::string> out;
+  for (const Instantiation& inst : m.conflict_set().Snapshot()) {
+    std::string key = inst.rule_name + ":";
+    const Rule& rule = m.rules()[static_cast<size_t>(inst.rule_index)];
+    for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+      key += rule.lhs.conditions[ce].negated ? "[-]"
+                                             : inst.tuples[ce].ToString();
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+/// A matcher plus its own catalog and WM facade, loaded from an OPS5-like
+/// program source.
+struct MatcherHarness {
+  std::unique_ptr<Catalog> catalog;
+  std::vector<Rule> rules;
+  std::unique_ptr<Matcher> matcher;
+  std::unique_ptr<WorkingMemory> wm;
+
+  Status Init(const std::string& source,
+              std::function<std::unique_ptr<Matcher>(Catalog*)> factory) {
+    catalog = std::make_unique<Catalog>();
+    PRODB_RETURN_IF_ERROR(LoadProgram(source, catalog.get(), &rules));
+    matcher = factory(catalog.get());
+    for (const Rule& r : rules) {
+      PRODB_RETURN_IF_ERROR(matcher->AddRule(r));
+    }
+    wm = std::make_unique<WorkingMemory>(catalog.get(), matcher.get());
+    return Status::OK();
+  }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_TESTS_MATCHER_TEST_UTIL_H_

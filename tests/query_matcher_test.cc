@@ -1,0 +1,142 @@
+#include "match/query_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "matcher_test_util.h"
+#include "workload/paper_examples.h"
+
+namespace prodb {
+namespace {
+
+class QueryMatcherTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& source) {
+    ASSERT_TRUE(harness_
+                    .Init(source,
+                          [](Catalog* c) {
+                            return std::make_unique<QueryMatcher>(c);
+                          })
+                    .ok());
+  }
+  WorkingMemory& wm() { return *harness_.wm; }
+  ConflictSet& cs() { return harness_.matcher->conflict_set(); }
+  MatcherHarness harness_;
+};
+
+TEST_F(QueryMatcherTest, EmpDeptRuleTwoFires) {
+  Load(kEmpDept);
+  TupleId emp;
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Ann"), Value(30), Value(100),
+                                Value(1), Value("Sam")},
+                          &emp)
+                  .ok());
+  EXPECT_TRUE(cs().empty());  // no Toy dept yet
+  ASSERT_TRUE(
+      wm().Insert("Dept", Tuple{Value(1), Value("Toy"), Value(1), Value("Sam")})
+          .ok());
+  ASSERT_EQ(cs().size(), 1u);
+  EXPECT_EQ(cs().Snapshot()[0].rule_name, "R2");
+}
+
+TEST_F(QueryMatcherTest, SelfJoinSalaryRule) {
+  Load(kEmpDept);
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Mike"), Value(30), Value(200),
+                                Value(1), Value("Sam")})
+                  .ok());
+  EXPECT_TRUE(cs().empty());
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Sam"), Value(50), Value(100),
+                                Value(2), Value("Board")})
+                  .ok());
+  ASSERT_EQ(cs().size(), 1u);
+  EXPECT_EQ(cs().Snapshot()[0].rule_name, "R1");
+}
+
+TEST_F(QueryMatcherTest, DeleteRetractsInstantiation) {
+  Load(kEmpDept);
+  TupleId emp, dept;
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Ann"), Value(30), Value(100), Value(1),
+                                Value("Sam")},
+                          &emp)
+                  .ok());
+  ASSERT_TRUE(wm().Insert("Dept",
+                          Tuple{Value(1), Value("Toy"), Value(1), Value("Sam")},
+                          &dept)
+                  .ok());
+  ASSERT_EQ(cs().size(), 1u);
+  ASSERT_TRUE(wm().Delete("Dept", dept).ok());
+  EXPECT_TRUE(cs().empty());
+}
+
+TEST_F(QueryMatcherTest, CrossProductInstantiations) {
+  Load(kEmpDept);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wm().Insert("Emp",
+                            Tuple{Value("E" + std::to_string(i)), Value(30),
+                                  Value(100), Value(1), Value("Sam")})
+                    .ok());
+  }
+  ASSERT_TRUE(
+      wm().Insert("Dept", Tuple{Value(1), Value("Toy"), Value(1), Value("S")})
+          .ok());
+  // Each employee separately satisfies R2.
+  EXPECT_EQ(cs().size(), 3u);
+}
+
+class NegationMatcherTest : public QueryMatcherTest {};
+
+TEST_F(NegationMatcherTest, NegatedConditionLifecycle) {
+  // Rule: an order with no assignment is idle.
+  Load(R"(
+(literalize Order id status)
+(literalize Assignment order machine)
+(p Idle
+  (Order ^id <o> ^status pending)
+  -(Assignment ^order <o>)
+  -->
+  (remove 1))
+)");
+  TupleId order;
+  ASSERT_TRUE(
+      wm().Insert("Order", Tuple{Value(1), Value("pending")}, &order).ok());
+  ASSERT_EQ(cs().size(), 1u);  // no assignment -> rule applicable
+
+  // Inserting a blocking assignment retracts the instantiation.
+  TupleId assign;
+  ASSERT_TRUE(
+      wm().Insert("Assignment", Tuple{Value(1), Value(7)}, &assign).ok());
+  EXPECT_TRUE(cs().empty());
+
+  // An assignment for a different order does not block.
+  ASSERT_TRUE(wm().Insert("Assignment", Tuple{Value(2), Value(7)}).ok());
+  EXPECT_TRUE(cs().empty());
+
+  // Deleting the blocker re-enables.
+  ASSERT_TRUE(wm().Delete("Assignment", assign).ok());
+  ASSERT_EQ(cs().size(), 1u);
+  EXPECT_EQ(cs().Snapshot()[0].rule_name, "Idle");
+}
+
+TEST_F(QueryMatcherTest, StatsAccumulate) {
+  Load(kEmpDept);
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("A"), Value(1), Value(2), Value(3),
+                                Value("B")})
+                  .ok());
+  EXPECT_GT(harness_.matcher->stats().propagations.load(), 0u);
+  // The query matcher stores nothing per-tuple.
+  size_t aux = harness_.matcher->AuxiliaryFootprintBytes();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(wm().Insert("Emp",
+                            Tuple{Value("E" + std::to_string(i)), Value(1),
+                                  Value(2), Value(3), Value("B")})
+                    .ok());
+  }
+  EXPECT_EQ(harness_.matcher->AuxiliaryFootprintBytes(), aux);
+}
+
+}  // namespace
+}  // namespace prodb

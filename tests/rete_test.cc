@@ -1,0 +1,249 @@
+#include "rete/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matcher_test_util.h"
+#include "workload/paper_examples.h"
+
+namespace prodb {
+namespace {
+
+class ReteTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void Load(const std::string& source, ReteOptions opts = {}) {
+    opts.dbms_backed = GetParam();
+    ASSERT_TRUE(harness_
+                    .Init(source,
+                          [opts](Catalog* c) {
+                            return std::make_unique<ReteNetwork>(c, opts);
+                          })
+                    .ok());
+    rete_ = static_cast<ReteNetwork*>(harness_.matcher.get());
+  }
+  WorkingMemory& wm() { return *harness_.wm; }
+  ConflictSet& cs() { return harness_.matcher->conflict_set(); }
+  MatcherHarness harness_;
+  ReteNetwork* rete_ = nullptr;
+};
+
+TEST_P(ReteTest, ThreeWayJoinFiresOnLastArrival) {
+  Load(kThreeWayJoin);
+  ASSERT_TRUE(wm().Insert("A", Tuple{Value(4), Value("a"), Value(8)}).ok());
+  ASSERT_TRUE(wm().Insert("B", Tuple{Value(4), Value(7), Value("b")}).ok());
+  EXPECT_TRUE(cs().empty());
+  ASSERT_TRUE(wm().Insert("C", Tuple{Value("c"), Value(7), Value(8)}).ok());
+  ASSERT_EQ(cs().size(), 1u);
+  EXPECT_EQ(cs().Snapshot()[0].rule_name, "Rule-1");
+}
+
+TEST_P(ReteTest, OutOfOrderArrivalAlsoFires) {
+  Load(kThreeWayJoin);
+  // Tokens queue in LEFT/RIGHT memories awaiting partners (§3.1).
+  ASSERT_TRUE(wm().Insert("C", Tuple{Value("c"), Value(7), Value(8)}).ok());
+  ASSERT_TRUE(wm().Insert("B", Tuple{Value(4), Value(7), Value("b")}).ok());
+  EXPECT_TRUE(cs().empty());
+  EXPECT_GT(rete_->TokenCount(), 0u);
+  ASSERT_TRUE(wm().Insert("A", Tuple{Value(4), Value("a"), Value(8)}).ok());
+  EXPECT_EQ(cs().size(), 1u);
+}
+
+TEST_P(ReteTest, NonMatchingTuplesAreFiltered) {
+  Load(kThreeWayJoin);
+  // a2 != 'a': discarded by the one-input node, never stored.
+  ASSERT_TRUE(wm().Insert("A", Tuple{Value(4), Value("x"), Value(8)}).ok());
+  EXPECT_EQ(rete_->TokenCount(), 0u);
+}
+
+TEST_P(ReteTest, MinusTokensRetract) {
+  Load(kThreeWayJoin);
+  TupleId b;
+  ASSERT_TRUE(wm().Insert("A", Tuple{Value(4), Value("a"), Value(8)}).ok());
+  ASSERT_TRUE(
+      wm().Insert("B", Tuple{Value(4), Value(7), Value("b")}, &b).ok());
+  ASSERT_TRUE(wm().Insert("C", Tuple{Value("c"), Value(7), Value(8)}).ok());
+  ASSERT_EQ(cs().size(), 1u);
+  ASSERT_TRUE(wm().Delete("B", b).ok());
+  EXPECT_TRUE(cs().empty());
+  // Reinsert: fires again.
+  ASSERT_TRUE(wm().Insert("B", Tuple{Value(4), Value(7), Value("b")}).ok());
+  EXPECT_EQ(cs().size(), 1u);
+}
+
+TEST_P(ReteTest, NegatedNodeCountsWitnesses) {
+  Load(R"(
+(literalize Order id status)
+(literalize Assignment order machine)
+(p Idle
+  (Order ^id <o> ^status pending)
+  -(Assignment ^order <o>)
+  -->
+  (remove 1))
+)");
+  ASSERT_TRUE(wm().Insert("Order", Tuple{Value(1), Value("pending")}).ok());
+  ASSERT_EQ(cs().size(), 1u);
+  TupleId w1, w2;
+  ASSERT_TRUE(wm().Insert("Assignment", Tuple{Value(1), Value(7)}, &w1).ok());
+  EXPECT_TRUE(cs().empty());
+  ASSERT_TRUE(wm().Insert("Assignment", Tuple{Value(1), Value(8)}, &w2).ok());
+  ASSERT_TRUE(wm().Delete("Assignment", w1).ok());
+  // One witness remains: still blocked.
+  EXPECT_TRUE(cs().empty());
+  ASSERT_TRUE(wm().Delete("Assignment", w2).ok());
+  EXPECT_EQ(cs().size(), 1u);
+}
+
+TEST_P(ReteTest, EmpDeptRulesBothFire) {
+  Load(kEmpDept);
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Mike"), Value(30), Value(200), Value(1),
+                                Value("Sam")})
+                  .ok());
+  ASSERT_TRUE(wm().Insert("Emp",
+                          Tuple{Value("Sam"), Value(50), Value(100), Value(2),
+                                Value("Board")})
+                  .ok());
+  ASSERT_TRUE(
+      wm().Insert("Dept", Tuple{Value(1), Value("Toy"), Value(1), Value("S")})
+          .ok());
+  auto snap = cs().Snapshot();
+  std::multiset<std::string> names;
+  for (const auto& inst : snap) names.insert(inst.rule_name);
+  EXPECT_EQ(names, (std::multiset<std::string>{"R1", "R2"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backend, ReteTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "DbmsBacked" : "InMemory";
+                         });
+
+TEST(ReteTopologyTest, AlphaSharingReducesNodes) {
+  // Two rules with identical first CE share one alpha node when sharing
+  // is on ([SELL86]-style multiple-query optimization).
+  const char* source = R"(
+(literalize E k v)
+(literalize F k v)
+(p r1 (E ^k 1 ^v <x>) (F ^k <x>) --> (remove 1))
+(p r2 (E ^k 1 ^v <y>) (F ^v <y>) --> (remove 2))
+)";
+  MatcherHarness shared, unshared;
+  ReteOptions on, off;
+  off.share_alpha = false;
+  off.share_beta = false;  // isolate the alpha-sharing effect
+  ASSERT_TRUE(shared
+                  .Init(source,
+                        [on](Catalog* c) {
+                          return std::make_unique<ReteNetwork>(c, on);
+                        })
+                  .ok());
+  ASSERT_TRUE(unshared
+                  .Init(source,
+                        [off](Catalog* c) {
+                          return std::make_unique<ReteNetwork>(c, off);
+                        })
+                  .ok());
+  auto topo_on = static_cast<ReteNetwork*>(shared.matcher.get())->Topology();
+  auto topo_off =
+      static_cast<ReteNetwork*>(unshared.matcher.get())->Topology();
+  EXPECT_LT(topo_on.alpha_nodes, topo_off.alpha_nodes);
+  EXPECT_EQ(topo_off.alpha_nodes, 4u);
+  EXPECT_EQ(topo_on.production_nodes, 2u);
+}
+
+TEST(ReteTopologyTest, BetaPrefixSharingMergesChains) {
+  // Two 3-CE rules with identical first two CEs: with prefix sharing the
+  // first join is compiled once ([SELL88]-style global plan).
+  const char* source = R"(
+(literalize E k v)
+(literalize F k v)
+(literalize G k v)
+(p r1 (E ^k 1 ^v <x>) (F ^k <x> ^v <y>) (G ^k <y>) --> (remove 1))
+(p r2 (E ^k 1 ^v <x>) (F ^k <x> ^v <y>) (G ^v <y>) --> (remove 1))
+)";
+  MatcherHarness shared, unshared;
+  ReteOptions on, off;
+  off.share_beta = false;
+  ASSERT_TRUE(shared
+                  .Init(source,
+                        [on](Catalog* c) {
+                          return std::make_unique<ReteNetwork>(c, on);
+                        })
+                  .ok());
+  ASSERT_TRUE(unshared
+                  .Init(source,
+                        [off](Catalog* c) {
+                          return std::make_unique<ReteNetwork>(c, off);
+                        })
+                  .ok());
+  auto topo_on = static_cast<ReteNetwork*>(shared.matcher.get())->Topology();
+  auto topo_off =
+      static_cast<ReteNetwork*>(unshared.matcher.get())->Topology();
+  EXPECT_EQ(topo_off.beta_nodes, 4u);  // two 2-join chains
+  EXPECT_EQ(topo_on.beta_nodes, 3u);   // E⋈F shared, two G joins
+
+  // Behaviour identical: a completing insert fires both rules in both
+  // configurations.
+  for (MatcherHarness* h : {&shared, &unshared}) {
+    ASSERT_TRUE(h->wm->Insert("E", Tuple{Value(1), Value(5)}).ok());
+    ASSERT_TRUE(h->wm->Insert("F", Tuple{Value(5), Value(9)}).ok());
+    ASSERT_TRUE(h->wm->Insert("G", Tuple{Value(9), Value(9)}).ok());
+  }
+  EXPECT_EQ(CanonicalConflictSet(*shared.matcher),
+            CanonicalConflictSet(*unshared.matcher));
+  EXPECT_EQ(shared.matcher->conflict_set().size(), 2u);
+}
+
+TEST(ReteTopologyTest, BetaSharingSurvivesDeletion) {
+  const char* source = R"(
+(literalize E k)
+(literalize F k)
+(p r1 (E ^k <x>) (F ^k <x>) --> (remove 1))
+(p r2 (E ^k <x>) (F ^k <x>) --> (remove 2))
+)";
+  MatcherHarness h;
+  ASSERT_TRUE(h.Init(source,
+                     [](Catalog* c) {
+                       return std::make_unique<ReteNetwork>(c);
+                     })
+                  .ok());
+  TupleId e, f;
+  ASSERT_TRUE(h.wm->Insert("E", Tuple{Value(1)}, &e).ok());
+  ASSERT_TRUE(h.wm->Insert("F", Tuple{Value(1)}, &f).ok());
+  EXPECT_EQ(h.matcher->conflict_set().size(), 2u);  // both rules fire
+  ASSERT_TRUE(h.wm->Delete("F", f).ok());
+  EXPECT_TRUE(h.matcher->conflict_set().empty());
+  ASSERT_TRUE(h.wm->Insert("F", Tuple{Value(1)}).ok());
+  EXPECT_EQ(h.matcher->conflict_set().size(), 2u);
+}
+
+TEST(ReteDbmsTest, LeftRightRelationsMaterializeInCatalog) {
+  // §3.2: the DBMS implementation stores LEFT/RIGHT as relations.
+  MatcherHarness h;
+  ReteOptions opts;
+  opts.dbms_backed = true;
+  ASSERT_TRUE(h.Init(kThreeWayJoin,
+                     [opts](Catalog* c) {
+                       return std::make_unique<ReteNetwork>(c, opts);
+                     })
+                  .ok());
+  int memory_relations = 0;
+  for (const std::string& name : h.catalog->RelationNames()) {
+    if (name.rfind("LEFT", 0) == 0 || name.rfind("RIGHT", 0) == 0) {
+      ++memory_relations;
+    }
+  }
+  // Two join levels beyond the head: 2 LEFT + 2 RIGHT.
+  EXPECT_EQ(memory_relations, 4);
+  // Tokens land in those relations.
+  ASSERT_TRUE(h.wm->Insert("B", Tuple{Value(4), Value(7), Value("b")}).ok());
+  size_t stored = 0;
+  for (const std::string& name : h.catalog->RelationNames()) {
+    if (name.rfind("LEFT", 0) == 0 || name.rfind("RIGHT", 0) == 0) {
+      stored += h.catalog->Get(name)->Count();
+    }
+  }
+  EXPECT_GT(stored, 0u);
+}
+
+}  // namespace
+}  // namespace prodb

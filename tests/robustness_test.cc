@@ -1,0 +1,126 @@
+// Robustness: fuzzed inputs must produce errors, never crashes or
+// corruption; buffer-pool flush paths; malformed-encoding handling.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lang/analyzer.h"
+#include "lang/parser.h"
+#include "storage/buffer_pool.h"
+
+namespace prodb {
+namespace {
+
+TEST(FuzzTest, LexerSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string input;
+    size_t len = rng.Uniform(120);
+    for (size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(32 + rng.Uniform(95));
+    }
+    std::vector<Token> tokens;
+    (void)Lex(input, &tokens);  // must not crash; status may be error
+  }
+}
+
+TEST(FuzzTest, ParserSurvivesRandomTokenSoup) {
+  Rng rng(2);
+  const char* atoms[] = {"(", ")", "p", "literalize", "^", "-->", "-",
+                         "<x>", "{", "}", "42", "foo", "*", "<", ">=",
+                         "make", "remove", "modify", "halt", "call", "1"};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string input;
+    size_t len = rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) {
+      input += atoms[rng.Uniform(sizeof(atoms) / sizeof(atoms[0]))];
+      input += " ";
+    }
+    ProgramAst program;
+    (void)ParseProgram(input, &program);  // error or success, no crash
+  }
+}
+
+TEST(FuzzTest, AnalyzerSurvivesRandomValidParses) {
+  // Generate syntactically valid but semantically random rules.
+  Catalog catalog;
+  Relation* rel;
+  ASSERT_TRUE(catalog
+                  .CreateRelation(Schema("E", {{"a", ValueType::kInt},
+                                               {"b", ValueType::kInt}}),
+                                  &rel)
+                  .ok());
+  Rng rng(3);
+  const char* attrs[] = {"a", "b", "zz"};
+  const char* vals[] = {"1", "<x>", "<y>", "*", "q"};
+  const char* acts[] = {"(remove 1)", "(remove 9)", "(modify 1 ^a 2)",
+                        "(make E ^a <x>)", "(make E ^zz 1)", "(halt)"};
+  Analyzer analyzer(&catalog);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string src = "(p r";
+    size_t ces = 1 + rng.Uniform(3);
+    for (size_t c = 0; c < ces; ++c) {
+      if (rng.Chance(0.2)) src += " -";
+      src += " (E";
+      size_t tests = rng.Uniform(3);
+      for (size_t t = 0; t < tests; ++t) {
+        src += " ^";
+        src += attrs[rng.Uniform(3)];
+        src += " ";
+        src += vals[rng.Uniform(5)];
+      }
+      src += ")";
+    }
+    src += " --> ";
+    src += acts[rng.Uniform(6)];
+    src += ")";
+    RuleAst ast;
+    if (!ParseRule(src, &ast).ok()) continue;
+    Rule rule;
+    (void)analyzer.Compile(ast, &rule);  // error or success, no crash
+  }
+}
+
+TEST(BufferPoolFlushTest, FlushPageAndFlushAllPersist) {
+  auto disk = std::make_unique<MemoryDiskManager>();
+  MemoryDiskManager* raw = disk.get();
+  BufferPool pool(4, std::move(disk));
+  uint32_t p0, p1;
+  Frame *f0, *f1;
+  ASSERT_TRUE(pool.NewPage(&p0, &f0).ok());
+  f0->data[0] = 'x';
+  ASSERT_TRUE(pool.UnpinPage(p0, true).ok());
+  ASSERT_TRUE(pool.NewPage(&p1, &f1).ok());
+  f1->data[0] = 'y';
+  ASSERT_TRUE(pool.UnpinPage(p1, true).ok());
+
+  ASSERT_TRUE(pool.FlushPage(p0).ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(raw->ReadPage(p0, buf).ok());
+  EXPECT_EQ(buf[0], 'x');
+  // p1 not yet flushed to disk.
+  ASSERT_TRUE(raw->ReadPage(p1, buf).ok());
+  EXPECT_EQ(buf[0], 0);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(raw->ReadPage(p1, buf).ok());
+  EXPECT_EQ(buf[0], 'y');
+  // Flushing a non-resident page is a no-op.
+  EXPECT_TRUE(pool.FlushPage(777).ok());
+}
+
+TEST(TupleRobustnessTest, GarbageBytesRejected) {
+  Rng rng(4);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string garbage;
+    size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.Uniform(256));
+    }
+    Tuple t;
+    size_t off = 0;
+    (void)Tuple::DeserializeFrom(garbage.data(), garbage.size(), &off, &t);
+  }
+}
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,145 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace prodb {
+namespace {
+
+Box Box2(double lx, double ly, double hx, double hy) {
+  Box b;
+  b.lo = {lx, ly};
+  b.hi = {hx, hy};
+  return b;
+}
+
+TEST(BoxTest, OverlapAndContainment) {
+  Box a = Box2(0, 0, 10, 10);
+  Box b = Box2(5, 5, 15, 15);
+  Box c = Box2(11, 11, 12, 12);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(a.Contains({5, 5}));
+  EXPECT_TRUE(a.Contains({10, 10}));  // inclusive bounds
+  EXPECT_FALSE(a.Contains({10.01, 5}));
+}
+
+TEST(BoxTest, InfiniteBoxCoversEverything) {
+  Box inf = Box::Infinite(3);
+  EXPECT_TRUE(inf.Contains({1e12, -1e12, 0}));
+  EXPECT_TRUE(inf.Overlaps(Box::Point({5, 5, 5})));
+}
+
+TEST(BoxTest, EnlargedIsCover) {
+  Box a = Box2(0, 0, 1, 1);
+  Box b = Box2(5, -2, 6, 0.5);
+  Box e = a.Enlarged(b);
+  EXPECT_EQ(e.lo[0], 0);
+  EXPECT_EQ(e.lo[1], -2);
+  EXPECT_EQ(e.hi[0], 6);
+  EXPECT_EQ(e.hi[1], 1);
+}
+
+TEST(RTreeTest, InsertAndPointSearch) {
+  RTree tree(2);
+  tree.Insert(Box2(0, 0, 10, 10), 1);
+  tree.Insert(Box2(20, 20, 30, 30), 2);
+  tree.Insert(Box2(5, 5, 25, 25), 3);
+  auto at = [&](double x, double y) {
+    auto v = tree.SearchPoint({x, y});
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(at(1, 1), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(at(7, 7), (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(at(22, 22), (std::vector<uint64_t>{2, 3}));
+  EXPECT_TRUE(at(100, 100).empty());
+}
+
+TEST(RTreeTest, SplitsKeepAllEntriesFindable) {
+  RTree tree(2, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    double x = static_cast<double>(i % 20) * 10;
+    double y = static_cast<double>(i / 20) * 10;
+    tree.Insert(Box2(x, y, x + 5, y + 5), i);
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.Height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (uint64_t i = 0; i < 200; ++i) {
+    double x = static_cast<double>(i % 20) * 10 + 2;
+    double y = static_cast<double>(i / 20) * 10 + 2;
+    auto hits = tree.SearchPoint({x, y});
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), i) != hits.end())
+        << "entry " << i;
+  }
+}
+
+TEST(RTreeTest, RemoveDeletesExactly) {
+  RTree tree(2, 4);
+  tree.Insert(Box2(0, 0, 10, 10), 1);
+  tree.Insert(Box2(0, 0, 10, 10), 2);  // same box, different id
+  EXPECT_TRUE(tree.Remove(Box2(0, 0, 10, 10), 1));
+  EXPECT_FALSE(tree.Remove(Box2(0, 0, 10, 10), 1));  // already gone
+  EXPECT_FALSE(tree.Remove(Box2(1, 1, 2, 2), 2));    // wrong box
+  auto hits = tree.SearchPoint({5, 5});
+  EXPECT_EQ(hits, (std::vector<uint64_t>{2}));
+}
+
+TEST(RTreeTest, HalfOpenConditionsAsBoxes) {
+  // `age > 55` maps to a box unbounded above on the age axis.
+  RTree tree(1);
+  Box older = Box::Infinite(1);
+  older.lo[0] = 55;
+  tree.Insert(older, 7);
+  EXPECT_EQ(tree.SearchPoint({60}).size(), 1u);
+  EXPECT_TRUE(tree.SearchPoint({30}).empty());
+}
+
+// Property sweep across node capacities: the tree must agree with brute
+// force under random inserts and deletes.
+class RTreeCapacityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeCapacityTest, MatchesBruteForce) {
+  RTree tree(2, GetParam());
+  std::map<uint64_t, Box> reference;
+  Rng rng(GetParam() * 77);
+  uint64_t next_id = 0;
+  for (int step = 0; step < 1200; ++step) {
+    if (rng.Chance(0.7) || reference.empty()) {
+      double x = rng.NextDouble() * 100;
+      double y = rng.NextDouble() * 100;
+      Box b = Box2(x, y, x + rng.NextDouble() * 20, y + rng.NextDouble() * 20);
+      tree.Insert(b, next_id);
+      reference[next_id] = b;
+      ++next_id;
+    } else {
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      ASSERT_TRUE(tree.Remove(it->second, it->first));
+      reference.erase(it);
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), reference.size());
+  for (int probe = 0; probe < 200; ++probe) {
+    std::vector<double> pt{rng.NextDouble() * 120, rng.NextDouble() * 120};
+    std::set<uint64_t> want;
+    for (const auto& [id, box] : reference) {
+      if (box.Contains(pt)) want.insert(id);
+    }
+    auto hits = tree.SearchPoint(pt);
+    std::set<uint64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got, want) << "probe " << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RTreeCapacityTest,
+                         ::testing::Values(4, 6, 8, 16));
+
+}  // namespace
+}  // namespace prodb

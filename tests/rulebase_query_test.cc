@@ -1,0 +1,106 @@
+#include "ruleindex/rulebase_query.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/analyzer.h"
+
+namespace prodb {
+namespace {
+
+class RuleBaseQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Rules with distinct numeric envelopes over Emp(age, salary).
+    ASSERT_TRUE(LoadProgram(R"(
+(literalize Emp age salary)
+(literalize Dept dno)
+(p seniors    (Emp ^age > 55)                 --> (remove 1))
+(p juniors    (Emp ^age < 30)                 --> (remove 1))
+(p well-paid  (Emp ^salary >= 100 ^age > 40)  --> (remove 1))
+(p everyone   (Emp ^age <x>)                  --> (remove 1))
+(p dept-only  (Dept ^dno 1)                   --> (remove 1))
+)",
+                            &catalog_, &rules_)
+                    .ok());
+    index_ = std::make_unique<RuleBaseQueryIndex>(&catalog_);
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      ASSERT_TRUE(index_->AddRule(static_cast<int>(i), rules_[i]).ok());
+    }
+  }
+  std::vector<std::string> Names(const std::vector<int>& ids) {
+    std::vector<std::string> out;
+    for (int id : ids) out.push_back(rules_[static_cast<size_t>(id)].name);
+    return out;
+  }
+  Catalog catalog_;
+  std::vector<Rule> rules_;
+  std::unique_ptr<RuleBaseQueryIndex> index_;
+};
+
+TEST_F(RuleBaseQueryTest, TupleProbe) {
+  std::vector<int> ids;
+  ASSERT_TRUE(
+      index_->RulesMatchingTuple("Emp", Tuple{Value(60), Value(50)}, &ids)
+          .ok());
+  EXPECT_EQ(Names(ids), (std::vector<std::string>{"seniors", "everyone"}));
+  ASSERT_TRUE(
+      index_->RulesMatchingTuple("Emp", Tuple{Value(45), Value(120)}, &ids)
+          .ok());
+  EXPECT_EQ(Names(ids), (std::vector<std::string>{"well-paid", "everyone"}));
+}
+
+TEST_F(RuleBaseQueryTest, ThePapersExampleQuery) {
+  // "Give me all the rules that apply on employees older than 55."
+  std::vector<int> ids;
+  ASSERT_TRUE(index_->RulesMatchingConstraint("Emp", /*attr=*/0,
+                                              CompareOp::kGt, 55, &ids)
+                  .ok());
+  // juniors (age < 30) is excluded; everyone and seniors qualify;
+  // well-paid (age > 40) overlaps the probe range.
+  EXPECT_EQ(Names(ids), (std::vector<std::string>{"seniors", "well-paid",
+                                                  "everyone"}));
+}
+
+TEST_F(RuleBaseQueryTest, ClassesAreSeparated) {
+  std::vector<int> ids;
+  ASSERT_TRUE(
+      index_->RulesMatchingTuple("Dept", Tuple{Value(1)}, &ids).ok());
+  EXPECT_EQ(Names(ids), (std::vector<std::string>{"dept-only"}));
+  ASSERT_TRUE(index_->RulesMatchingTuple("Ghost", Tuple{Value(1)}, &ids).ok());
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST_F(RuleBaseQueryTest, SymbolValuesMatchOnlyUnconstrainedDims) {
+  std::vector<int> ids;
+  // A symbolic age can satisfy no bounded age interval; only `everyone`
+  // (whose box is unconstrained) reports.
+  ASSERT_TRUE(
+      index_->RulesMatchingTuple("Emp", Tuple{Value("old"), Value(1)}, &ids)
+          .ok());
+  EXPECT_EQ(Names(ids), (std::vector<std::string>{"everyone"}));
+}
+
+TEST_F(RuleBaseQueryTest, MultiCeRulesIndexEveryCondition) {
+  Catalog catalog;
+  std::vector<Rule> rules;
+  ASSERT_TRUE(LoadProgram(R"(
+(literalize A x)
+(literalize B y)
+(p pair (A ^x > 10) (B ^y < 5) --> (remove 1))
+)",
+                          &catalog, &rules)
+                  .ok());
+  RuleBaseQueryIndex index(&catalog);
+  ASSERT_TRUE(index.AddRule(0, rules[0]).ok());
+  EXPECT_EQ(index.IndexedConditionCount(), 2u);
+  std::vector<int> ids;
+  ASSERT_TRUE(index.RulesMatchingTuple("A", Tuple{Value(20)}, &ids).ok());
+  EXPECT_EQ(ids, std::vector<int>{0});
+  ASSERT_TRUE(index.RulesMatchingTuple("B", Tuple{Value(3)}, &ids).ok());
+  EXPECT_EQ(ids, std::vector<int>{0});
+  ASSERT_TRUE(index.RulesMatchingTuple("B", Tuple{Value(9)}, &ids).ok());
+  EXPECT_TRUE(ids.empty());
+}
+
+}  // namespace
+}  // namespace prodb

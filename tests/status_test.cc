@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace prodb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, CodesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").IsDeadlock());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::Corruption("bad page 7");
+  EXPECT_EQ(st.ToString(), "Corruption: bad page 7");
+  EXPECT_EQ(st.message(), "bad page 7");
+  EXPECT_EQ(Status::IOError("").ToString(), "IOError");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    PRODB_RETURN_IF_ERROR(fails());
+    return Status::OK();  // unreachable
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kInternal);
+  auto passes = []() -> Status {
+    PRODB_RETURN_IF_ERROR(Status::OK());
+    return Status::NotSupported("reached");
+  };
+  EXPECT_EQ(passes().code(), Status::Code::kNotSupported);
+}
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,109 @@
+#include "rete/token_store.h"
+
+#include <gtest/gtest.h>
+
+namespace prodb {
+namespace {
+
+ReteToken MakeToken(std::vector<std::pair<size_t, int>> filled, size_t n) {
+  ReteToken t;
+  t.ids.assign(n, ReteToken::kNoTuple);
+  t.tuples.assign(n, Tuple());
+  for (auto& [pos, v] : filled) {
+    t.ids[pos] = TupleId{static_cast<uint32_t>(v), 0};
+    t.tuples[pos] = Tuple{Value(v), Value(v * 10)};
+  }
+  return t;
+}
+
+// Both stores must satisfy the same contract.
+class TokenStoreTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      catalog_ = std::make_unique<Catalog>();
+      std::unique_ptr<RelationTokenStore> rts;
+      ASSERT_TRUE(RelationTokenStore::Create(catalog_.get(), "LEFT-test",
+                                             {2, 2, 0}, StorageKind::kMemory,
+                                             &rts)
+                      .ok());
+      store_ = std::move(rts);
+    } else {
+      store_ = std::make_unique<MemoryTokenStore>();
+    }
+  }
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<TokenStore> store_;
+};
+
+TEST_P(TokenStoreTest, AddScanRoundTrip) {
+  ReteToken t = MakeToken({{0, 1}, {1, 2}}, 3);
+  ASSERT_TRUE(store_->Add(t).ok());
+  ASSERT_EQ(store_->size(), 1u);
+  size_t seen = 0;
+  ASSERT_TRUE(store_->Scan([&](const ReteToken& got) {
+                 EXPECT_EQ(got.ids[0], t.ids[0]);
+                 EXPECT_EQ(got.ids[1], t.ids[1]);
+                 EXPECT_EQ(got.tuples[0], t.tuples[0]);
+                 EXPECT_EQ(got.ids[2], ReteToken::kNoTuple);
+                 ++seen;
+                 return Status::OK();
+               }).ok());
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_P(TokenStoreTest, RemoveByTupleRemovesAllReferencing) {
+  ASSERT_TRUE(store_->Add(MakeToken({{0, 1}, {1, 2}}, 3)).ok());
+  ASSERT_TRUE(store_->Add(MakeToken({{0, 1}, {1, 3}}, 3)).ok());
+  ASSERT_TRUE(store_->Add(MakeToken({{0, 4}, {1, 2}}, 3)).ok());
+  std::vector<ReteToken> removed;
+  ASSERT_TRUE(store_->RemoveByTuple(0, TupleId{1, 0}, &removed).ok());
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_P(TokenStoreTest, RemoveExactMatchesFullCombination) {
+  ASSERT_TRUE(store_->Add(MakeToken({{0, 1}, {1, 2}}, 3)).ok());
+  ASSERT_TRUE(store_->Add(MakeToken({{0, 1}, {1, 3}}, 3)).ok());
+  bool found = false;
+  ASSERT_TRUE(
+      store_->RemoveExact(MakeToken({{0, 1}, {1, 9}}, 3), &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(
+      store_->RemoveExact(MakeToken({{0, 1}, {1, 2}}, 3), &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(store_->size(), 1u);
+  // Removing again: gone.
+  ASSERT_TRUE(
+      store_->RemoveExact(MakeToken({{0, 1}, {1, 2}}, 3), &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_P(TokenStoreTest, FootprintGrows) {
+  size_t before = store_->FootprintBytes();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store_->Add(MakeToken({{0, i}, {1, i}}, 3)).ok());
+  }
+  EXPECT_GT(store_->FootprintBytes(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TokenStoreTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Relation" : "Memory";
+                         });
+
+TEST(RelationTokenStoreTest, RelationVisibleInCatalog) {
+  Catalog catalog;
+  std::unique_ptr<RelationTokenStore> store;
+  ASSERT_TRUE(RelationTokenStore::Create(&catalog, "RIGHT-x", {0, 3},
+                                         StorageKind::kMemory, &store)
+                  .ok());
+  Relation* rel = catalog.Get("RIGHT-x");
+  ASSERT_NE(rel, nullptr);
+  // 2 positions × 2 id columns + 3 value columns for position 1.
+  EXPECT_EQ(rel->schema().arity(), 7u);
+  EXPECT_EQ(store->relation(), rel);
+}
+
+}  // namespace
+}  // namespace prodb

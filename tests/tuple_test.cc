@@ -1,0 +1,135 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/schema.h"
+
+namespace prodb {
+namespace {
+
+TEST(TupleTest, BasicAccess) {
+  Tuple t{Value("Mike"), Value(32), Value(50000)};
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t[0], Value("Mike"));
+  EXPECT_EQ(t.at(2), Value(50000));
+  EXPECT_EQ(t.ToString(), "(Mike, 32, 50000)");
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  Tuple c{Value(1), Value("y")};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, SerializeRoundTripAllTypes) {
+  Tuple t{Value(), Value(-42), Value(3.25), Value("hello world")};
+  std::string buf;
+  t.SerializeTo(&buf);
+  Tuple out;
+  size_t off = 0;
+  ASSERT_TRUE(Tuple::DeserializeFrom(buf.data(), buf.size(), &off, &out));
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(t, out);
+}
+
+TEST(TupleTest, SerializeEmptyTuple) {
+  Tuple t;
+  std::string buf;
+  t.SerializeTo(&buf);
+  Tuple out;
+  size_t off = 0;
+  ASSERT_TRUE(Tuple::DeserializeFrom(buf.data(), buf.size(), &off, &out));
+  EXPECT_EQ(out.arity(), 0u);
+}
+
+TEST(TupleTest, SerializeConcatenatedTuples) {
+  Tuple a{Value(1)};
+  Tuple b{Value("two"), Value(3.0)};
+  std::string buf;
+  a.SerializeTo(&buf);
+  b.SerializeTo(&buf);
+  size_t off = 0;
+  Tuple out;
+  ASSERT_TRUE(Tuple::DeserializeFrom(buf.data(), buf.size(), &off, &out));
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(Tuple::DeserializeFrom(buf.data(), buf.size(), &off, &out));
+  EXPECT_EQ(out, b);
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(TupleTest, DeserializeRejectsTruncatedInput) {
+  Tuple t{Value("abcdefgh"), Value(7)};
+  std::string buf;
+  t.SerializeTo(&buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    Tuple out;
+    size_t off = 0;
+    EXPECT_FALSE(Tuple::DeserializeFrom(buf.data(), cut, &off, &out))
+        << "accepted truncation at " << cut;
+  }
+}
+
+// Property: random tuples survive serialization byte-for-byte.
+TEST(TupleProperty, RandomRoundTrip) {
+  Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<Value> vals;
+    size_t arity = rng.Uniform(8);
+    for (size_t i = 0; i < arity; ++i) {
+      switch (rng.Uniform(4)) {
+        case 0: vals.emplace_back(); break;
+        case 1: vals.emplace_back(static_cast<int64_t>(rng.Next())); break;
+        case 2: vals.emplace_back(rng.NextDouble() * 1e6); break;
+        default: {
+          std::string s;
+          size_t len = rng.Uniform(20);
+          for (size_t j = 0; j < len; ++j) {
+            s += static_cast<char>('a' + rng.Uniform(26));
+          }
+          vals.emplace_back(std::move(s));
+        }
+      }
+    }
+    Tuple t(std::move(vals));
+    std::string buf;
+    t.SerializeTo(&buf);
+    Tuple out;
+    size_t off = 0;
+    ASSERT_TRUE(Tuple::DeserializeFrom(buf.data(), buf.size(), &off, &out));
+    EXPECT_EQ(t, out);
+  }
+}
+
+TEST(TupleIdTest, OrderingAndHash) {
+  TupleId a{1, 2}, b{1, 3}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (TupleId{1, 2}));
+  EXPECT_NE(TupleIdHash{}(a), TupleIdHash{}(c));
+}
+
+TEST(SchemaTest, IndexOfAndToString) {
+  Schema s("Emp", {{"name", ValueType::kSymbol},
+                   {"age", ValueType::kInt},
+                   {"salary", ValueType::kInt}});
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.IndexOf("age"), 1);
+  EXPECT_EQ(s.IndexOf("nope"), -1);
+  EXPECT_TRUE(s.Has("salary"));
+  EXPECT_EQ(s.ToString(), "Emp(name, age, salary)");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a("T", {{"x", ValueType::kInt}});
+  Schema b("T", {{"x", ValueType::kInt}});
+  Schema c("T", {{"x", ValueType::kSymbol}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace prodb

@@ -1,0 +1,102 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace prodb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "nil");
+}
+
+TEST(ValueTest, IntBasics) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, RealBasics) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 3.5);
+}
+
+TEST(ValueTest, SymbolBasics) {
+  Value v("Toy");
+  EXPECT_TRUE(v.is_symbol());
+  EXPECT_EQ(v.as_symbol(), "Toy");
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  // OPS5 semantics: 3 matches 3.0.
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value(3.5));
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, SymbolsNeverEqualNumbers) {
+  EXPECT_NE(Value("3"), Value(3));
+  EXPECT_NE(Value(""), Value());
+}
+
+TEST(ValueTest, NullEqualsOnlyNull) {
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(0));
+  EXPECT_NE(Value(), Value(""));
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value(5).Compare(Value(5)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderNullNumberSymbol) {
+  EXPECT_LT(Value(), Value(-1000000));
+  EXPECT_LT(Value(1000000), Value("a"));
+  EXPECT_LT(Value(), Value(""));
+}
+
+TEST(ValueTest, ComparisonOperatorsConsistent) {
+  Value a(1), b(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_FALSE(a > b);
+  EXPECT_FALSE(a >= b);
+  EXPECT_TRUE(b >= b);
+  EXPECT_TRUE(b <= b);
+}
+
+TEST(ValueTest, HashDistinguishesValues) {
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Value(i).Hash());
+  }
+  // No pathological collapse.
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(ValueTest, LargeIntHashDoesNotCrash) {
+  // Ints not exactly representable as double take a separate hash path.
+  Value big(int64_t{(1LL << 62) + 1});
+  Value big2(int64_t{(1LL << 62) + 2});
+  EXPECT_NE(big, big2);
+  (void)big.Hash();
+}
+
+TEST(ValueTest, FootprintCountsHeapStrings) {
+  Value small("ab");
+  Value large(std::string(100, 'x'));
+  EXPECT_GT(large.FootprintBytes(), small.FootprintBytes());
+}
+
+}  // namespace
+}  // namespace prodb
