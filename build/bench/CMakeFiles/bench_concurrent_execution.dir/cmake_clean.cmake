@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_execution.dir/bench_concurrent_execution.cc.o"
+  "CMakeFiles/bench_concurrent_execution.dir/bench_concurrent_execution.cc.o.d"
+  "bench_concurrent_execution"
+  "bench_concurrent_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbms_rete.dir/bench_dbms_rete.cc.o"
+  "CMakeFiles/bench_dbms_rete.dir/bench_dbms_rete.cc.o.d"
+  "bench_dbms_rete"
+  "bench_dbms_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbms_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deletion_negation.dir/bench_deletion_negation.cc.o"
+  "CMakeFiles/bench_deletion_negation.dir/bench_deletion_negation.cc.o.d"
+  "bench_deletion_negation"
+  "bench_deletion_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deletion_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_recompute.dir/bench_join_recompute.cc.o"
+  "CMakeFiles/bench_join_recompute.dir/bench_join_recompute.cc.o.d"
+  "bench_join_recompute"
+  "bench_join_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match_latency.dir/bench_match_latency.cc.o"
+  "CMakeFiles/bench_match_latency.dir/bench_match_latency.cc.o.d"
+  "bench_match_latency"
+  "bench_match_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_propagation_depth.dir/bench_propagation_depth.cc.o"
+  "CMakeFiles/bench_propagation_depth.dir/bench_propagation_depth.cc.o.d"
+  "bench_propagation_depth"
+  "bench_propagation_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_propagation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_indexing.dir/bench_rule_indexing.cc.o"
+  "CMakeFiles/bench_rule_indexing.dir/bench_rule_indexing.cc.o.d"
+  "bench_rule_indexing"
+  "bench_rule_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_maintenance.dir/bench_view_maintenance.cc.o"
+  "CMakeFiles/bench_view_maintenance.dir/bench_view_maintenance.cc.o.d"
+  "bench_view_maintenance"
+  "bench_view_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_factory_floor.dir/factory_floor.cpp.o"
+  "CMakeFiles/example_factory_floor.dir/factory_floor.cpp.o.d"
+  "example_factory_floor"
+  "example_factory_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_factory_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_factory_floor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rulebase_explorer.dir/rulebase_explorer.cpp.o"
+  "CMakeFiles/example_rulebase_explorer.dir/rulebase_explorer.cpp.o.d"
+  "example_rulebase_explorer"
+  "example_rulebase_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rulebase_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

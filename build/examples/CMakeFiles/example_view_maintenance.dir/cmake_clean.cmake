@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_view_maintenance.dir/view_maintenance.cpp.o"
+  "CMakeFiles/example_view_maintenance.dir/view_maintenance.cpp.o.d"
+  "example_view_maintenance"
+  "example_view_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_view_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

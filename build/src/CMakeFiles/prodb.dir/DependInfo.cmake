@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/prodb.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/prodb.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/prodb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/prodb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/tuple.cc" "src/CMakeFiles/prodb.dir/common/tuple.cc.o" "gcc" "src/CMakeFiles/prodb.dir/common/tuple.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/prodb.dir/common/value.cc.o" "gcc" "src/CMakeFiles/prodb.dir/common/value.cc.o.d"
+  "/root/repo/src/core/production_system.cc" "src/CMakeFiles/prodb.dir/core/production_system.cc.o" "gcc" "src/CMakeFiles/prodb.dir/core/production_system.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/prodb.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/prodb.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/CMakeFiles/prodb.dir/db/executor.cc.o" "gcc" "src/CMakeFiles/prodb.dir/db/executor.cc.o.d"
+  "/root/repo/src/db/predicate.cc" "src/CMakeFiles/prodb.dir/db/predicate.cc.o" "gcc" "src/CMakeFiles/prodb.dir/db/predicate.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/CMakeFiles/prodb.dir/db/relation.cc.o" "gcc" "src/CMakeFiles/prodb.dir/db/relation.cc.o.d"
+  "/root/repo/src/engine/actions.cc" "src/CMakeFiles/prodb.dir/engine/actions.cc.o" "gcc" "src/CMakeFiles/prodb.dir/engine/actions.cc.o.d"
+  "/root/repo/src/engine/concurrent_engine.cc" "src/CMakeFiles/prodb.dir/engine/concurrent_engine.cc.o" "gcc" "src/CMakeFiles/prodb.dir/engine/concurrent_engine.cc.o.d"
+  "/root/repo/src/engine/sequential_engine.cc" "src/CMakeFiles/prodb.dir/engine/sequential_engine.cc.o" "gcc" "src/CMakeFiles/prodb.dir/engine/sequential_engine.cc.o.d"
+  "/root/repo/src/engine/strategy.cc" "src/CMakeFiles/prodb.dir/engine/strategy.cc.o" "gcc" "src/CMakeFiles/prodb.dir/engine/strategy.cc.o.d"
+  "/root/repo/src/engine/working_memory.cc" "src/CMakeFiles/prodb.dir/engine/working_memory.cc.o" "gcc" "src/CMakeFiles/prodb.dir/engine/working_memory.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/prodb.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/prodb.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/prodb.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/prodb.dir/index/rtree.cc.o.d"
+  "/root/repo/src/lang/analyzer.cc" "src/CMakeFiles/prodb.dir/lang/analyzer.cc.o" "gcc" "src/CMakeFiles/prodb.dir/lang/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/prodb.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/prodb.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/prodb.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/prodb.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/prodb.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/prodb.dir/lang/parser.cc.o.d"
+  "/root/repo/src/match/conflict_set.cc" "src/CMakeFiles/prodb.dir/match/conflict_set.cc.o" "gcc" "src/CMakeFiles/prodb.dir/match/conflict_set.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/CMakeFiles/prodb.dir/match/matcher.cc.o" "gcc" "src/CMakeFiles/prodb.dir/match/matcher.cc.o.d"
+  "/root/repo/src/match/pattern_matcher.cc" "src/CMakeFiles/prodb.dir/match/pattern_matcher.cc.o" "gcc" "src/CMakeFiles/prodb.dir/match/pattern_matcher.cc.o.d"
+  "/root/repo/src/match/query_matcher.cc" "src/CMakeFiles/prodb.dir/match/query_matcher.cc.o" "gcc" "src/CMakeFiles/prodb.dir/match/query_matcher.cc.o.d"
+  "/root/repo/src/rete/network.cc" "src/CMakeFiles/prodb.dir/rete/network.cc.o" "gcc" "src/CMakeFiles/prodb.dir/rete/network.cc.o.d"
+  "/root/repo/src/rete/token_store.cc" "src/CMakeFiles/prodb.dir/rete/token_store.cc.o" "gcc" "src/CMakeFiles/prodb.dir/rete/token_store.cc.o.d"
+  "/root/repo/src/ruleindex/basic_locking.cc" "src/CMakeFiles/prodb.dir/ruleindex/basic_locking.cc.o" "gcc" "src/CMakeFiles/prodb.dir/ruleindex/basic_locking.cc.o.d"
+  "/root/repo/src/ruleindex/predicate_index.cc" "src/CMakeFiles/prodb.dir/ruleindex/predicate_index.cc.o" "gcc" "src/CMakeFiles/prodb.dir/ruleindex/predicate_index.cc.o.d"
+  "/root/repo/src/ruleindex/rulebase_query.cc" "src/CMakeFiles/prodb.dir/ruleindex/rulebase_query.cc.o" "gcc" "src/CMakeFiles/prodb.dir/ruleindex/rulebase_query.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/prodb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/prodb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/prodb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/prodb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/prodb.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/prodb.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/prodb.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/prodb.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/prodb.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/prodb.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/prodb.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/prodb.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

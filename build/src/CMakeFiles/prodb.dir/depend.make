@@ -1,0 +1,2 @@
+# Empty dependencies file for prodb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_engine_test.dir/concurrent_engine_test.cc.o"
+  "CMakeFiles/concurrent_engine_test.dir/concurrent_engine_test.cc.o.d"
+  "concurrent_engine_test"
+  "concurrent_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

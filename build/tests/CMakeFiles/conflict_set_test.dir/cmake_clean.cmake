@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_set_test.dir/conflict_set_test.cc.o"
+  "CMakeFiles/conflict_set_test.dir/conflict_set_test.cc.o.d"
+  "conflict_set_test"
+  "conflict_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

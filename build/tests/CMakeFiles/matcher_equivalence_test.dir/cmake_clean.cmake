@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_equivalence_test.dir/matcher_equivalence_test.cc.o"
+  "CMakeFiles/matcher_equivalence_test.dir/matcher_equivalence_test.cc.o.d"
+  "matcher_equivalence_test"
+  "matcher_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

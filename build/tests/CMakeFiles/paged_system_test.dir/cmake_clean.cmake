@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_system_test.dir/paged_system_test.cc.o"
+  "CMakeFiles/paged_system_test.dir/paged_system_test.cc.o.d"
+  "paged_system_test"
+  "paged_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_matcher_edge_test.dir/pattern_matcher_edge_test.cc.o"
+  "CMakeFiles/pattern_matcher_edge_test.dir/pattern_matcher_edge_test.cc.o.d"
+  "pattern_matcher_edge_test"
+  "pattern_matcher_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_matcher_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

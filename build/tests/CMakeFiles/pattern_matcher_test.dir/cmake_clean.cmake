@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_matcher_test.dir/pattern_matcher_test.cc.o"
+  "CMakeFiles/pattern_matcher_test.dir/pattern_matcher_test.cc.o.d"
+  "pattern_matcher_test"
+  "pattern_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

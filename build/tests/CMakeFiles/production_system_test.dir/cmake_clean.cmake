@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_system_test.dir/production_system_test.cc.o"
+  "CMakeFiles/production_system_test.dir/production_system_test.cc.o.d"
+  "production_system_test"
+  "production_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulebase_query_test.dir/rulebase_query_test.cc.o"
+  "CMakeFiles/rulebase_query_test.dir/rulebase_query_test.cc.o.d"
+  "rulebase_query_test"
+  "rulebase_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulebase_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

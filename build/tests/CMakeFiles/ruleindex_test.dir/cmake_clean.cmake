@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruleindex_test.dir/ruleindex_test.cc.o"
+  "CMakeFiles/ruleindex_test.dir/ruleindex_test.cc.o.d"
+  "ruleindex_test"
+  "ruleindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruleindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_engine_test.dir/sequential_engine_test.cc.o"
+  "CMakeFiles/sequential_engine_test.dir/sequential_engine_test.cc.o.d"
+  "sequential_engine_test"
+  "sequential_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

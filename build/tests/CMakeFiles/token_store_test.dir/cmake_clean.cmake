@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_store_test.dir/token_store_test.cc.o"
+  "CMakeFiles/token_store_test.dir/token_store_test.cc.o.d"
+  "token_store_test"
+  "token_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
