@@ -87,6 +87,23 @@ Status Relation::Delete(TupleId id) {
   return DeleteUnlocked(id);
 }
 
+Status Relation::Restore(TupleId id, const Tuple& tuple) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (tuple.arity() != schema_.arity()) {
+    return Status::InvalidArgument(name() + ": arity mismatch on restore");
+  }
+  if (kind_ == StorageKind::kMemory) {
+    auto [it, inserted] = rows_.emplace(id, tuple);
+    if (!inserted) return Status::AlreadyExists("tuple " + id.ToString());
+    mem_bytes_ += tuple.FootprintBytes();
+    if (id.page_id >= next_row_) next_row_ = id.page_id + 1;
+  } else {
+    PRODB_RETURN_IF_ERROR(heap_->Restore(id, tuple));
+  }
+  IndexInsert(tuple, id);
+  return Status::OK();
+}
+
 Status Relation::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (tuple.arity() != schema_.arity()) {

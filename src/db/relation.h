@@ -47,6 +47,13 @@ class Relation {
   Status Insert(const Tuple& tuple, TupleId* id);
   Status Get(TupleId id, Tuple* out) const;
   Status Delete(TupleId id);
+  /// Re-inserts a previously deleted tuple under its original id.
+  /// Deadlock compensation needs this: maintenance is deferred to the
+  /// commit point, so matcher state recorded before the aborted
+  /// transaction still references the old id — restoring by value alone
+  /// would leave those references permanently stale. Fails with
+  /// AlreadyExists if the id is live.
+  Status Restore(TupleId id, const Tuple& tuple);
   /// Update keeps or changes the TupleId depending on the backend; the
   /// resulting id is returned via *new_id.
   Status Update(TupleId id, const Tuple& tuple, TupleId* new_id);

@@ -25,22 +25,26 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
       matcher_->rules()[static_cast<size_t>(inst.rule_index)];
   auto txn = txn_manager_.Begin();
 
-  // Compensate-and-release on abort: reverse the applied changes through
-  // the same relation+matcher path so the COND state stays consistent.
+  // The transaction's whole ∆ins/∆del, built up as the RHS executes.
+  // Relations are mutated eagerly (under write locks); the matcher sees
+  // nothing until the single OnBatch at the commit point.
+  ChangeSet delta;
+
+  // Compensate-and-release on abort. The matcher was never told about
+  // this transaction's changes (maintenance is deferred to the commit
+  // point), so compensation is purely relational: apply the inverse
+  // ChangeSet, then release the locks. Undone deletes go through Restore
+  // so tuples come back under their original ids — conflict-set entries
+  // recorded before this transaction still reference those ids, and a
+  // value-only re-insert would strand them on ids that no longer exist.
   auto abort_with = [&](Status st) -> Status {
-    const auto& changes = txn->changes();
-    for (auto it = changes.rbegin(); it != changes.rend(); ++it) {
-      Relation* rel = wm_.catalog()->Get(it->relation);
-      if (it->inserted) {
-        Status s = rel->Delete(it->id);
-        if (s.ok()) s = matcher_->OnDelete(it->relation, it->id, it->tuple);
-        if (!s.ok()) return s;
-      } else {
-        TupleId nid;
-        Status s = rel->Insert(it->tuple, &nid);
-        if (s.ok()) s = matcher_->OnInsert(it->relation, nid, it->tuple);
-        if (!s.ok()) return s;
-      }
+    ChangeSet inverse = delta.Inverse();
+    for (size_t i = 0; i < inverse.size(); ++i) {
+      Delta& d = inverse[i];
+      Relation* rel = wm_.catalog()->Get(d.relation);
+      Status s = d.is_insert() ? rel->Restore(d.id, d.tuple)
+                               : rel->Delete(d.id);
+      if (!s.ok()) return s;
     }
     txn_manager_.lock_manager()->ReleaseAll(txn->id());
     return st;
@@ -85,7 +89,7 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
     }
   }
 
-  // 3. RHS actions under write locks, with maintenance after each change.
+  // 3. RHS actions under write locks, recorded into the ChangeSet.
   std::vector<TupleId> current = inst.tuple_ids;
   std::vector<Tuple> current_tuples = inst.tuples;
   bool halt_requested = false;
@@ -96,8 +100,7 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
         TupleId id;
         Status st = txn->Insert(action.target, t, &id);
         if (!st.ok()) return abort_with(st);
-        st = matcher_->OnInsert(action.target, id, t);
-        if (!st.ok()) return abort_with(st);
+        delta.AddInsert(action.target, t, id);
         break;
       }
       case ActionKind::kRemove: {
@@ -105,8 +108,7 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
         const std::string& cls = rule.lhs.conditions[ce].relation;
         Status st = txn->Delete(cls, current[ce]);
         if (!st.ok()) return abort_with(st);
-        st = matcher_->OnDelete(cls, current[ce], current_tuples[ce]);
-        if (!st.ok()) return abort_with(st);
+        delta.AddDelete(cls, current[ce], current_tuples[ce]);
         break;
       }
       case ActionKind::kModify: {
@@ -116,13 +118,10 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
             BuildModifyTuple(action, current_tuples[ce], inst.binding);
         Status st = txn->Delete(cls, current[ce]);
         if (!st.ok()) return abort_with(st);
-        st = matcher_->OnDelete(cls, current[ce], current_tuples[ce]);
-        if (!st.ok()) return abort_with(st);
         TupleId id;
         st = txn->Insert(cls, next, &id);
         if (!st.ok()) return abort_with(st);
-        st = matcher_->OnInsert(cls, id, next);
-        if (!st.ok()) return abort_with(st);
+        delta.AddModify(cls, current[ce], current_tuples[ce], next, id);
         current[ce] = id;
         current_tuples[ce] = std::move(next);
         break;
@@ -142,8 +141,20 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
     }
   }
 
-  // 4. Commit: maintenance has already run for every change, so the
-  //    §5.2 commit point is satisfied; locks release now.
+  // 4. Maintenance, then commit: the matcher receives the transaction's
+  //    whole ∆ in one OnBatch *before* locks release — the paper's rule
+  //    that "a production should not commit its RHS actions and release
+  //    its locks until the triggered maintenance process updates the
+  //    affected COND relations as well" (§5.2), made structural.
+  if (!delta.empty()) {
+    Status st = matcher_->OnBatch(delta);
+    if (!st.ok()) {
+      // Maintenance failed mid-batch: matcher state cannot be unwound
+      // cleanly, so surface the error (relations keep the committed ∆).
+      txn_manager_.lock_manager()->ReleaseAll(txn->id());
+      return st;
+    }
+  }
   txn_manager_.Commit(txn.get());
   {
     std::lock_guard<std::mutex> lock(mu_);

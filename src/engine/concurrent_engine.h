@@ -39,15 +39,19 @@ struct ConcurrentRunResult {
 ///   2. validate the instantiation against current WM (a concurrently
 ///      committed transaction may have deleted or changed its tuples —
 ///      the ∆del of §5.2); stale instantiations are discarded;
-///   3. execute the RHS under write locks, notifying the matcher of each
-///      change as it happens (the maintenance process);
-///   4. only then commit and release locks — the paper's rule that "a
-///      production should not commit its RHS actions and release its
-///      locks until the triggered maintenance process updates the
-///      affected COND relations as well";
-///   5. on deadlock (Status::Deadlock from the lock manager), apply
-///      compensating changes through the same WM+matcher path, release,
-///      and retry the instantiation.
+///   3. execute the RHS under write locks, buffering the transaction's
+///      whole ∆ins/∆del into a ChangeSet (relations mutate eagerly, the
+///      matcher sees nothing yet);
+///   4. hand the ChangeSet to the matcher in one OnBatch, then commit and
+///      release locks — the paper's rule that "a production should not
+///      commit its RHS actions and release its locks until the triggered
+///      maintenance process updates the affected COND relations as well"
+///      is structural: maintenance sits between the last RHS action and
+///      the commit point, and sees the entire ∆ at once;
+///   5. on deadlock (Status::Deadlock from the lock manager), apply the
+///      *inverse* ChangeSet to the relations (the matcher was never
+///      notified, so compensation is purely relational), release, and
+///      retry the instantiation.
 ///
 /// The resulting schedule is serializable by strict 2PL; tests verify
 /// that the committed firing sequence replayed serially reproduces the

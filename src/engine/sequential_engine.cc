@@ -12,6 +12,14 @@ SequentialEngine::SequentialEngine(Catalog* catalog, Matcher* matcher,
 
 Status SequentialEngine::ExecuteActions(const Instantiation& inst,
                                         bool* halted) {
+  wm_.BeginBatch();
+  Status st = ExecuteActionsBuffered(inst, halted);
+  Status commit = wm_.CommitBatch();
+  return st.ok() ? commit : st;
+}
+
+Status SequentialEngine::ExecuteActionsBuffered(const Instantiation& inst,
+                                                bool* halted) {
   const Rule& rule =
       matcher_->rules()[static_cast<size_t>(inst.rule_index)];
   // `modify` may move a matched tuple; later actions referring to the

@@ -57,7 +57,11 @@ class SequentialEngine {
   const std::vector<std::string>& firing_log() const { return firing_log_; }
 
  private:
+  /// Runs the RHS inside a WM batch: relation mutations apply eagerly,
+  /// and the matcher receives the firing's whole ∆ in one OnBatch at the
+  /// end (the atomic-RHS view §5.2's commit rule requires).
   Status ExecuteActions(const Instantiation& inst, bool* halted);
+  Status ExecuteActionsBuffered(const Instantiation& inst, bool* halted);
 
   WorkingMemory wm_;
   Matcher* matcher_;

@@ -2,32 +2,97 @@
 
 namespace prodb {
 
+Status WorkingMemory::ApplyToRelation(Delta* d) {
+  Relation* rel = catalog_->Get(d->relation);
+  if (rel == nullptr) return Status::NotFound("class " + d->relation);
+  if (d->is_insert()) {
+    // An insert that already carries an id is a restore (e.g. the
+    // compensating half of an Inverse()): the tuple must come back under
+    // its original identity, not a fresh one.
+    if (d->id == Delta::kUnassigned) return rel->Insert(d->tuple, &d->id);
+    return rel->Restore(d->id, d->tuple);
+  }
+  // Fetch the old value so the matcher sees what was deleted; callers may
+  // record deletes by id alone.
+  PRODB_RETURN_IF_ERROR(rel->Get(d->id, &d->tuple));
+  return rel->Delete(d->id);
+}
+
 Status WorkingMemory::Insert(const std::string& cls, const Tuple& t,
                              TupleId* id) {
-  Relation* rel = catalog_->Get(cls);
-  if (rel == nullptr) return Status::NotFound("class " + cls);
-  TupleId local;
-  if (id == nullptr) id = &local;
-  PRODB_RETURN_IF_ERROR(rel->Insert(t, id));
-  return matcher_->OnInsert(cls, *id, t);
+  Delta d;
+  d.kind = DeltaKind::kInsert;
+  d.relation = cls;
+  d.tuple = t;
+  PRODB_RETURN_IF_ERROR(ApplyToRelation(&d));
+  if (id != nullptr) *id = d.id;
+  if (in_batch_) {
+    pending_.AddInsert(cls, d.tuple, d.id);
+    return Status::OK();
+  }
+  ChangeSet one;
+  one.AddInsert(cls, d.tuple, d.id);
+  return matcher_->OnBatch(one);
 }
 
 Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
-  Relation* rel = catalog_->Get(cls);
-  if (rel == nullptr) return Status::NotFound("class " + cls);
-  Tuple old;
-  PRODB_RETURN_IF_ERROR(rel->Get(id, &old));
-  PRODB_RETURN_IF_ERROR(rel->Delete(id));
-  return matcher_->OnDelete(cls, id, old);
+  Delta d;
+  d.kind = DeltaKind::kDelete;
+  d.relation = cls;
+  d.id = id;
+  PRODB_RETURN_IF_ERROR(ApplyToRelation(&d));
+  if (in_batch_) {
+    pending_.AddDelete(cls, id, d.tuple);
+    return Status::OK();
+  }
+  ChangeSet one;
+  one.AddDelete(cls, id, d.tuple);
+  return matcher_->OnBatch(one);
 }
 
 Status WorkingMemory::Modify(const std::string& cls, TupleId id,
                              const Tuple& t, TupleId* new_id) {
   // Delete-then-insert, per §3.1 ("modifications are treated as
-  // deletions followed by insertions").
-  PRODB_RETURN_IF_ERROR(Delete(cls, id));
-  TupleId local;
-  return Insert(cls, t, new_id == nullptr ? &local : new_id);
+  // deletions followed by insertions"). The pair is tagged as one logical
+  // modify, and it propagates even when the new tuple equals the old one:
+  // OPS5 refraction counts the modify as fresh WM activity.
+  Relation* rel = catalog_->Get(cls);
+  if (rel == nullptr) return Status::NotFound("class " + cls);
+  Tuple old;
+  PRODB_RETURN_IF_ERROR(rel->Get(id, &old));
+  PRODB_RETURN_IF_ERROR(rel->Delete(id));
+  TupleId nid;
+  PRODB_RETURN_IF_ERROR(rel->Insert(t, &nid));
+  if (new_id != nullptr) *new_id = nid;
+  if (in_batch_) {
+    pending_.AddModify(cls, id, old, t, nid);
+    return Status::OK();
+  }
+  ChangeSet pair;
+  pair.AddModify(cls, id, old, t, nid);
+  return matcher_->OnBatch(pair);
+}
+
+void WorkingMemory::BeginBatch() {
+  in_batch_ = true;
+  pending_.clear();
+}
+
+Status WorkingMemory::CommitBatch() {
+  in_batch_ = false;
+  if (pending_.empty()) return Status::OK();
+  ChangeSet batch;
+  std::swap(batch, pending_);
+  return matcher_->OnBatch(batch);
+}
+
+Status WorkingMemory::Apply(ChangeSet* cs) {
+  // Relations first — the matcher is entitled to see the post-batch WM
+  // state (§5.2: maintenance runs on the transaction's whole ∆).
+  for (size_t i = 0; i < cs->size(); ++i) {
+    PRODB_RETURN_IF_ERROR(ApplyToRelation(&(*cs)[i]));
+  }
+  return matcher_->OnBatch(*cs);
 }
 
 }  // namespace prodb

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/change_set.h"
 #include "common/status.h"
 #include "db/catalog.h"
 #include "lang/rule.h"
@@ -19,12 +20,14 @@ struct MatcherStats {
   std::atomic<uint64_t> tuples_examined{0};  // WM/COND tuples touched
   std::atomic<uint64_t> patterns_stored{0};  // tokens / patterns resident
   std::atomic<uint64_t> propagations{0};     // propagation steps
+  std::atomic<uint64_t> batches{0};          // OnBatch invocations
 
   MatcherStats() = default;
   MatcherStats(const MatcherStats& o)
       : tuples_examined(o.tuples_examined.load()),
         patterns_stored(o.patterns_stored.load()),
-        propagations(o.propagations.load()) {}
+        propagations(o.propagations.load()),
+        batches(o.batches.load()) {}
 };
 
 /// Interface shared by the four matching architectures the paper
@@ -48,6 +51,12 @@ class Matcher {
   virtual Status OnDelete(const std::string& rel, TupleId id,
                           const Tuple& t) = 0;
 
+  /// A whole set of WM changes arrives at once — a transaction's ∆ins/∆del
+  /// (§5.2) or a bulk load. Relations already reflect the entire batch
+  /// when this is called. The default walks the deltas in order through
+  /// OnInsert/OnDelete; matchers override it to propagate set-at-a-time.
+  virtual Status OnBatch(const ChangeSet& batch);
+
   virtual ConflictSet& conflict_set() = 0;
 
   /// Bytes of auxiliary matcher state (Rete memories, COND relations,
@@ -59,6 +68,12 @@ class Matcher {
 
   /// Registered rules (shared helper for engines).
   virtual const std::vector<Rule>& rules() const = 0;
+
+ protected:
+  /// Writable stats, used by the shared OnBatch bookkeeping. Matchers
+  /// that keep a MatcherStats return it here so batch accounting is
+  /// uniform across architectures.
+  virtual MatcherStats* mutable_stats() { return nullptr; }
 };
 
 /// Materializes instantiations from a fully bound rule: per positive CE,

@@ -1,6 +1,7 @@
 #include "match/pattern_matcher.h"
 
 #include <set>
+#include <unordered_set>
 
 namespace prodb {
 
@@ -257,14 +258,53 @@ bool PatternMatcher::Supported(int rule, int ce, const Binding& beta) const {
   return false;
 }
 
+Status PatternMatcher::FlushOps(std::vector<PropagationOp>* ops) {
+  if (ops->empty()) return Status::OK();
+  stats_.propagations += ops->size();
+  bool homogeneous = true;
+  for (const PropagationOp& op : *ops) {
+    if (op.delta != ops->front().delta) {
+      homogeneous = false;
+      break;
+    }
+  }
+  Status result;
+  if (pool_ != nullptr && ops->size() > 1 && homogeneous) {
+    // Parallel propagation: per-class mutexes make ops targeting
+    // different COND relations fully independent, and same-sign bumps on
+    // the same class commute under its mutex.
+    std::mutex err_mu;
+    Status first_error;
+    for (PropagationOp& op : *ops) {
+      pool_->Submit([this, op = std::move(op), &err_mu, &first_error] {
+        Status st = BumpPattern(op.rule, op.target_ce, op.projected,
+                                op.contributor_ce, op.delta);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) first_error = st;
+        }
+      });
+    }
+    pool_->Wait();
+    result = first_error;
+  } else {
+    for (const PropagationOp& op : *ops) {
+      Status st = BumpPattern(op.rule, op.target_ce, op.projected,
+                              op.contributor_ce, op.delta);
+      if (!st.ok()) {
+        result = st;
+        break;
+      }
+    }
+  }
+  ops->clear();
+  return result;
+}
+
 Status PatternMatcher::OnInsert(const std::string& rel, TupleId id,
                                 const Tuple& t) {
   auto pit = positive_by_class_.find(rel);
   if (pit != positive_by_class_.end()) {
-    struct PropagationOp {
-      int rule, target_ce, contributor_ce;
-      Binding projected;
-    };
     std::vector<PropagationOp> ops;
     for (const CeRef& ref : pit->second) {
       const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
@@ -297,35 +337,11 @@ Status PatternMatcher::OnInsert(const std::string& rel, TupleId id,
           continue;
         }
         ops.push_back(PropagationOp{
-            ref.rule, static_cast<int>(k), ref.ce,
+            ref.rule, static_cast<int>(k), ref.ce, +1,
             Project(ref.rule, ref.ce, static_cast<int>(k), beta)});
       }
     }
-    stats_.propagations += ops.size();
-    if (pool_ != nullptr && ops.size() > 1) {
-      // Parallel propagation: per-class mutexes make ops targeting
-      // different COND relations fully independent.
-      std::mutex err_mu;
-      Status first_error;
-      for (PropagationOp& op : ops) {
-        pool_->Submit([this, op = std::move(op), &err_mu, &first_error] {
-          Status st = BumpPattern(op.rule, op.target_ce, op.projected,
-                                  op.contributor_ce, +1);
-          if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(err_mu);
-            if (first_error.ok()) first_error = st;
-          }
-        });
-      }
-      pool_->Wait();
-      PRODB_RETURN_IF_ERROR(first_error);
-    } else {
-      for (const PropagationOp& op : ops) {
-        PRODB_RETURN_IF_ERROR(BumpPattern(op.rule, op.target_ce,
-                                          op.projected, op.contributor_ce,
-                                          +1));
-      }
-    }
+    PRODB_RETURN_IF_ERROR(FlushOps(&ops));
   }
 
   // Negated CEs over this class: consistent instantiations die.
@@ -403,6 +419,154 @@ Status PatternMatcher::OnDelete(const std::string& rel, TupleId id,
     }
   }
   return Status::OK();
+}
+
+Status PatternMatcher::OnBatch(const ChangeSet& batch) {
+  ++stats_.batches;
+  if (batch.size() == 1) {
+    const Delta& d = batch[0];
+    return d.is_insert() ? OnInsert(d.relation, d.id, d.tuple)
+                         : OnDelete(d.relation, d.id, d.tuple);
+  }
+
+  // One conflict-set pass retiring instantiations that reference any
+  // deleted tuple at a positive CE (per-tuple pays one pass per delete).
+  std::map<std::string, std::unordered_set<TupleId, TupleIdHash>> deleted;
+  for (const Delta& d : batch) {
+    if (d.is_delete()) deleted[d.relation].insert(d.id);
+  }
+  if (!deleted.empty()) {
+    conflict_set_.RemoveIf([&](const Instantiation& inst) {
+      const Rule& rule = rules_[static_cast<size_t>(inst.rule_index)];
+      for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+        if (rule.lhs.conditions[ce].negated) continue;
+        auto it = deleted.find(rule.lhs.conditions[ce].relation);
+        if (it != deleted.end() && it->second.count(inst.tuple_ids[ce])) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  // One pass retiring instantiations blocked by inserted negated-CE
+  // witnesses; later additions evaluate against post-batch WM, so they
+  // are censored by the blockers already.
+  bool negated_inserts = false;
+  for (const Delta& d : batch) {
+    if (d.is_insert() && negative_by_class_.count(d.relation)) {
+      negated_inserts = true;
+      break;
+    }
+  }
+  if (negated_inserts) {
+    conflict_set_.RemoveIf([&](const Instantiation& inst) {
+      for (const Delta& d : batch) {
+        if (!d.is_insert()) continue;
+        auto nit = negative_by_class_.find(d.relation);
+        if (nit == negative_by_class_.end()) continue;
+        for (const CeRef& ref : nit->second) {
+          if (ref.rule != inst.rule_index) continue;
+          const ConditionSpec& ce =
+              rules_[static_cast<size_t>(ref.rule)].lhs.conditions
+                  [static_cast<size_t>(ref.ce)];
+          Binding b = inst.binding;
+          if (TupleConsistent(ce, d.tuple, &b)) return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  // Walk the deltas in order, accumulating ±1 pattern bumps; flush only
+  // when a later insert needs to read pattern support, so runs of deltas
+  // propagate to the COND relations in one wave. Mixed-sign queues flush
+  // sequentially, preserving bump order.
+  std::vector<PropagationOp> ops;
+  auto dead = [&](const Delta& d) {
+    auto it = deleted.find(d.relation);
+    return it != deleted.end() && it->second.count(d.id) > 0;
+  };
+  for (const Delta& d : batch) {
+    auto pit = positive_by_class_.find(d.relation);
+    if (d.is_insert()) {
+      if (pit != positive_by_class_.end()) {
+        for (const CeRef& ref : pit->second) {
+          const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+          const ConditionSpec& ce =
+              rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+          Binding beta;
+          if (!BindSingle(ce, d.tuple, rule.lhs.num_vars, &beta)) continue;
+          // Match via one COND search; a tuple also deleted later in the
+          // batch is never seeded (the removal pass already ran, and
+          // EvaluateSeeded force-includes its seed).
+          if (!dead(d)) {
+            PRODB_RETURN_IF_ERROR(FlushOps(&ops));
+            if (Supported(ref.rule, ref.ce, beta)) {
+              std::vector<QueryMatch> matches;
+              PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
+                  rule.lhs, static_cast<size_t>(ref.ce), d.id, d.tuple,
+                  &matches));
+              for (QueryMatch& m : matches) {
+                Instantiation inst;
+                inst.rule_index = ref.rule;
+                inst.rule_name = rule.name;
+                inst.tuple_ids = std::move(m.tuple_ids);
+                inst.tuples = std::move(m.tuples);
+                inst.binding = std::move(m.binding);
+                conflict_set_.Add(std::move(inst));
+              }
+            }
+          }
+          for (size_t k = 0; k < rule.lhs.conditions.size(); ++k) {
+            if (static_cast<int>(k) == ref.ce ||
+                rule.lhs.conditions[k].negated) {
+              continue;
+            }
+            ops.push_back(PropagationOp{
+                ref.rule, static_cast<int>(k), ref.ce, +1,
+                Project(ref.rule, ref.ce, static_cast<int>(k), beta)});
+          }
+        }
+      }
+      continue;
+    }
+    // Delete: queue counter decrements (§4.2.2's counters) and re-derive
+    // instantiations a negated-CE blocker was suppressing.
+    if (pit != positive_by_class_.end()) {
+      for (const CeRef& ref : pit->second) {
+        const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+        const ConditionSpec& ce =
+            rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+        Binding beta;
+        if (!BindSingle(ce, d.tuple, rule.lhs.num_vars, &beta)) continue;
+        for (size_t k = 0; k < rule.lhs.conditions.size(); ++k) {
+          if (static_cast<int>(k) == ref.ce ||
+              rule.lhs.conditions[k].negated) {
+            continue;
+          }
+          ops.push_back(PropagationOp{
+              ref.rule, static_cast<int>(k), ref.ce, -1,
+              Project(ref.rule, ref.ce, static_cast<int>(k), beta)});
+        }
+      }
+    }
+    auto nit = negative_by_class_.find(d.relation);
+    if (nit != negative_by_class_.end()) {
+      for (const CeRef& ref : nit->second) {
+        const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
+        const ConditionSpec& ce =
+            rule.lhs.conditions[static_cast<size_t>(ref.ce)];
+        Binding beta;
+        if (!BindSingle(ce, d.tuple, rule.lhs.num_vars, &beta)) continue;
+        std::vector<Instantiation> insts;
+        PRODB_RETURN_IF_ERROR(MaterializeInstantiations(
+            catalog_, rule, ref.rule, beta, &insts));
+        for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
+      }
+    }
+  }
+  return FlushOps(&ops);
 }
 
 size_t PatternMatcher::AuxiliaryFootprintBytes() const {

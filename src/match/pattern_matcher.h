@@ -61,6 +61,13 @@ class PatternMatcher : public Matcher {
   Status AddRule(const Rule& rule) override;
   Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;
   Status OnDelete(const std::string& rel, TupleId id, const Tuple& t) override;
+  /// Batched maintenance: the conflict-set passes for deletions and for
+  /// negated-CE blockers run once per batch, and pattern counter updates
+  /// (±1 bumps) accumulate across consecutive deltas, flushing lazily —
+  /// only when a later insert must read pattern support — so delete-heavy
+  /// batches propagate to the COND relations in one (possibly parallel)
+  /// wave (§4.2.3).
+  Status OnBatch(const ChangeSet& batch) override;
 
   ConflictSet& conflict_set() override { return conflict_set_; }
   size_t AuxiliaryFootprintBytes() const override;
@@ -84,7 +91,16 @@ class PatternMatcher : public Matcher {
   Status SyncRuleDef();
   Relation* rule_def() const { return rule_def_; }
 
+ protected:
+  MatcherStats* mutable_stats() override { return &stats_; }
+
  private:
+  /// One queued ±1 pattern-counter update.
+  struct PropagationOp {
+    int rule, target_ce, contributor_ce, delta;
+    Binding projected;
+  };
+
   struct PatternEntry {
     Binding binding;                  // projected values (full-width)
     std::vector<uint32_t> counters;   // per-CE contribution counts
@@ -119,6 +135,11 @@ class PatternMatcher : public Matcher {
   /// `projected`, crediting `contributor_ce`. Maintains the COND row.
   Status BumpPattern(int rule, int target_ce, const Binding& projected,
                      int contributor_ce, int delta);
+
+  /// Applies queued ops — on the thread pool when they all carry the same
+  /// sign (per-class mutexes serialize same-class ops, and same-sign
+  /// bumps commute), else sequentially in queue order — and clears them.
+  Status FlushOps(std::vector<PropagationOp>* ops);
 
   /// Single pass over the patterns for (rule, ce): true when for every
   /// positive RCE some pattern consistent with `beta` has support.

@@ -1,5 +1,8 @@
 #include "match/query_matcher.h"
 
+#include <set>
+#include <unordered_set>
+
 namespace prodb {
 
 Status QueryMatcher::AddRule(const Rule& rule) {
@@ -19,6 +22,25 @@ Status QueryMatcher::AddRule(const Rule& rule) {
   return Status::OK();
 }
 
+Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
+                                const Tuple& t) {
+  const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+  std::vector<QueryMatch> matches;
+  PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
+      rule.lhs, static_cast<size_t>(ce), id, t, &matches));
+  for (QueryMatch& m : matches) {
+    ++stats_.tuples_examined;
+    Instantiation inst;
+    inst.rule_index = rule_index;
+    inst.rule_name = rule.name;
+    inst.tuple_ids = std::move(m.tuple_ids);
+    inst.tuples = std::move(m.tuples);
+    inst.binding = std::move(m.binding);
+    conflict_set_.Add(std::move(inst));
+  }
+  return Status::OK();
+}
+
 Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
                               const Tuple& t) {
   // Positive CEs over this class: re-evaluate the LHS seeded with the
@@ -26,21 +48,8 @@ Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
   auto pit = positive_by_class_.find(rel);
   if (pit != positive_by_class_.end()) {
     for (const CeRef& ref : pit->second) {
-      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
-      std::vector<QueryMatch> matches;
-      PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
-          rule.lhs, static_cast<size_t>(ref.ce), id, t, &matches));
       ++stats_.propagations;
-      for (QueryMatch& m : matches) {
-        ++stats_.tuples_examined;
-        Instantiation inst;
-        inst.rule_index = ref.rule;
-        inst.rule_name = rule.name;
-        inst.tuple_ids = std::move(m.tuple_ids);
-        inst.tuples = std::move(m.tuples);
-        inst.binding = std::move(m.binding);
-        conflict_set_.Add(std::move(inst));
-      }
+      PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, id, t));
     }
   }
   // Negated CEs over this class: the new tuple may invalidate existing
@@ -94,6 +103,115 @@ Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
         inst.binding = std::move(m.binding);
         conflict_set_.Add(std::move(inst));
       }
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryMatcher::OnBatch(const ChangeSet& batch) {
+  ++stats_.batches;
+  if (batch.size() == 1) {
+    const Delta& d = batch[0];
+    return d.is_insert() ? OnInsert(d.relation, d.id, d.tuple)
+                         : OnDelete(d.relation, d.id, d.tuple);
+  }
+
+  // 1. One conflict-set pass retiring every instantiation that references
+  //    a deleted tuple at a positive CE (the per-tuple path pays one full
+  //    pass per deletion).
+  std::map<std::string, std::unordered_set<TupleId, TupleIdHash>> deleted;
+  for (const Delta& d : batch) {
+    if (d.is_delete()) deleted[d.relation].insert(d.id);
+  }
+  if (!deleted.empty()) {
+    conflict_set_.RemoveIf([&](const Instantiation& inst) {
+      const Rule& rule = rules_[static_cast<size_t>(inst.rule_index)];
+      for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
+        if (rule.lhs.conditions[ce].negated) continue;
+        auto it = deleted.find(rule.lhs.conditions[ce].relation);
+        if (it != deleted.end() && it->second.count(inst.tuple_ids[ce])) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  // 2. One pass retiring instantiations blocked by inserted tuples via
+  //    negated CEs. Additions below evaluate against the post-batch WM,
+  //    so a blocker inserted anywhere in the batch censors them already.
+  bool negated_inserts = false;
+  for (const Delta& d : batch) {
+    if (d.is_insert() && negative_by_class_.count(d.relation)) {
+      negated_inserts = true;
+      break;
+    }
+  }
+  if (negated_inserts) {
+    conflict_set_.RemoveIf([&](const Instantiation& inst) {
+      for (const Delta& d : batch) {
+        if (!d.is_insert()) continue;
+        auto nit = negative_by_class_.find(d.relation);
+        if (nit == negative_by_class_.end()) continue;
+        for (const CeRef& ref : nit->second) {
+          if (ref.rule != inst.rule_index) continue;
+          const ConditionSpec& ce =
+              rules_[static_cast<size_t>(ref.rule)].lhs.conditions
+                  [static_cast<size_t>(ref.ce)];
+          Binding b = inst.binding;
+          if (TupleConsistent(ce, d.tuple, &b)) return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  // 3. Seeded evaluation per inserted tuple, grouped by (rule, ce) so a
+  //    batch counts one propagation step per affected condition element
+  //    rather than one per tuple. A tuple both inserted and deleted
+  //    within the batch is never seeded: EvaluateSeeded force-includes
+  //    its seed, and the removal pass above has already run.
+  auto dead = [&](const Delta& d) {
+    auto it = deleted.find(d.relation);
+    return it != deleted.end() && it->second.count(d.id) > 0;
+  };
+  for (const auto& [rel, refs] : positive_by_class_) {
+    for (const CeRef& ref : refs) {
+      bool counted = false;
+      for (const Delta& d : batch) {
+        if (!d.is_insert() || d.relation != rel || dead(d)) continue;
+        if (!counted) {
+          ++stats_.propagations;
+          counted = true;
+        }
+        PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, d.id, d.tuple));
+      }
+    }
+  }
+
+  // 4. Each rule negatively dependent on a relation the batch deleted
+  //    from is re-evaluated once — not once per deleted tuple, the
+  //    amortization §4.1.2's "re-computation of joins" cost begs for.
+  std::set<int> reeval;
+  for (const auto& [rel, ids] : deleted) {
+    (void)ids;
+    auto nit = negative_by_class_.find(rel);
+    if (nit == negative_by_class_.end()) continue;
+    for (const CeRef& ref : nit->second) reeval.insert(ref.rule);
+  }
+  for (int rule_index : reeval) {
+    const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+    std::vector<QueryMatch> matches;
+    PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
+    ++stats_.propagations;
+    for (QueryMatch& m : matches) {
+      Instantiation inst;
+      inst.rule_index = rule_index;
+      inst.rule_name = rule.name;
+      inst.tuple_ids = std::move(m.tuple_ids);
+      inst.tuples = std::move(m.tuples);
+      inst.binding = std::move(m.binding);
+      conflict_set_.Add(std::move(inst));
     }
   }
   return Status::OK();

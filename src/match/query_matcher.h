@@ -27,6 +27,12 @@ class QueryMatcher : public Matcher {
   Status AddRule(const Rule& rule) override;
   Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;
   Status OnDelete(const std::string& rel, TupleId id, const Tuple& t) override;
+  /// Set-oriented re-evaluation: one conflict-set pass retires every
+  /// instantiation invalidated by the batch's deletions, and each rule
+  /// negatively dependent on a churned relation is re-evaluated once per
+  /// batch instead of once per deleted tuple (§4.1.2's join
+  /// re-computation, amortized over the whole ∆).
+  Status OnBatch(const ChangeSet& batch) override;
 
   ConflictSet& conflict_set() override { return conflict_set_; }
   size_t AuxiliaryFootprintBytes() const override;
@@ -34,11 +40,18 @@ class QueryMatcher : public Matcher {
   std::string name() const override { return "query"; }
   const std::vector<Rule>& rules() const override { return rules_; }
 
+ protected:
+  MatcherStats* mutable_stats() override { return &stats_; }
+
  private:
   struct CeRef {
     int rule;
     int ce;
   };
+
+  /// Seeded evaluation of (rule, ce) with tuple (id, t); conflict-set
+  /// additions shared by the per-tuple and batched paths.
+  Status SeedAndAdd(int rule_index, int ce, TupleId id, const Tuple& t);
 
   Catalog* catalog_;
   Executor executor_;

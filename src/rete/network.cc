@@ -356,52 +356,64 @@ Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
   });
 }
 
-Status ReteNetwork::ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
-                                  bool positive) {
+Status ReteNetwork::ActivateRightBatch(
+    JoinNode* node, const std::vector<RightActivation>& acts) {
   ++stats_.propagations;
   const Rule& rule = rules_[static_cast<size_t>(node->rule)];
   const size_t n = rule.lhs.conditions.size();
   const ConditionSpec& cond = rule.lhs.conditions[node->ce];
 
-  // Head node: no LEFT memory; the single tuple becomes a token.
+  // Head node: no LEFT memory; each tuple becomes a token on its own.
   if (node->level == 0) {
-    ReteToken token;
-    token.ids.assign(n, ReteToken::kNoTuple);
-    token.tuples.assign(n, Tuple());
-    token.binding.assign(static_cast<size_t>(rule.lhs.num_vars),
-                         std::nullopt);
-    if (!TupleConsistent(cond, t, &token.binding)) return Status::OK();
-    token.ids[node->ce] = id;
-    token.tuples[node->ce] = t;
-    return Descend(node, token, positive);
+    for (const RightActivation& a : acts) {
+      ReteToken token;
+      token.ids.assign(n, ReteToken::kNoTuple);
+      token.tuples.assign(n, Tuple());
+      token.binding.assign(static_cast<size_t>(rule.lhs.num_vars),
+                           std::nullopt);
+      if (!TupleConsistent(cond, *a.tuple, &token.binding)) continue;
+      token.ids[node->ce] = a.id;
+      token.tuples[node->ce] = *a.tuple;
+      PRODB_RETURN_IF_ERROR(Descend(node, token, a.positive));
+    }
+    return Status::OK();
   }
 
-  // The tuple must pass the CE's own tests before entering the memory.
+  // Each tuple must pass the CE's own tests before entering the memory.
   // Tests against variables bound by earlier CEs cannot be evaluated here
   // (they are join tests); defer-and-discard — the join enforces them.
-  {
-    Binding b(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
-    std::vector<DeferredTest> deferred;
-    if (!TupleConsistent(cond, t, &b, &deferred)) return Status::OK();
+  // Store mutations happen up front so the whole group is one atomic
+  // activation; `effective` keeps the activations that actually entered
+  // or left the memory.
+  std::vector<RightActivation> effective;
+  effective.reserve(acts.size());
+  for (const RightActivation& a : acts) {
+    {
+      Binding b(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
+      std::vector<DeferredTest> deferred;
+      if (!TupleConsistent(cond, *a.tuple, &b, &deferred)) continue;
+    }
+    ReteToken single;
+    single.ids.assign(n, ReteToken::kNoTuple);
+    single.tuples.assign(n, Tuple());
+    single.ids[node->ce] = a.id;
+    single.tuples[node->ce] = *a.tuple;
+    if (a.positive) {
+      PRODB_RETURN_IF_ERROR(node->right->Add(single));
+      ++stats_.patterns_stored;
+    } else {
+      bool found = false;
+      PRODB_RETURN_IF_ERROR(node->right->RemoveExact(single, &found));
+      if (!found) continue;
+      if (stats_.patterns_stored > 0) --stats_.patterns_stored;
+    }
+    effective.push_back(a);
   }
+  if (effective.empty()) return Status::OK();
 
-  ReteToken single;
-  single.ids.assign(n, ReteToken::kNoTuple);
-  single.tuples.assign(n, Tuple());
-  single.ids[node->ce] = id;
-  single.tuples[node->ce] = t;
-
-  if (positive) {
-    PRODB_RETURN_IF_ERROR(node->right->Add(single));
-    ++stats_.patterns_stored;
-  } else {
-    bool found = false;
-    PRODB_RETURN_IF_ERROR(node->right->RemoveExact(single, &found));
-    if (!found) return Status::OK();
-    if (stats_.patterns_stored > 0) --stats_.patterns_stored;
-  }
-
-  // Walk the LEFT memory and pair with every consistent token.
+  // Walk the LEFT memory once, pairing every stored token with every
+  // activation of the group in delta order — the per-tuple path re-scans
+  // this memory for each arrival; the batch pays the scan once.
   std::vector<ReteToken> lefts;
   PRODB_RETURN_IF_ERROR(node->left->Scan([&](const ReteToken& l) {
     lefts.push_back(l);
@@ -413,31 +425,52 @@ Status ReteNetwork::ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
       // Relation-backed stores persist tuples, not bindings.
       if (!RecomputeBinding(node->rule, &l, node->level)) continue;
     }
-    Binding b = l.binding;
     // Tokens stored by a shared prefix carry the first compiler's
     // binding width; widen to this rule's variable space.
-    if (b.size() < static_cast<size_t>(rule.lhs.num_vars)) {
-      b.resize(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
+    if (l.binding.size() < static_cast<size_t>(rule.lhs.num_vars)) {
+      l.binding.resize(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
     }
-    if (!TupleConsistent(cond, t, &b)) continue;
-    if (node->negated) {
-      int& count = node->neg_counts[l.Key()];
-      if (positive) {
-        if (++count == 1) {
-          PRODB_RETURN_IF_ERROR(Descend(node, l, false));
+    for (const RightActivation& a : effective) {
+      Binding b = l.binding;
+      if (!TupleConsistent(cond, *a.tuple, &b)) continue;
+      if (node->negated) {
+        int& count = node->neg_counts[l.Key()];
+        if (a.positive) {
+          if (++count == 1) {
+            PRODB_RETURN_IF_ERROR(Descend(node, l, false));
+          }
+        } else {
+          if (--count == 0) {
+            PRODB_RETURN_IF_ERROR(Descend(node, l, true));
+          }
         }
       } else {
-        if (--count == 0) {
-          PRODB_RETURN_IF_ERROR(Descend(node, l, true));
-        }
+        ReteToken merged = l;
+        merged.binding = std::move(b);
+        EnsureWidth(&merged, node->ce);
+        merged.ids[node->ce] = a.id;
+        merged.tuples[node->ce] = *a.tuple;
+        PRODB_RETURN_IF_ERROR(Descend(node, merged, a.positive));
       }
-    } else {
-      ReteToken merged = l;
-      merged.binding = std::move(b);
-      EnsureWidth(&merged, node->ce);
-      merged.ids[node->ce] = id;
-      merged.tuples[node->ce] = t;
-      PRODB_RETURN_IF_ERROR(Descend(node, merged, positive));
+    }
+  }
+  return Status::OK();
+}
+
+Status ReteNetwork::PropagateGroup(const std::string& rel,
+                                   const std::vector<RightActivation>& group) {
+  auto it = alpha_by_class_.find(rel);
+  if (it == alpha_by_class_.end()) return Status::OK();
+  for (AlphaNode* alpha : it->second) {
+    ++stats_.propagations;
+    std::vector<RightActivation> passed;
+    passed.reserve(group.size());
+    for (const RightActivation& a : group) {
+      if (alpha->Matches(*a.tuple)) passed.push_back(a);
+    }
+    if (passed.empty()) continue;
+    for (JoinNode* node : alpha->successors) {
+      PRODB_RETURN_IF_ERROR(ActivateRightBatch(node, passed));
     }
   }
   return Status::OK();
@@ -445,28 +478,30 @@ Status ReteNetwork::ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
 
 Status ReteNetwork::OnInsert(const std::string& rel, TupleId id,
                              const Tuple& t) {
-  auto it = alpha_by_class_.find(rel);
-  if (it == alpha_by_class_.end()) return Status::OK();
-  for (AlphaNode* alpha : it->second) {
-    ++stats_.propagations;
-    if (!alpha->Matches(t)) continue;
-    for (JoinNode* node : alpha->successors) {
-      PRODB_RETURN_IF_ERROR(ActivateRight(node, id, t, /*positive=*/true));
-    }
-  }
-  return Status::OK();
+  return PropagateGroup(rel, {RightActivation{id, &t, /*positive=*/true}});
 }
 
 Status ReteNetwork::OnDelete(const std::string& rel, TupleId id,
                              const Tuple& t) {
-  auto it = alpha_by_class_.find(rel);
-  if (it == alpha_by_class_.end()) return Status::OK();
-  for (AlphaNode* alpha : it->second) {
-    ++stats_.propagations;
-    if (!alpha->Matches(t)) continue;
-    for (JoinNode* node : alpha->successors) {
-      PRODB_RETURN_IF_ERROR(ActivateRight(node, id, t, /*positive=*/false));
-    }
+  return PropagateGroup(rel, {RightActivation{id, &t, /*positive=*/false}});
+}
+
+Status ReteNetwork::OnBatch(const ChangeSet& batch) {
+  ++stats_.batches;
+  // Group same-relation deltas, preserving their relative order (ids are
+  // never reused, so cross-relation reordering cannot invert an
+  // insert/delete pair of the same tuple). Groups run in first-appearance
+  // order; the conflict set reconciles by instantiation key, so the net
+  // result matches per-tuple propagation.
+  std::vector<const std::string*> order;
+  std::map<std::string, std::vector<RightActivation>> groups;
+  for (const Delta& d : batch) {
+    auto [it, inserted] = groups.try_emplace(d.relation);
+    if (inserted) order.push_back(&it->first);
+    it->second.push_back(RightActivation{d.id, &d.tuple, d.is_insert()});
+  }
+  for (const std::string* rel : order) {
+    PRODB_RETURN_IF_ERROR(PropagateGroup(*rel, groups[*rel]));
   }
   return Status::OK();
 }

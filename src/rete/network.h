@@ -62,6 +62,12 @@ class ReteNetwork : public Matcher {
   Status AddRule(const Rule& rule) override;
   Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;
   Status OnDelete(const std::string& rel, TupleId id, const Tuple& t) override;
+  /// Set-oriented propagation: groups same-relation deltas (preserving
+  /// their order) and pushes each group through the alpha network in one
+  /// pass, so two-input nodes scan their LEFT memories once per group
+  /// instead of once per tuple — the set-at-a-time access the DBMS
+  /// setting exists to provide (§3.2).
+  Status OnBatch(const ChangeSet& batch) override;
 
   ConflictSet& conflict_set() override { return conflict_set_; }
   size_t AuxiliaryFootprintBytes() const override;
@@ -75,9 +81,19 @@ class ReteNetwork : public Matcher {
   /// Total tokens resident in LEFT+RIGHT memories.
   size_t TokenCount() const;
 
+ protected:
+  MatcherStats* mutable_stats() override { return &stats_; }
+
  private:
   struct AlphaNode;
   struct JoinNode;
+
+  /// One signed right-input arrival, batched per group.
+  struct RightActivation {
+    TupleId id;
+    const Tuple* tuple;
+    bool positive;
+  };
 
   Status BuildRule(const Rule& rule, int rule_index);
 
@@ -91,9 +107,15 @@ class ReteNetwork : public Matcher {
   /// Forwards a token past `node`: fires its productions, then feeds its
   /// children (several when chain prefixes are shared).
   Status Descend(JoinNode* node, const ReteToken& token, bool positive);
-  /// A WM tuple arrives on the right input of `node`.
-  Status ActivateRight(JoinNode* node, TupleId id, const Tuple& t,
-                       bool positive);
+  /// A group of WM tuples arrives on the right input of `node` as one
+  /// atomic activation: every store mutation is applied, then the LEFT
+  /// memory is scanned once, pairing each stored token with every
+  /// activation in delta order.
+  Status ActivateRightBatch(JoinNode* node,
+                            const std::vector<RightActivation>& acts);
+  /// Feeds a group of same-relation deltas through the alpha network.
+  Status PropagateGroup(const std::string& rel,
+                        const std::vector<RightActivation>& group);
   /// Token passed all joins of a rule: update the conflict set.
   Status Produce(int rule, const ReteToken& token, bool positive);
 

@@ -88,15 +88,12 @@ void CompactPage(char* page) {
 int InsertIntoPage(char* page, const std::string& rec) {
   if (rec.size() > kPageSize - kHeaderSize - kSlotSize) return -1;
   uint16_t slots = GetU16(page, kSlotCountOff);
-  // Prefer reusing a dead slot (no directory growth).
-  int free_slot = -1;
-  for (uint16_t s = 0; s < slots; ++s) {
-    if (SlotLength(page, s) == kDeadSlot) {
-      free_slot = s;
-      break;
-    }
-  }
-  size_t need = rec.size() + (free_slot < 0 ? kSlotSize : 0);
+  // Dead slots are never reused for new records: a TupleId, once
+  // assigned, permanently names the tuple that lived there — matcher
+  // bookkeeping and abort compensation (Restore) key on id stability.
+  // Only the 4-byte directory entry persists; the record bytes are
+  // reclaimed by CompactPage.
+  size_t need = rec.size() + kSlotSize;
   if (ContiguousFree(page) < need) {
     if (ReclaimableFree(page) < need) return -1;
     CompactPage(page);
@@ -106,13 +103,8 @@ int InsertIntoPage(char* page, const std::string& rec) {
   free_end = static_cast<uint16_t>(free_end - rec.size());
   std::memcpy(page + free_end, rec.data(), rec.size());
   PutU16(page, kFreeEndOff, free_end);
-  uint16_t slot;
-  if (free_slot >= 0) {
-    slot = static_cast<uint16_t>(free_slot);
-  } else {
-    slot = slots;
-    PutU16(page, kSlotCountOff, static_cast<uint16_t>(slots + 1));
-  }
+  uint16_t slot = slots;
+  PutU16(page, kSlotCountOff, static_cast<uint16_t>(slots + 1));
   SetSlot(page, slot, free_end, static_cast<uint16_t>(rec.size()));
   return slot;
 }
@@ -252,6 +244,40 @@ Status HeapFile::Delete(TupleId id) {
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     --live_tuples_;
+    dirty = true;
+  }
+  PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, dirty));
+  return st;
+}
+
+Status HeapFile::Restore(TupleId id, const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string rec;
+  tuple.SerializeTo(&rec);
+  Frame* frame;
+  PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
+  Status st = Status::OK();
+  bool dirty = false;
+  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  if (id.slot_id >= slots) {
+    st = Status::InvalidArgument("no slot " + id.ToString());
+  } else if (SlotLength(frame->data, id.slot_id) != kDeadSlot) {
+    st = Status::AlreadyExists("slot live " + id.ToString());
+  } else if (ReclaimableFree(frame->data) < rec.size()) {
+    st = Status::IOError("page full restoring " + id.ToString());
+  } else {
+    // CompactPage preserves slot ids and leaves dead slots dead, so the
+    // directory entry at id.slot_id survives.
+    if (ContiguousFree(frame->data) < rec.size()) CompactPage(frame->data);
+    uint16_t free_end = GetU16(frame->data, kFreeEndOff);
+    free_end = static_cast<uint16_t>(free_end - rec.size());
+    std::memcpy(frame->data + free_end, rec.data(), rec.size());
+    PutU16(frame->data, kFreeEndOff, free_end);
+    SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), free_end,
+            static_cast<uint16_t>(rec.size()));
+    free_space_[id.page_id] =
+        static_cast<uint16_t>(ReclaimableFree(frame->data));
+    ++live_tuples_;
     dirty = true;
   }
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, dirty));

@@ -21,8 +21,11 @@ namespace prodb {
 ///   ... free space ...                         [record k]...[record 0]
 /// where each slot is (u16 offset, u16 length). Records grow downward
 /// from the end of the page; the slot directory grows upward. A deleted
-/// slot has length kDeadSlot and its space is reclaimed by CompactPage
-/// when an insertion would otherwise not fit.
+/// slot has length kDeadSlot and its record space is reclaimed by
+/// CompactPage when an insertion would otherwise not fit. Dead slots are
+/// never reused for new inserts — TupleIds are stable for the lifetime
+/// of the file (matcher bookkeeping and abort compensation key on them);
+/// only Restore may revive a dead slot, under its original id.
 ///
 /// Pages of one heap file form a singly linked list through next_page_id,
 /// so a file can be reopened from its head page id after restart.
@@ -45,6 +48,12 @@ class HeapFile {
 
   /// Tombstones the slot at `id`. Space is reclaimed lazily.
   Status Delete(TupleId id);
+
+  /// Revives the tombstoned slot at `id` with `tuple` (abort
+  /// compensation). The slot directory entry must still exist and be
+  /// dead; the record is rewritten into the page's free space, compacting
+  /// first if needed. Fails with AlreadyExists if the slot is live.
+  Status Restore(TupleId id, const Tuple& tuple);
 
   /// Replaces the tuple at `id`. If the new encoding fits in place (after
   /// compaction) the TupleId is preserved; otherwise the record moves and

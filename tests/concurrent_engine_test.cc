@@ -219,6 +219,72 @@ TEST_F(ConcurrentEngineTest, PatternMatcherUnderConcurrency) {
   EXPECT_EQ(h.catalog->Get("Done")->Count(), 50u);
 }
 
+TEST_F(ConcurrentEngineTest, DeadlockCompensationPreservesExactState) {
+  // Two symmetric rules lock the same (X i, Y i) pair in opposite CE
+  // order — the classic deadlock shape. Victims compensate by applying
+  // the inverse ChangeSet to the relations (the matcher was never
+  // notified mid-transaction), so however many aborts occur, the net
+  // effect must be exactly one consumption per pair.
+  ConcurrentEngineOptions opts;
+  opts.workers = 8;
+  opts.seed = 13;
+  Load(R"(
+(literalize X id)
+(literalize Y id)
+(literalize Out id)
+(p xy (X ^id <i>) (Y ^id <i>) --> (remove 1) (remove 2) (make Out ^id <i>))
+(p yx (Y ^id <i>) (X ^id <i>) --> (remove 1) (remove 2) (make Out ^id <i>))
+)",
+       opts);
+  const int kPairs = 40;
+  for (int i = 0; i < kPairs; ++i) {
+    ASSERT_TRUE(engine_->Insert("X", Tuple{Value(i)}).ok());
+    ASSERT_TRUE(engine_->Insert("Y", Tuple{Value(i)}).ok());
+  }
+  ConcurrentRunResult result;
+  ASSERT_TRUE(engine_->Run(&result).ok());
+  // Exactly one of {xy, yx} consumed each pair; aborted victims left no
+  // residue in the relations or the conflict set.
+  EXPECT_EQ(harness_.catalog->Get("X")->Count(), 0u);
+  EXPECT_EQ(harness_.catalog->Get("Y")->Count(), 0u);
+  EXPECT_EQ(harness_.catalog->Get("Out")->Count(),
+            static_cast<size_t>(kPairs));
+  EXPECT_EQ(result.firings, static_cast<size_t>(kPairs));
+  EXPECT_TRUE(harness_.matcher->conflict_set().empty());
+  EXPECT_EQ(locks_.LockedResourceCount(), 0u);
+}
+
+TEST_F(ConcurrentEngineTest, CommitDeliversWholeRhsAsOneBatch) {
+  // §5.2 commit rule, structural form: the matcher hears a transaction's
+  // ∆ as exactly one OnBatch per committed firing (plus the initial
+  // loads), never action-by-action.
+  ConcurrentEngineOptions opts;
+  opts.workers = 2;
+  Load(R"(
+(literalize Work id)
+(literalize DoneA id)
+(literalize DoneB id)
+(p fanout (Work ^id <x>) -->
+  (remove 1) (make DoneA ^id <x>) (make DoneB ^id <x>))
+)",
+       opts);
+  const int kItems = 16;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(engine_->Insert("Work", Tuple{Value(i)}).ok());
+  }
+  uint64_t batches_after_load = harness_.matcher->stats().batches.load();
+  ConcurrentRunResult result;
+  ASSERT_TRUE(engine_->Run(&result).ok());
+  EXPECT_EQ(result.firings, static_cast<size_t>(kItems));
+  // One batch per committed transaction (deadlock-free workload).
+  EXPECT_EQ(harness_.matcher->stats().batches.load() - batches_after_load,
+            static_cast<uint64_t>(kItems));
+  EXPECT_EQ(harness_.catalog->Get("DoneA")->Count(),
+            static_cast<size_t>(kItems));
+  EXPECT_EQ(harness_.catalog->Get("DoneB")->Count(),
+            static_cast<size_t>(kItems));
+}
+
 TEST_F(ConcurrentEngineTest, HaltStopsWorkers) {
   ConcurrentEngineOptions opts;
   opts.workers = 4;

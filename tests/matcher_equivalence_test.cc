@@ -166,6 +166,134 @@ TEST(MatcherEquivalence, NegationChurn) {
   RunTrace(program, {"Order", "Assignment"}, gen, 47, 300, 0.35);
 }
 
+// Batched-vs-per-tuple equivalence: the same logical trace is driven
+// through a reference harness one delta at a time and through a second
+// harness via BeginBatch/CommitBatch with shuffled batch sizes (so every
+// OnBatch override — Rete relation grouping, the query matcher's
+// amortized passes, the pattern matcher's lazy bump flush — is exercised
+// against the per-tuple oracle). Conflict sets must agree at every batch
+// boundary, and auxiliary footprints must track each other since the net
+// matcher state is identical.
+void RunBatchedTrace(const std::string& program,
+                     const std::vector<std::string>& classes,
+                     const std::function<Tuple(const std::string&, Rng*)>& gen,
+                     uint64_t seed, int num_batches, double delete_prob,
+                     double modify_prob) {
+  for (const MatcherCase& mc : AllMatchers()) {
+    MatcherHarness ref, bat;
+    ASSERT_TRUE(ref.Init(program, mc.factory).ok()) << mc.name;
+    ASSERT_TRUE(bat.Init(program, mc.factory).ok()) << mc.name;
+
+    Rng rng(seed);
+    // Per class: live tuples with their (reference, batched) ids.
+    std::map<std::string, std::vector<std::pair<TupleId, TupleId>>> live;
+    std::map<std::string, std::vector<Tuple>> live_t;
+    const size_t kSizes[] = {1, 2, 3, 5, 8, 13, 21};
+
+    for (int b = 0; b < num_batches; ++b) {
+      size_t n = kSizes[rng.Uniform(7)];
+      bat.wm->BeginBatch();
+      for (size_t k = 0; k < n; ++k) {
+        const std::string& cls = classes[rng.Uniform(classes.size())];
+        double roll = rng.NextDouble();
+        if (roll < delete_prob && !live_t[cls].empty()) {
+          size_t pick = rng.Uniform(live_t[cls].size());
+          ASSERT_TRUE(ref.wm->Delete(cls, live[cls][pick].first).ok());
+          ASSERT_TRUE(bat.wm->Delete(cls, live[cls][pick].second).ok());
+          live[cls].erase(live[cls].begin() + static_cast<long>(pick));
+          live_t[cls].erase(live_t[cls].begin() + static_cast<long>(pick));
+        } else if (roll < delete_prob + modify_prob &&
+                   !live_t[cls].empty()) {
+          size_t pick = rng.Uniform(live_t[cls].size());
+          Tuple next = gen(cls, &rng);
+          TupleId r_id, b_id;
+          ASSERT_TRUE(
+              ref.wm->Modify(cls, live[cls][pick].first, next, &r_id).ok());
+          ASSERT_TRUE(
+              bat.wm->Modify(cls, live[cls][pick].second, next, &b_id).ok());
+          live[cls][pick] = {r_id, b_id};
+          live_t[cls][pick] = std::move(next);
+        } else {
+          Tuple t = gen(cls, &rng);
+          TupleId r_id, b_id;
+          ASSERT_TRUE(ref.wm->Insert(cls, t, &r_id).ok());
+          ASSERT_TRUE(bat.wm->Insert(cls, t, &b_id).ok());
+          live[cls].emplace_back(r_id, b_id);
+          live_t[cls].push_back(std::move(t));
+        }
+      }
+      ASSERT_TRUE(bat.wm->CommitBatch().ok()) << mc.name;
+      ASSERT_EQ(CanonicalConflictSet(*bat.matcher),
+                CanonicalConflictSet(*ref.matcher))
+          << mc.name << " diverged after batch " << b << " (size " << n
+          << ")";
+    }
+    // Identical net state: footprints must be in the same regime.
+    size_t fr = ref.matcher->AuxiliaryFootprintBytes();
+    size_t fb = bat.matcher->AuxiliaryFootprintBytes();
+    EXPECT_LE(fb, 2 * fr + 4096) << mc.name;
+    EXPECT_LE(fr, 2 * fb + 4096) << mc.name;
+    EXPECT_GE(bat.matcher->stats().batches.load(),
+              static_cast<uint64_t>(num_batches))
+        << mc.name;
+  }
+}
+
+TEST(MatcherBatchEquivalence, ThreeWayJoinShuffledBatches) {
+  auto gen = [](const std::string& cls, Rng* rng) {
+    int64_t lo = static_cast<int64_t>(rng->Uniform(4));
+    int64_t hi = static_cast<int64_t>(rng->Uniform(4));
+    if (cls == "A") return Tuple{Value(lo), Value("a"), Value(hi)};
+    if (cls == "B") return Tuple{Value(lo), Value(hi), Value("b")};
+    return Tuple{Value("c"), Value(lo), Value(hi)};
+  };
+  RunBatchedTrace(kThreeWayJoin, {"A", "B", "C"}, gen, 101, 40, 0.25, 0.15);
+}
+
+TEST(MatcherBatchEquivalence, EmpDeptShuffledBatches) {
+  auto gen = [](const std::string& cls, Rng* rng) {
+    static const char* names[] = {"Mike", "Sam", "Ann", "Bob"};
+    if (cls == "Emp") {
+      return Tuple{Value(names[rng->Uniform(4)]),
+                   Value(static_cast<int64_t>(rng->Uniform(60))),
+                   Value(static_cast<int64_t>(rng->Uniform(300))),
+                   Value(static_cast<int64_t>(rng->Uniform(3))),
+                   Value(names[rng->Uniform(4)])};
+    }
+    return Tuple{Value(static_cast<int64_t>(rng->Uniform(3))),
+                 Value(rng->Chance(0.5) ? "Toy" : "Shoe"),
+                 Value(static_cast<int64_t>(1 + rng->Uniform(2))),
+                 Value(names[rng->Uniform(4)])};
+  };
+  RunBatchedTrace(kEmpDept, {"Emp", "Dept"}, gen, 211, 40, 0.25, 0.2);
+}
+
+TEST(MatcherBatchEquivalence, NegationShuffledBatches) {
+  const char* program = R"(
+(literalize Order id status)
+(literalize Assignment order machine)
+(p Idle
+  (Order ^id <o> ^status pending)
+  -(Assignment ^order <o>)
+  -->
+  (remove 1))
+(p Busy
+  (Order ^id <o> ^status pending)
+  (Assignment ^order <o> ^machine <m>)
+  -->
+  (remove 2))
+)";
+  auto gen = [](const std::string& cls, Rng* rng) {
+    if (cls == "Order") {
+      return Tuple{Value(static_cast<int64_t>(rng->Uniform(5))),
+                   Value(rng->Chance(0.7) ? "pending" : "done")};
+    }
+    return Tuple{Value(static_cast<int64_t>(rng->Uniform(5))),
+                 Value(static_cast<int64_t>(rng->Uniform(3)))};
+  };
+  RunBatchedTrace(program, {"Order", "Assignment"}, gen, 307, 40, 0.3, 0.1);
+}
+
 // Parameterized sweep over synthetic workloads: join widths 2..4, chain
 // and star shapes.
 struct SweepParam {

@@ -106,6 +106,31 @@ TEST_P(RelationTest, SelectUsesIndexProbe) {
   EXPECT_EQ(out[0].second[1], Value(7));
 }
 
+TEST_P(RelationTest, RestoreRevivesOriginalId) {
+  ASSERT_TRUE(rel_->CreateHashIndex(3).ok());
+  TupleId doomed, other;
+  ASSERT_TRUE(rel_->Insert(Emp("Mike", 32, 50000, 1), &doomed).ok());
+  ASSERT_TRUE(rel_->Insert(Emp("Sam", 45, 60000, 2), &other).ok());
+  ASSERT_TRUE(rel_->Delete(doomed).ok());
+  // Churn after the delete so the restore is not just an append-undo.
+  TupleId tmp;
+  ASSERT_TRUE(rel_->Insert(Emp("Ann", 29, 55000, 3), &tmp).ok());
+
+  ASSERT_TRUE(rel_->Restore(doomed, Emp("Mike", 32, 50000, 1)).ok());
+  Tuple out;
+  ASSERT_TRUE(rel_->Get(doomed, &out).ok());
+  EXPECT_EQ(out[0], Value("Mike"));
+  EXPECT_EQ(rel_->Count(), 3u);
+  // Secondary indexes were maintained through the delete/restore cycle.
+  std::vector<TupleId> ids;
+  ASSERT_TRUE(rel_->LookupEq(3, Value(1), &ids).ok());
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], doomed);
+  // A live id cannot be restored over.
+  EXPECT_TRUE(
+      rel_->Restore(doomed, Emp("Mike", 32, 50000, 1)).IsAlreadyExists());
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, RelationTest,
                          ::testing::Values(StorageKind::kMemory,
                                            StorageKind::kPaged),
