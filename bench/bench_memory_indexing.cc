@@ -1,0 +1,115 @@
+// E12 — Join-key indexed token memories (§3.2, §4.1.2).
+//
+// The LEFT/RIGHT token memories of the Rete network are relations; §3.2
+// observes that the interpreter "can use indices, if they exist" when an
+// incoming token is paired against the opposite memory, and §4.1.2 makes
+// the same point for the query matcher's re-evaluation scans. This
+// measures exactly that: one two-way join rule, a LEFT memory preloaded
+// with N tokens of which a constant few share the probed join key, and
+// an insert+delete of the matching right tuple as the measured delta.
+// Indexed memories probe the hot bucket (flat cost in N); scan-mode
+// memories walk all N tokens per delta. The probe/scan visit counters
+// expose the mechanism directly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "lang/analyzer.h"
+
+namespace prodb {
+namespace {
+
+constexpr char kProgram[] = R"(
+(literalize Fact key payload)
+(literalize Probe key tag)
+(p Joined
+  (Fact ^key <k>)
+  (Probe ^key <k> ^tag go)
+  -->
+  (remove 2))
+)";
+
+// LEFT-memory tokens matching the probed key — constant across N so the
+// indexed cost stays flat while the scan cost grows linearly.
+constexpr size_t kHotMatches = 4;
+
+void RunMemorySweep(benchmark::State& state,
+                    const std::string& matcher_name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto catalog = std::make_unique<Catalog>();
+  std::vector<Rule> rules;
+  bench::Abort(LoadProgram(kProgram, catalog.get(), &rules), "program");
+  auto matcher = bench::MakeMatcherByName(matcher_name, catalog.get());
+  for (const Rule& r : rules) {
+    bench::Abort(matcher->AddRule(r), "rule");
+  }
+  WorkingMemory wm(catalog.get(), matcher.get());
+
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = i < kHotMatches ? 0 : static_cast<int64_t>(i);
+    bench::Abort(wm.Insert("Fact", Tuple{Value(key), Value("p")}),
+                 "preload");
+  }
+
+  for (auto _ : state) {
+    TupleId id;
+    bench::Abort(
+        wm.Insert("Probe", Tuple{Value(static_cast<int64_t>(0)), Value("go")},
+                  &id),
+        "insert");
+    bench::Abort(wm.Delete("Probe", id), "delete");
+  }
+
+  const MatcherStats& st = matcher->stats();
+  state.counters["memory_tokens"] = static_cast<double>(n);
+  state.counters["index_probes"] =
+      static_cast<double>(st.index_probes.load());
+  state.counters["probe_tokens_visited"] =
+      static_cast<double>(st.probe_tokens_visited.load());
+  state.counters["scan_tokens_visited"] =
+      static_cast<double>(st.scan_tokens_visited.load());
+}
+
+void BM_MemoryIndexing_Rete(benchmark::State& state) {
+  RunMemorySweep(state, "rete");
+}
+void BM_MemoryIndexing_ReteScan(benchmark::State& state) {
+  RunMemorySweep(state, "rete-scan");
+}
+void BM_MemoryIndexing_ReteDbms(benchmark::State& state) {
+  RunMemorySweep(state, "rete-dbms");
+}
+void BM_MemoryIndexing_ReteDbmsScan(benchmark::State& state) {
+  RunMemorySweep(state, "rete-dbms-scan");
+}
+
+// Scan variants carry explicit iteration counts: at N = 10^5 every delta
+// walks the full LEFT memory, and letting the framework auto-size the run
+// would take minutes per data point.
+BENCHMARK(BM_MemoryIndexing_Rete)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(BM_MemoryIndexing_ReteScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(200);
+BENCHMARK(BM_MemoryIndexing_ReteDbms)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(BM_MemoryIndexing_ReteDbmsScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(200);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

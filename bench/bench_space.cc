@@ -64,6 +64,58 @@ BENCHMARK(BM_Space_Query)
     ->Args({64, 500})
     ->Iterations(1);
 
+// Tombstone accumulation under churn on paged storage. Heap-file slots
+// are never reused — TupleIds must stay stable for matcher bookkeeping
+// and abort compensation — so every delete leaks a 4-byte slot-directory
+// entry even though CompactPage reclaims the record bytes. This reports
+// the leak directly: dead slots and page footprint against live tuples
+// after `churn` insert+delete pairs over a fixed-size working set.
+void BM_Space_PagedChurn(benchmark::State& state) {
+  const size_t live = 256;
+  const size_t churn = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Catalog catalog;
+    Relation* rel = nullptr;
+    bench::Abort(
+        catalog.CreateRelation(
+            Schema("Churn", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}),
+            StorageKind::kPaged, &rel),
+        "relation");
+    Rng rng(7);
+    std::vector<TupleId> ids;
+    for (size_t i = 0; i < live; ++i) {
+      TupleId id;
+      bench::Abort(rel->Insert(Tuple{Value(static_cast<int64_t>(i)),
+                                     Value(static_cast<int64_t>(i))},
+                               &id),
+                   "insert");
+      ids.push_back(id);
+    }
+    for (size_t i = 0; i < churn; ++i) {
+      size_t pick = rng.Uniform(ids.size());
+      bench::Abort(rel->Delete(ids[pick]), "delete");
+      TupleId id;
+      bench::Abort(rel->Insert(Tuple{Value(static_cast<int64_t>(i)),
+                                     Value(static_cast<int64_t>(i))},
+                               &id),
+                   "insert");
+      ids[pick] = id;
+    }
+    state.counters["live_tuples"] =
+        static_cast<double>(rel->live_tuple_count());
+    state.counters["dead_slots"] = static_cast<double>(rel->dead_slot_count());
+    state.counters["footprint_bytes"] =
+        static_cast<double>(rel->FootprintBytes());
+    state.counters["churn"] = static_cast<double>(churn);
+  }
+}
+
+BENCHMARK(BM_Space_PagedChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(1);
+
 }  // namespace
 }  // namespace prodb
 

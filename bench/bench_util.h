@@ -49,6 +49,9 @@ std::unique_ptr<Setup> MakeSetup(WorkloadSpec spec,
   return setup;
 }
 
+/// The four architectures by name, plus "-scan" variants with all
+/// indexing (join-key token memories, auto-declared WM hash indexes)
+/// forced off — the ablation baselines for the indexing benchmarks.
 inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
                                                   Catalog* catalog) {
   if (name == "query") return std::make_unique<QueryMatcher>(catalog);
@@ -57,6 +60,28 @@ inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
   if (name == "rete-dbms") {
     ReteOptions opts;
     opts.dbms_backed = true;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "query-scan") {
+    ExecutorOptions eo;
+    eo.use_indexes = false;
+    eo.declare_rule_indexes = false;
+    return std::make_unique<QueryMatcher>(catalog, eo);
+  }
+  if (name == "pattern-scan") {
+    PatternMatcherOptions po;
+    po.declare_wm_indexes = false;
+    return std::make_unique<PatternMatcher>(catalog, po);
+  }
+  if (name == "rete-scan") {
+    ReteOptions opts;
+    opts.index_memories = false;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "rete-dbms-scan") {
+    ReteOptions opts;
+    opts.dbms_backed = true;
+    opts.index_memories = false;
     return std::make_unique<ReteNetwork>(catalog, opts);
   }
   std::fprintf(stderr, "unknown matcher %s\n", name.c_str());

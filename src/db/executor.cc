@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "match/matcher.h"
+
 namespace prodb {
 
 constexpr TupleId QueryMatch::kNoTuple;
@@ -188,6 +190,10 @@ Status Executor::ExtendPositive(const ConditionSpec& cond, size_t cond_idx,
       next.push_back(std::move(np));
     };
     if (have_candidates) {
+      if (stats_ != nullptr) {
+        ++stats_->index_probes;
+        stats_->probe_tokens_visited += candidate_ids.size();
+      }
       for (TupleId id : candidate_ids) {
         Tuple t;
         PRODB_RETURN_IF_ERROR(rel->Get(id, &t));
@@ -195,6 +201,7 @@ Status Executor::ExtendPositive(const ConditionSpec& cond, size_t cond_idx,
       }
     } else {
       PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId id, const Tuple& t) {
+        if (stats_ != nullptr) ++stats_->scan_tokens_visited;
         try_tuple(id, t);
         return Status::OK();
       }));
@@ -229,6 +236,10 @@ Status Executor::FilterNegative(const ConditionSpec& cond,
       }
     }
     if (have_candidates) {
+      if (stats_ != nullptr) {
+        ++stats_->index_probes;
+        stats_->probe_tokens_visited += candidate_ids.size();
+      }
       for (TupleId id : candidate_ids) {
         Tuple t;
         PRODB_RETURN_IF_ERROR(rel->Get(id, &t));
@@ -240,6 +251,7 @@ Status Executor::FilterNegative(const ConditionSpec& cond,
       }
     } else {
       PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId, const Tuple& t) {
+        if (stats_ != nullptr) ++stats_->scan_tokens_visited;
         if (!exists) {
           Binding b = p.binding;
           if (TupleConsistent(cond, t, &b)) exists = true;

@@ -9,10 +9,18 @@
 
 namespace prodb {
 
+struct MatcherStats;
+
 /// Tuning knobs for conjunctive-query evaluation.
 struct ExecutorOptions {
   /// Probe hash/B+-tree indexes for bound equality attributes.
   bool use_indexes = true;
+  /// Let matchers declare hash indexes at rule registration on the WM
+  /// attributes appearing in equality tests of rule LHSs, so seeded
+  /// re-evaluation and negated-CE checks probe instead of scanning
+  /// (§4.1.2's "indexing can be used to efficiently identify the tuples").
+  /// Off preserves an index-free baseline for the ablation benchmarks.
+  bool declare_rule_indexes = true;
   /// Reorder positive conditions most-selective-first instead of LHS
   /// order. The paper argues this flexibility is an advantage of the DBMS
   /// approach over the Rete network's fixed plan (§3.2, §4.1.2); the
@@ -71,6 +79,11 @@ class Executor {
 
   const ExecutorOptions& options() const { return options_; }
 
+  /// Attaches a stats sink: index probes and per-tuple visit counts of
+  /// ExtendPositive/FilterNegative are reported there, so the matchers
+  /// driving this executor surface whether the index path was taken.
+  void set_stats(MatcherStats* stats) { stats_ = stats; }
+
  private:
   struct Partial;
 
@@ -90,6 +103,7 @@ class Executor {
 
   Catalog* catalog_;
   ExecutorOptions options_;
+  MatcherStats* stats_ = nullptr;
 };
 
 /// A test that could not be evaluated yet because its variable is bound

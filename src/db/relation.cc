@@ -41,8 +41,11 @@ Status Relation::InsertUnlocked(const Tuple& tuple, TupleId* id) {
   if (kind_ == StorageKind::kMemory) {
     id->page_id = next_row_++;
     id->slot_id = 0;
-    mem_bytes_ += tuple.FootprintBytes();
-    rows_.emplace(*id, tuple);
+    // Measure the stored copy, not the argument: FootprintBytes is
+    // capacity-dependent and Delete subtracts the stored copy's value —
+    // measuring the argument lets mem_bytes_ drift under churn.
+    auto it = rows_.emplace(*id, tuple).first;
+    mem_bytes_ += it->second.FootprintBytes();
   } else {
     PRODB_RETURN_IF_ERROR(heap_->Insert(tuple, id));
   }
@@ -95,7 +98,7 @@ Status Relation::Restore(TupleId id, const Tuple& tuple) {
   if (kind_ == StorageKind::kMemory) {
     auto [it, inserted] = rows_.emplace(id, tuple);
     if (!inserted) return Status::AlreadyExists("tuple " + id.ToString());
-    mem_bytes_ += tuple.FootprintBytes();
+    mem_bytes_ += it->second.FootprintBytes();
     if (id.page_id >= next_row_) next_row_ = id.page_id + 1;
   } else {
     PRODB_RETURN_IF_ERROR(heap_->Restore(id, tuple));
@@ -115,7 +118,7 @@ Status Relation::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
     IndexRemove(it->second, id);
     mem_bytes_ -= it->second.FootprintBytes();
     it->second = tuple;
-    mem_bytes_ += tuple.FootprintBytes();
+    mem_bytes_ += it->second.FootprintBytes();
     IndexInsert(tuple, id);
     *new_id = id;
     return Status::OK();
@@ -131,6 +134,11 @@ Status Relation::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
 size_t Relation::Count() const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   return kind_ == StorageKind::kMemory ? rows_.size() : heap_->TupleCount();
+}
+
+size_t Relation::dead_slot_count() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return kind_ == StorageKind::kMemory ? 0 : heap_->dead_slot_count();
 }
 
 Status Relation::Scan(

@@ -59,6 +59,13 @@ class Relation {
   Status Update(TupleId id, const Tuple& tuple, TupleId* new_id);
 
   size_t Count() const;
+  /// Live tuples (== Count; named for symmetry with dead_slot_count).
+  size_t live_tuple_count() const { return Count(); }
+  /// Tombstoned heap-file slots that can never be reused (0 for kMemory,
+  /// whose backing map erases rows outright). Page space leaks at 4
+  /// directory bytes per deleted tuple — the price of TupleId stability;
+  /// surfaced by bench_space.
+  size_t dead_slot_count() const;
 
   /// Full scan. `fn` returning non-OK aborts and propagates.
   Status Scan(const std::function<Status(TupleId, const Tuple&)>& fn) const;

@@ -18,7 +18,8 @@ Status Matcher::OnBatch(const ChangeSet& batch) {
 
 Status MaterializeInstantiations(Catalog* catalog, const Rule& rule,
                                  int rule_index, const Binding& binding,
-                                 std::vector<Instantiation>* out) {
+                                 std::vector<Instantiation>* out,
+                                 MatcherStats* stats) {
   // Evaluate the LHS under the binding: each positive CE degenerates to a
   // selection on the bound variables ("the attribute values in each
   // matching pattern provide the selection criterion", §5.1), and
@@ -27,6 +28,7 @@ Status MaterializeInstantiations(Catalog* catalog, const Rule& rule,
   // on chained joins, see DESIGN.md) yields zero instantiations here —
   // a false drop costing only time, per §2.3.
   Executor executor(catalog);
+  executor.set_stats(stats);
   std::vector<QueryMatch> matches;
   PRODB_RETURN_IF_ERROR(executor.EvaluateBound(rule.lhs, binding, &matches));
   for (QueryMatch& m : matches) {

@@ -21,13 +21,24 @@ struct MatcherStats {
   std::atomic<uint64_t> patterns_stored{0};  // tokens / patterns resident
   std::atomic<uint64_t> propagations{0};     // propagation steps
   std::atomic<uint64_t> batches{0};          // OnBatch invocations
+  // Memory-probe accounting (§3.2/§4.1.2): a probe is one keyed lookup
+  // into a token memory or WM relation; visited counters split tuples
+  // touched through a probe from tuples touched by a full scan, so
+  // benchmarks can assert the index path is taken rather than inferring
+  // it from wall-clock.
+  std::atomic<uint64_t> index_probes{0};
+  std::atomic<uint64_t> probe_tokens_visited{0};
+  std::atomic<uint64_t> scan_tokens_visited{0};
 
   MatcherStats() = default;
   MatcherStats(const MatcherStats& o)
       : tuples_examined(o.tuples_examined.load()),
         patterns_stored(o.patterns_stored.load()),
         propagations(o.propagations.load()),
-        batches(o.batches.load()) {}
+        batches(o.batches.load()),
+        index_probes(o.index_probes.load()),
+        probe_tokens_visited(o.probe_tokens_visited.load()),
+        scan_tokens_visited(o.scan_tokens_visited.load()) {}
 };
 
 /// Interface shared by the four matching architectures the paper
@@ -83,7 +94,8 @@ class Matcher {
 /// verified absent. Appends to *out.
 Status MaterializeInstantiations(Catalog* catalog, const Rule& rule,
                                  int rule_index, const Binding& binding,
-                                 std::vector<Instantiation>* out);
+                                 std::vector<Instantiation>* out,
+                                 MatcherStats* stats = nullptr);
 
 }  // namespace prodb
 

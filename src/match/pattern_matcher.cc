@@ -8,6 +8,7 @@ namespace prodb {
 PatternMatcher::PatternMatcher(Catalog* catalog,
                                PatternMatcherOptions options)
     : catalog_(catalog), options_(options), executor_(catalog) {
+  executor_.set_stats(&stats_);
   if (options_.propagation_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.propagation_threads);
   }
@@ -71,6 +72,18 @@ Status PatternMatcher::AddRule(const Rule& rule) {
     // Original COND row: constants where the CE tests equality against a
     // constant, null (variable / don't-care) elsewhere.
     Relation* wm = catalog_->Get(c.relation);
+    if (options_.declare_wm_indexes) {
+      for (const VarUse& u : c.var_uses) {
+        if (u.op == CompareOp::kEq && !wm->HasHashIndex(u.attr)) {
+          PRODB_RETURN_IF_ERROR(wm->CreateHashIndex(u.attr));
+        }
+      }
+      for (const ConstantTest& ct : c.constant_tests) {
+        if (ct.op == CompareOp::kEq && !wm->HasHashIndex(ct.attr)) {
+          PRODB_RETURN_IF_ERROR(wm->CreateHashIndex(ct.attr));
+        }
+      }
+    }
     Tuple row;
     auto& vals = row.mutable_values();
     vals.emplace_back(static_cast<int64_t>(rule_index));
@@ -414,7 +427,7 @@ Status PatternMatcher::OnDelete(const std::string& rel, TupleId id,
       // join points the blocker constrained.
       std::vector<Instantiation> insts;
       PRODB_RETURN_IF_ERROR(MaterializeInstantiations(
-          catalog_, rule, ref.rule, beta, &insts));
+          catalog_, rule, ref.rule, beta, &insts, &stats_));
       for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
     }
   }
@@ -561,7 +574,7 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
         if (!BindSingle(ce, d.tuple, rule.lhs.num_vars, &beta)) continue;
         std::vector<Instantiation> insts;
         PRODB_RETURN_IF_ERROR(MaterializeInstantiations(
-            catalog_, rule, ref.rule, beta, &insts));
+            catalog_, rule, ref.rule, beta, &insts, &stats_));
         for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
       }
     }

@@ -22,6 +22,10 @@ struct PatternMatcherOptions {
   /// Storage for the COND relations (paged exercises the secondary-
   /// storage path the paper assumes).
   StorageKind cond_storage = StorageKind::kMemory;
+  /// Declare hash indexes at rule registration on WM attributes appearing
+  /// in equality tests, so materialization and seeded re-evaluation probe
+  /// the WM relations through Relation::Select's index path (§4.1.2).
+  bool declare_wm_indexes = true;
 };
 
 /// The paper's new approach (§4.2): COND relations with matching

@@ -7,11 +7,29 @@ namespace prodb {
 
 Status QueryMatcher::AddRule(const Rule& rule) {
   int rule_index = static_cast<int>(rules_.size());
+  const bool declare = executor_.options().use_indexes &&
+                       executor_.options().declare_rule_indexes;
   for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
     const ConditionSpec& c = rule.lhs.conditions[ce];
-    if (catalog_->Get(c.relation) == nullptr) {
+    Relation* rel = catalog_->Get(c.relation);
+    if (rel == nullptr) {
       return Status::NotFound("rule " + rule.name + ": relation " +
                               c.relation);
+    }
+    if (declare) {
+      // Hash indexes on every attribute the executor can probe with a
+      // bound equality (§4.1.2): seeded re-evaluation then touches only
+      // the joining tuples instead of scanning each WM relation.
+      for (const VarUse& u : c.var_uses) {
+        if (u.op == CompareOp::kEq && !rel->HasHashIndex(u.attr)) {
+          PRODB_RETURN_IF_ERROR(rel->CreateHashIndex(u.attr));
+        }
+      }
+      for (const ConstantTest& t : c.constant_tests) {
+        if (t.op == CompareOp::kEq && !rel->HasHashIndex(t.attr)) {
+          PRODB_RETURN_IF_ERROR(rel->CreateHashIndex(t.attr));
+        }
+      }
     }
     auto& bucket =
         c.negated ? negative_by_class_[c.relation]

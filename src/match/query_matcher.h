@@ -22,7 +22,9 @@ namespace prodb {
 class QueryMatcher : public Matcher {
  public:
   explicit QueryMatcher(Catalog* catalog, ExecutorOptions exec_options = {})
-      : catalog_(catalog), executor_(catalog, exec_options) {}
+      : catalog_(catalog), executor_(catalog, exec_options) {
+    executor_.set_stats(&stats_);
+  }
 
   Status AddRule(const Rule& rule) override;
   Status OnInsert(const std::string& rel, TupleId id, const Tuple& t) override;

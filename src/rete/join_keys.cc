@@ -1,0 +1,50 @@
+#include "rete/join_keys.h"
+
+#include <cstring>
+
+namespace prodb {
+
+std::map<int, int> FirstEqAttrByVar(const ConditionSpec& cond) {
+  std::map<int, int> first_eq_attr;
+  for (const VarUse& u : cond.var_uses) {
+    if (u.op != CompareOp::kEq) continue;
+    first_eq_attr.emplace(u.var, u.attr);
+  }
+  return first_eq_attr;
+}
+
+void AppendKeyValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back('z');
+      break;
+    case ValueType::kInt:
+    case ValueType::kReal: {
+      // Numeric canonical form: the double view, so 3 and 3.0 collide as
+      // operator== demands.
+      out->push_back('n');
+      double d = v.numeric();
+      char buf[sizeof(double)];
+      std::memcpy(buf, &d, sizeof(double));
+      out->append(buf, sizeof(double));
+      break;
+    }
+    case ValueType::kSymbol: {
+      const std::string& s = v.as_symbol();
+      out->push_back('s');
+      out->append(std::to_string(s.size()));
+      out->push_back(':');
+      out->append(s);
+      break;
+    }
+  }
+}
+
+std::string EncodeJoinKey(const std::vector<Value>& key) {
+  std::string out;
+  out.reserve(key.size() * 10);
+  for (const Value& v : key) AppendKeyValue(v, &out);
+  return out;
+}
+
+}  // namespace prodb

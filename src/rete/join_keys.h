@@ -1,0 +1,31 @@
+#ifndef PRODB_RETE_JOIN_KEYS_H_
+#define PRODB_RETE_JOIN_KEYS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "db/predicate.h"
+
+namespace prodb {
+
+/// For each variable with an equality occurrence in `cond`, the attribute
+/// of its first kEq occurrence — the occurrence that binds the variable
+/// under OPS5 first-occurrence semantics (later occurrences test).
+/// Shared by the alpha-network intra-CE pair builder and the join-key
+/// schema computation of the token-memory indexes.
+std::map<int, int> FirstEqAttrByVar(const ConditionSpec& cond);
+
+/// Canonical byte encoding of an equality-join key component. Two values
+/// equal under EvalCompare(kEq) encode identically — in particular int 3
+/// and real 3.0 share an encoding, matching OPS5's cross-type numeric
+/// equality — and distinct values encode distinctly.
+void AppendKeyValue(const Value& v, std::string* out);
+
+/// Encoding of a whole key (one component per key column).
+std::string EncodeJoinKey(const std::vector<Value>& key);
+
+}  // namespace prodb
+
+#endif  // PRODB_RETE_JOIN_KEYS_H_

@@ -1,8 +1,10 @@
 #include "rete/network.h"
 
 #include <algorithm>
+#include <set>
 
 #include "db/executor.h"
+#include "rete/join_keys.h"
 
 namespace prodb {
 
@@ -77,6 +79,12 @@ struct ReteNetwork::JoinNode {
   bool negated = false;
   std::unique_ptr<TokenStore> left;
   std::unique_ptr<TokenStore> right;
+  // Equality-join key schema, fixed at compile time (parallel vectors):
+  // the LEFT token value at left_key[i] must equal the right tuple value
+  // at right_key[i].attr for a pair to join. Empty when the node has no
+  // equality join test (or indexing is off) — memories are scanned.
+  std::vector<TokenKeyCol> left_key;
+  std::vector<TokenKeyCol> right_key;  // pos == ce for every entry
   std::unordered_map<std::string, int> neg_counts;
   std::vector<JoinNode*> children;
   std::vector<int> productions;  // rule indices satisfied at this node
@@ -123,18 +131,47 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
 
   auto make_store = [&](const std::string& kind, size_t level,
                         const std::vector<size_t>& arities,
+                        const std::vector<TokenKeyCol>& key_cols,
                         std::unique_ptr<TokenStore>* out) -> Status {
     if (!options_.dbms_backed) {
-      *out = std::make_unique<MemoryTokenStore>();
+      *out = std::make_unique<MemoryTokenStore>(key_cols);
       return Status::OK();
     }
     std::unique_ptr<RelationTokenStore> store;
     std::string name = kind + std::to_string(store_counter_++) + "-" +
                        rule.name + "-L" + std::to_string(level);
     PRODB_RETURN_IF_ERROR(RelationTokenStore::Create(
-        catalog_, name, arities, options_.memory_storage, &store));
+        catalog_, name, arities, options_.memory_storage, &store, key_cols));
     *out = std::move(store);
     return Status::OK();
+  };
+
+  // Per-CE binding attributes (var -> first kEq occurrence), shared by
+  // the alpha intra-CE pair builder and the join-key schema below.
+  std::vector<std::map<int, int>> binder(n);
+  for (size_t i = 0; i < n; ++i) {
+    binder[i] = FirstEqAttrByVar(rule.lhs.conditions[i]);
+  }
+
+  // Equality-join key schema of the node at join-order level `k` covering
+  // CE `ce`: one column pair per variable that has an equality occurrence
+  // in `ce` and is bound by an earlier positive CE of the chain. The
+  // probe is a necessary condition — TupleConsistent still runs on every
+  // visited pair — so extra non-equality tests only make the probe
+  // conservative, never wrong.
+  auto compute_keys = [&](size_t k, size_t ce, JoinNode* node) {
+    if (!options_.index_memories) return;
+    for (const auto& [var, attr] : binder[ce]) {
+      for (size_t j = 0; j < k; ++j) {
+        size_t p = order[j];
+        if (rule.lhs.conditions[p].negated) continue;
+        auto it = binder[p].find(var);
+        if (it == binder[p].end()) continue;
+        node->left_key.push_back(TokenKeyCol{p, it->second});
+        node->right_key.push_back(TokenKeyCol{ce, attr});
+        break;
+      }
+    }
   };
 
   auto hook_alpha = [&](size_t ce_index, JoinNode* node) {
@@ -142,11 +179,16 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
     AlphaNode probe;
     probe.cls = cond.relation;
     probe.tests = cond.constant_tests;
-    std::map<int, int> first_eq_attr;  // var -> binding attr
+    // Intra-CE constraints: every occurrence after a variable's binding
+    // (first kEq) occurrence tests against the binding attribute.
+    const std::map<int, int>& first_eq_attr = binder[ce_index];
+    std::set<int> bound;
     for (const VarUse& u : cond.var_uses) {
       auto it = first_eq_attr.find(u.var);
-      if (it == first_eq_attr.end()) {
-        if (u.op == CompareOp::kEq) first_eq_attr[u.var] = u.attr;
+      if (it == first_eq_attr.end()) continue;  // never eq-bound in this CE
+      if (!bound.count(u.var)) {
+        // Occurrences before the binding one are join/deferred tests.
+        if (u.op == CompareOp::kEq) bound.insert(u.var);
         continue;
       }
       if (u.attr != it->second) {
@@ -192,15 +234,17 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
     node->ce = ce;
     node->negated = false;
     if (k > 0) {
+      compute_keys(k, ce, node.get());
       std::vector<size_t> arities(n, 0);
       for (size_t p = 0; p < k; ++p) {
         arities[order[p]] = class_arity[order[p]];
       }
-      PRODB_RETURN_IF_ERROR(make_store("LEFT", k, arities, &node->left));
+      PRODB_RETURN_IF_ERROR(
+          make_store("LEFT", k, arities, node->left_key, &node->left));
       std::vector<size_t> right_arities(n, 0);
       right_arities[ce] = class_arity[ce];
-      PRODB_RETURN_IF_ERROR(
-          make_store("RIGHT", k, right_arities, &node->right));
+      PRODB_RETURN_IF_ERROR(make_store("RIGHT", k, right_arities,
+                                       node->right_key, &node->right));
       tail->children.push_back(node.get());
     }
     hook_alpha(ce, node.get());
@@ -217,17 +261,19 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
     node->level = k;
     node->ce = ce;
     node->negated = true;
+    compute_keys(k, ce, node.get());
     std::vector<size_t> arities(n, 0);
     for (size_t p = 0; p < k; ++p) {
       if (!rule.lhs.conditions[order[p]].negated) {
         arities[order[p]] = class_arity[order[p]];
       }
     }
-    PRODB_RETURN_IF_ERROR(make_store("LEFT", k, arities, &node->left));
+    PRODB_RETURN_IF_ERROR(
+        make_store("LEFT", k, arities, node->left_key, &node->left));
     std::vector<size_t> right_arities(n, 0);
     right_arities[ce] = class_arity[ce];
-    PRODB_RETURN_IF_ERROR(
-        make_store("RIGHT", k, right_arities, &node->right));
+    PRODB_RETURN_IF_ERROR(make_store("RIGHT", k, right_arities,
+                                     node->right_key, &node->right));
     hook_alpha(ce, node.get());
     tail->children.push_back(node.get());
     tail = node.get();
@@ -287,6 +333,32 @@ Status ReteNetwork::Descend(JoinNode* node, const ReteToken& token,
   return Status::OK();
 }
 
+bool ReteNetwork::ProbeKeyFromToken(const JoinNode& node,
+                                    const ReteToken& token,
+                                    std::vector<Value>* key) {
+  key->clear();
+  key->reserve(node.left_key.size());
+  for (const TokenKeyCol& c : node.left_key) {
+    if (c.pos >= token.tuples.size() ||
+        static_cast<size_t>(c.attr) >= token.tuples[c.pos].arity()) {
+      return false;
+    }
+    key->push_back(token.tuples[c.pos][static_cast<size_t>(c.attr)]);
+  }
+  return !key->empty();
+}
+
+bool ReteNetwork::ProbeKeyFromTuple(const JoinNode& node, const Tuple& tuple,
+                                    std::vector<Value>* key) {
+  key->clear();
+  key->reserve(node.right_key.size());
+  for (const TokenKeyCol& c : node.right_key) {
+    if (static_cast<size_t>(c.attr) >= tuple.arity()) return false;
+    key->push_back(tuple[static_cast<size_t>(c.attr)]);
+  }
+  return !key->empty();
+}
+
 Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
                                  bool positive) {
   ++stats_.propagations;
@@ -296,12 +368,31 @@ Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
   // prefix's first compiler; this rule's suffix may use higher var ids.
   const size_t want_vars = static_cast<size_t>(rule.lhs.num_vars);
 
+  // Visits the RIGHT-memory tokens that can join with `token`: a keyed
+  // probe when the node has an equality key derivable from the token,
+  // else the §3.2 full scan.
+  auto for_each_right =
+      [&](const std::function<Status(const ReteToken&)>& fn) -> Status {
+    std::vector<Value> key;
+    if (ProbeKeyFromToken(*node, token, &key)) {
+      ++stats_.index_probes;
+      return node->right->ScanMatching(key, [&](const ReteToken& r) {
+        ++stats_.probe_tokens_visited;
+        return fn(r);
+      });
+    }
+    return node->right->Scan([&](const ReteToken& r) {
+      ++stats_.scan_tokens_visited;
+      return fn(r);
+    });
+  };
+
   if (positive) {
     PRODB_RETURN_IF_ERROR(node->left->Add(token));
     ++stats_.patterns_stored;
     if (node->negated) {
       int count = 0;
-      PRODB_RETURN_IF_ERROR(node->right->Scan([&](const ReteToken& r) {
+      PRODB_RETURN_IF_ERROR(for_each_right([&](const ReteToken& r) {
         ++stats_.tuples_examined;
         Binding b = token.binding;
         if (b.size() < want_vars) b.resize(want_vars, std::nullopt);
@@ -312,7 +403,7 @@ Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
       if (count == 0) return Descend(node, token, true);
       return Status::OK();
     }
-    return node->right->Scan([&](const ReteToken& r) {
+    return for_each_right([&](const ReteToken& r) {
       ++stats_.tuples_examined;
       ReteToken merged = token;
       if (merged.binding.size() < want_vars) {
@@ -340,7 +431,7 @@ Status ReteNetwork::ActivateLeft(JoinNode* node, const ReteToken& token,
     if (count == 0) return Descend(node, token, false);
     return Status::OK();
   }
-  return node->right->Scan([&](const ReteToken& r) {
+  return for_each_right([&](const ReteToken& r) {
     ++stats_.tuples_examined;
     ReteToken merged = token;
     if (merged.binding.size() < want_vars) {
@@ -411,47 +502,92 @@ Status ReteNetwork::ActivateRightBatch(
   }
   if (effective.empty()) return Status::OK();
 
+  // Pairs one LEFT token (binding already recomputed/widened) with one
+  // activation; shared by the probe and scan paths below.
+  auto pair_one = [&](ReteToken& l, const RightActivation& a) -> Status {
+    Binding b = l.binding;
+    if (!TupleConsistent(cond, *a.tuple, &b)) return Status::OK();
+    if (node->negated) {
+      int& count = node->neg_counts[l.Key()];
+      if (a.positive) {
+        if (++count == 1) {
+          PRODB_RETURN_IF_ERROR(Descend(node, l, false));
+        }
+      } else {
+        if (--count == 0) {
+          PRODB_RETURN_IF_ERROR(Descend(node, l, true));
+        }
+      }
+      return Status::OK();
+    }
+    ReteToken merged = l;
+    merged.binding = std::move(b);
+    EnsureWidth(&merged, node->ce);
+    merged.ids[node->ce] = a.id;
+    merged.tuples[node->ce] = *a.tuple;
+    return Descend(node, merged, a.positive);
+  };
+
+  auto prepare = [&](ReteToken* l) -> bool {
+    if (l->binding.empty()) {
+      // Relation-backed stores persist tuples, not bindings.
+      if (!RecomputeBinding(node->rule, l, node->level)) return false;
+    }
+    // Tokens stored by a shared prefix carry the first compiler's
+    // binding width; widen to this rule's variable space.
+    if (l->binding.size() < static_cast<size_t>(rule.lhs.num_vars)) {
+      l->binding.resize(static_cast<size_t>(rule.lhs.num_vars),
+                        std::nullopt);
+    }
+    return true;
+  };
+
+  if (!node->left_key.empty()) {
+    // Indexed path: each activation probes the LEFT memory for its
+    // join-compatible tokens only — per-delta cost O(matches), not
+    // O(|memory|). Activation-major order equals the per-tuple
+    // propagation order.
+    for (const RightActivation& a : effective) {
+      std::vector<Value> key;
+      std::vector<ReteToken> lefts;
+      if (ProbeKeyFromTuple(*node, *a.tuple, &key)) {
+        ++stats_.index_probes;
+        PRODB_RETURN_IF_ERROR(node->left->ScanMatching(
+            key, [&](const ReteToken& l) {
+              ++stats_.probe_tokens_visited;
+              lefts.push_back(l);
+              return Status::OK();
+            }));
+      } else {
+        PRODB_RETURN_IF_ERROR(node->left->Scan([&](const ReteToken& l) {
+          ++stats_.scan_tokens_visited;
+          lefts.push_back(l);
+          return Status::OK();
+        }));
+      }
+      for (ReteToken& l : lefts) {
+        ++stats_.tuples_examined;
+        if (!prepare(&l)) continue;
+        PRODB_RETURN_IF_ERROR(pair_one(l, a));
+      }
+    }
+    return Status::OK();
+  }
+
   // Walk the LEFT memory once, pairing every stored token with every
   // activation of the group in delta order — the per-tuple path re-scans
   // this memory for each arrival; the batch pays the scan once.
   std::vector<ReteToken> lefts;
   PRODB_RETURN_IF_ERROR(node->left->Scan([&](const ReteToken& l) {
+    ++stats_.scan_tokens_visited;
     lefts.push_back(l);
     return Status::OK();
   }));
   for (ReteToken& l : lefts) {
     ++stats_.tuples_examined;
-    if (l.binding.empty()) {
-      // Relation-backed stores persist tuples, not bindings.
-      if (!RecomputeBinding(node->rule, &l, node->level)) continue;
-    }
-    // Tokens stored by a shared prefix carry the first compiler's
-    // binding width; widen to this rule's variable space.
-    if (l.binding.size() < static_cast<size_t>(rule.lhs.num_vars)) {
-      l.binding.resize(static_cast<size_t>(rule.lhs.num_vars), std::nullopt);
-    }
+    if (!prepare(&l)) continue;
     for (const RightActivation& a : effective) {
-      Binding b = l.binding;
-      if (!TupleConsistent(cond, *a.tuple, &b)) continue;
-      if (node->negated) {
-        int& count = node->neg_counts[l.Key()];
-        if (a.positive) {
-          if (++count == 1) {
-            PRODB_RETURN_IF_ERROR(Descend(node, l, false));
-          }
-        } else {
-          if (--count == 0) {
-            PRODB_RETURN_IF_ERROR(Descend(node, l, true));
-          }
-        }
-      } else {
-        ReteToken merged = l;
-        merged.binding = std::move(b);
-        EnsureWidth(&merged, node->ce);
-        merged.ids[node->ce] = a.id;
-        merged.tuples[node->ce] = *a.tuple;
-        PRODB_RETURN_IF_ERROR(Descend(node, merged, a.positive));
-      }
+      PRODB_RETURN_IF_ERROR(pair_one(l, a));
     }
   }
   return Status::OK();

@@ -31,6 +31,12 @@ struct ReteOptions {
   bool share_beta = true;
   /// Storage backend for LEFT/RIGHT relations when dbms_backed.
   StorageKind memory_storage = StorageKind::kMemory;
+  /// Maintain equality-join-key indexes on LEFT/RIGHT memories and probe
+  /// them instead of scanning — §4.1.2's indexing idea applied to the
+  /// token memories. Off reproduces the "access of the opposite memory"
+  /// full scan the paper complains about (§3.2); the ablation benchmark
+  /// compares both.
+  bool index_memories = true;
 };
 
 /// Structural counters (Figure 1/3 analyses, E1).
@@ -101,6 +107,16 @@ class ReteNetwork : public Matcher {
   /// `rule` (needed for relation-backed stores, which persist tuples but
   /// not bindings).
   bool RecomputeBinding(int rule, ReteToken* token, size_t upto) const;
+
+  /// Derives the key for probing `node`'s RIGHT memory from a left-side
+  /// token (values of the binder columns). False when a column is not
+  /// derivable — the caller falls back to a full scan.
+  static bool ProbeKeyFromToken(const JoinNode& node, const ReteToken& token,
+                                std::vector<Value>* key);
+  /// Derives the key for probing `node`'s LEFT memory from a right-input
+  /// WM tuple (values of the CE's own equality attributes).
+  static bool ProbeKeyFromTuple(const JoinNode& node, const Tuple& tuple,
+                                std::vector<Value>* key);
 
   /// Token arrives on the left input of `node` with the given sign.
   Status ActivateLeft(JoinNode* node, const ReteToken& token, bool positive);

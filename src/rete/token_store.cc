@@ -1,23 +1,81 @@
 #include "rete/token_store.h"
 
+#include <algorithm>
+
+#include "rete/join_keys.h"
+
 namespace prodb {
 
 constexpr TupleId ReteToken::kNoTuple;
 
+bool MemoryTokenStore::KeyOf(const ReteToken& token, std::string* out) const {
+  out->clear();
+  for (const TokenKeyCol& c : key_cols_) {
+    if (c.pos >= token.tuples.size() ||
+        static_cast<size_t>(c.attr) >= token.tuples[c.pos].arity()) {
+      return false;
+    }
+    AppendKeyValue(token.tuples[c.pos][static_cast<size_t>(c.attr)], out);
+  }
+  return true;
+}
+
+void MemoryTokenStore::IndexAdd(size_t i) {
+  std::string key;
+  if (KeyOf(tokens_[i], &key)) {
+    buckets_[key].push_back(i);
+  } else {
+    unkeyed_.push_back(i);
+  }
+}
+
+void MemoryTokenStore::IndexErase(size_t i) {
+  std::string key;
+  std::vector<size_t>* list;
+  std::unordered_map<std::string, std::vector<size_t>>::iterator it;
+  if (KeyOf(tokens_[i], &key)) {
+    it = buckets_.find(key);
+    list = &it->second;
+  } else {
+    it = buckets_.end();
+    list = &unkeyed_;
+  }
+  auto pos = std::find(list->begin(), list->end(), i);
+  if (pos != list->end()) {
+    *pos = list->back();
+    list->pop_back();
+  }
+  if (it != buckets_.end() && list->empty()) buckets_.erase(it);
+}
+
+void MemoryTokenStore::EraseAt(size_t i) {
+  if (keyed()) {
+    IndexErase(i);
+    size_t last = tokens_.size() - 1;
+    if (i != last) {
+      IndexErase(last);
+      tokens_[i] = std::move(tokens_[last]);
+      IndexAdd(i);
+    }
+    tokens_.pop_back();
+    return;
+  }
+  tokens_[i] = std::move(tokens_.back());
+  tokens_.pop_back();
+}
+
 Status MemoryTokenStore::Add(const ReteToken& token) {
   tokens_.push_back(token);
+  if (keyed()) IndexAdd(tokens_.size() - 1);
   return Status::OK();
 }
 
 Status MemoryTokenStore::RemoveByTuple(size_t pos, TupleId id,
                                        std::vector<ReteToken>* removed) {
-  for (size_t i = 0; i < tokens_.size();) {
+  for (size_t i = tokens_.size(); i-- > 0;) {
     if (pos < tokens_[i].ids.size() && tokens_[i].ids[pos] == id) {
       if (removed != nullptr) removed->push_back(tokens_[i]);
-      tokens_[i] = std::move(tokens_.back());
-      tokens_.pop_back();
-    } else {
-      ++i;
+      EraseAt(i);
     }
   }
   return Status::OK();
@@ -25,10 +83,33 @@ Status MemoryTokenStore::RemoveByTuple(size_t pos, TupleId id,
 
 Status MemoryTokenStore::RemoveExact(const ReteToken& token, bool* found) {
   *found = false;
+  std::string key;
+  if (keyed() && KeyOf(token, &key)) {
+    // A tuple id never changes value (ids are not reused), so tokens with
+    // equal id combinations carry equal tuples and land in the same
+    // bucket — the probe is complete, no scan fallback needed.
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      for (size_t i : it->second) {
+        if (tokens_[i].ids == token.ids) {
+          EraseAt(i);
+          *found = true;
+          return Status::OK();
+        }
+      }
+    }
+    for (size_t i : unkeyed_) {
+      if (tokens_[i].ids == token.ids) {
+        EraseAt(i);
+        *found = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
   for (size_t i = 0; i < tokens_.size(); ++i) {
     if (tokens_[i].ids == token.ids) {
-      tokens_[i] = std::move(tokens_.back());
-      tokens_.pop_back();
+      EraseAt(i);
       *found = true;
       return Status::OK();
     }
@@ -44,6 +125,22 @@ Status MemoryTokenStore::Scan(
   return Status::OK();
 }
 
+Status MemoryTokenStore::ScanMatching(
+    const std::vector<Value>& key,
+    const std::function<Status(const ReteToken&)>& fn) const {
+  if (!keyed() || key.size() != key_cols_.size()) return Scan(fn);
+  auto it = buckets_.find(EncodeJoinKey(key));
+  if (it != buckets_.end()) {
+    for (size_t i : it->second) {
+      PRODB_RETURN_IF_ERROR(fn(tokens_[i]));
+    }
+  }
+  for (size_t i : unkeyed_) {
+    PRODB_RETURN_IF_ERROR(fn(tokens_[i]));
+  }
+  return Status::OK();
+}
+
 size_t MemoryTokenStore::FootprintBytes() const {
   size_t total = sizeof(*this) + tokens_.capacity() * sizeof(ReteToken);
   for (const ReteToken& t : tokens_) {
@@ -51,12 +148,17 @@ size_t MemoryTokenStore::FootprintBytes() const {
     for (const Tuple& tup : t.tuples) total += tup.FootprintBytes();
     total += t.binding.capacity() * sizeof(Binding::value_type);
   }
+  for (const auto& [key, list] : buckets_) {
+    total += key.capacity() + list.capacity() * sizeof(size_t) + 48;
+  }
+  total += unkeyed_.capacity() * sizeof(size_t);
   return total;
 }
 
 Status RelationTokenStore::Create(
     Catalog* catalog, const std::string& name, std::vector<size_t> arities,
-    StorageKind storage, std::unique_ptr<RelationTokenStore>* out) {
+    StorageKind storage, std::unique_ptr<RelationTokenStore>* out,
+    std::vector<TokenKeyCol> key_cols) {
   std::vector<Attribute> attrs;
   for (size_t p = 0; p < arities.size(); ++p) {
     attrs.push_back(
@@ -71,10 +173,29 @@ Status RelationTokenStore::Create(
           ValueType::kSymbol});
     }
   }
+  // Map each key column to its encoded-row column index; an out-of-range
+  // column voids the whole schema (the store stays scannable).
+  std::vector<int> key_attr_cols;
+  for (const TokenKeyCol& c : key_cols) {
+    if (c.pos >= arities.size() ||
+        static_cast<size_t>(c.attr) >= arities[c.pos]) {
+      key_attr_cols.clear();
+      break;
+    }
+    size_t col = 2 * arities.size();
+    for (size_t p = 0; p < c.pos; ++p) col += arities[p];
+    key_attr_cols.push_back(static_cast<int>(col) + c.attr);
+  }
   Relation* rel;
   PRODB_RETURN_IF_ERROR(
       catalog->CreateRelation(Schema(name, attrs), storage, &rel));
-  out->reset(new RelationTokenStore(rel, std::move(arities)));
+  for (int col : key_attr_cols) {
+    if (!rel->HasHashIndex(col)) {
+      PRODB_RETURN_IF_ERROR(rel->CreateHashIndex(col));
+    }
+  }
+  out->reset(new RelationTokenStore(rel, std::move(arities),
+                                    std::move(key_attr_cols)));
   return Status::OK();
 }
 
@@ -147,7 +268,7 @@ Status RelationTokenStore::RemoveExact(const ReteToken& token, bool* found) {
   *found = false;
   TupleId victim;
   bool have = false;
-  PRODB_RETURN_IF_ERROR(rel_->Scan([&](TupleId row_id, const Tuple& row) {
+  auto check = [&](TupleId row_id, const Tuple& row) {
     if (have) return Status::OK();
     size_t off = 0;
     for (size_t p = 0; p < arities_.size(); ++p) {
@@ -161,7 +282,24 @@ Status RelationTokenStore::RemoveExact(const ReteToken& token, bool* found) {
     victim = row_id;
     have = true;
     return Status::OK();
-  }));
+  };
+  if (keyed()) {
+    // Narrow the search with the key index: tokens with equal ids carry
+    // equal tuples, so the victim (if present) is in the probed set.
+    Selection sel;
+    Tuple enc = Encode(token);
+    for (int col : key_attr_cols_) {
+      sel.tests.push_back(
+          ConstantTest{col, CompareOp::kEq, enc[static_cast<size_t>(col)]});
+    }
+    std::vector<std::pair<TupleId, Tuple>> rows;
+    PRODB_RETURN_IF_ERROR(rel_->Select(sel, &rows));
+    for (const auto& [row_id, row] : rows) {
+      PRODB_RETURN_IF_ERROR(check(row_id, row));
+    }
+  } else {
+    PRODB_RETURN_IF_ERROR(rel_->Scan(check));
+  }
   if (have) {
     PRODB_RETURN_IF_ERROR(rel_->Delete(victim));
     *found = true;
@@ -172,6 +310,28 @@ Status RelationTokenStore::RemoveExact(const ReteToken& token, bool* found) {
 Status RelationTokenStore::Scan(
     const std::function<Status(const ReteToken&)>& fn) const {
   return rel_->Scan([&](TupleId, const Tuple& row) { return fn(Decode(row)); });
+}
+
+Status RelationTokenStore::ScanMatching(
+    const std::vector<Value>& key,
+    const std::function<Status(const ReteToken&)>& fn) const {
+  if (!keyed() || key.size() != key_attr_cols_.size()) return Scan(fn);
+  // The equality selection hits the hash index on the first key column
+  // (Relation::Select's fast path); remaining columns filter the probe
+  // result. Cross-type numeric equality (int 3 vs real 3.0) is honored by
+  // Value::Hash / EvalCompare, matching the join semantics.
+  Selection sel;
+  for (size_t i = 0; i < key.size(); ++i) {
+    sel.tests.push_back(
+        ConstantTest{key_attr_cols_[i], CompareOp::kEq, key[i]});
+  }
+  std::vector<std::pair<TupleId, Tuple>> rows;
+  PRODB_RETURN_IF_ERROR(rel_->Select(sel, &rows));
+  for (const auto& [row_id, row] : rows) {
+    (void)row_id;
+    PRODB_RETURN_IF_ERROR(fn(Decode(row)));
+  }
+  return Status::OK();
 }
 
 size_t RelationTokenStore::size() const { return rel_->Count(); }

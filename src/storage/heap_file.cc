@@ -137,7 +137,11 @@ Status HeapFile::Open(BufferPool* pool, uint32_t head_page_id,
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     uint16_t slots = GetU16(frame->data, kSlotCountOff);
     for (uint16_t s = 0; s < slots; ++s) {
-      if (SlotLength(frame->data, s) != kDeadSlot) ++hf->live_tuples_;
+      if (SlotLength(frame->data, s) != kDeadSlot) {
+        ++hf->live_tuples_;
+      } else {
+        ++hf->dead_slots_;
+      }
     }
     uint32_t next = GetU32(frame->data, kNextPageOff);
     PRODB_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/false));
@@ -244,6 +248,7 @@ Status HeapFile::Delete(TupleId id) {
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     --live_tuples_;
+    ++dead_slots_;
     dirty = true;
   }
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, dirty));
@@ -278,6 +283,7 @@ Status HeapFile::Restore(TupleId id, const Tuple& tuple) {
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     ++live_tuples_;
+    if (dead_slots_ > 0) --dead_slots_;
     dirty = true;
   }
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, dirty));
@@ -322,6 +328,11 @@ Status HeapFile::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
 size_t HeapFile::TupleCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return live_tuples_;
+}
+
+size_t HeapFile::dead_slot_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_slots_;
 }
 
 Status HeapFile::Scan(

@@ -62,6 +62,15 @@ class HeapFile {
 
   /// Number of live tuples.
   size_t TupleCount() const;
+  /// Alias of TupleCount, paired with dead_slot_count for space reports.
+  size_t live_tuple_count() const { return TupleCount(); }
+
+  /// Number of tombstoned slot-directory entries. Dead slots are never
+  /// reused (see class comment), so a churn-heavy workload accumulates
+  /// 4 bytes of directory per deleted tuple even though CompactPage
+  /// reclaims the record bytes — the space side of keeping TupleIds
+  /// stable for matcher bookkeeping and abort compensation.
+  size_t dead_slot_count() const;
 
   /// Number of pages owned by this file.
   size_t PageCount() const { return pages_.size(); }
@@ -81,6 +90,7 @@ class HeapFile {
   // page id -> approximate free bytes, maintained on insert/delete.
   std::unordered_map<uint32_t, uint16_t> free_space_;
   size_t live_tuples_ = 0;
+  size_t dead_slots_ = 0;
 };
 
 }  // namespace prodb

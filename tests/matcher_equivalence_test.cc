@@ -36,6 +36,36 @@ std::vector<MatcherCase> AllMatchers() {
          opts.dbms_backed = true;
          return std::make_unique<ReteNetwork>(c, opts);
        }},
+      // The same architectures with all indexing forced off. The defaults
+      // above run with join-key probes and declared WM indexes enabled, so
+      // agreement between the two halves of this list proves the probe
+      // paths are pure filters — same conflict sets, fewer tuples visited.
+      {"query-scan",
+       [](Catalog* c) {
+         ExecutorOptions eo;
+         eo.use_indexes = false;
+         eo.declare_rule_indexes = false;
+         return std::make_unique<QueryMatcher>(c, eo);
+       }},
+      {"pattern-scan",
+       [](Catalog* c) {
+         PatternMatcherOptions po;
+         po.declare_wm_indexes = false;
+         return std::make_unique<PatternMatcher>(c, po);
+       }},
+      {"rete-scan",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.index_memories = false;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"rete-dbms-scan",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.dbms_backed = true;
+         opts.index_memories = false;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
   };
 }
 
