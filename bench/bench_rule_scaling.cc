@@ -1,0 +1,120 @@
+// E13 — Constant-test discrimination index: rule dispatch vs rule count
+// (§2.3 / [STON86a]).
+//
+// Every matcher must route each WM delta to the condition elements /
+// alpha nodes that could accept it. The seed implementation walked every
+// entry registered on the delta's class — per-delta cost linear in the
+// rule count, the classic OPS5 scaling wall. The discrimination index
+// buckets entries by their `attr == constant` test (hash), bounded
+// numeric ranges (interval tree stab), or neither (residual list), so
+// dispatch cost tracks the number of *candidates*, not the number of
+// rules.
+//
+// This sweep grows the rule base 16 -> 4096 over a fixed class count
+// with a mixed test population (70% equality, 25% bounded range, 5%
+// residual `<>`) and measures the per-delta insert+delete cost. With the
+// index on, alpha_tests_evaluated per delta stays near the expected
+// candidate count (rules/domain for the eq tier plus the range/residual
+// overlap); with the "-scan" ablation it equals the full per-class entry
+// count — the counters expose the asymptotic gap directly, independent
+// of wall-clock noise.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace prodb {
+namespace {
+
+void RunRuleSweep(benchmark::State& state, const std::string& matcher_name,
+                  bool eq_only = false) {
+  WorkloadSpec spec;
+  spec.num_classes = 4;
+  spec.attrs_per_class = 4;
+  spec.num_rules = static_cast<size_t>(state.range(0));
+  spec.ces_per_rule = 2;
+  // Domain scales the eq-bucket occupancy: at 1024 values, even 4096
+  // rules leave ~1 equality candidate per (class, value) bucket.
+  spec.domain = 1024;
+  // The mixed population keeps a 5% residual tier whose entries are
+  // candidates for every delta; the eq-only variant isolates the hash
+  // tier, where the candidate count is flat in the rule count.
+  spec.range_test_prob = eq_only ? 0.0 : 0.25;
+  spec.residual_test_prob = eq_only ? 0.0 : 0.05;
+  spec.seed = 7;
+
+  auto setup = bench::MakeSetup(spec, [&](Catalog* c) {
+    return bench::MakeMatcherByName(matcher_name, c);
+  });
+  bench::Preload(*setup, 32);
+
+  Rng rng(1234);
+  for (auto _ : state) {
+    const std::string cls =
+        setup->gen.ClassName(rng.Uniform(spec.num_classes));
+    TupleId id;
+    bench::Abort(setup->wm->Insert(cls, setup->gen.RandomTuple(&rng), &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(cls, id), "delete");
+  }
+
+  const MatcherStats& st = setup->matcher->stats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["rules"] = static_cast<double>(spec.num_rules);
+  state.counters["alpha_tests_per_delta"] =
+      static_cast<double>(st.alpha_tests_evaluated.load()) / (2 * iters);
+  state.counters["candidates_per_delta"] =
+      static_cast<double>(st.candidates_visited.load()) / (2 * iters);
+}
+
+void BM_RuleScaling_Rete(benchmark::State& state) {
+  RunRuleSweep(state, "rete");
+}
+void BM_RuleScaling_ReteScan(benchmark::State& state) {
+  RunRuleSweep(state, "rete-scan");
+}
+void BM_RuleScaling_ReteDbms(benchmark::State& state) {
+  RunRuleSweep(state, "rete-dbms");
+}
+void BM_RuleScaling_ReteDbmsScan(benchmark::State& state) {
+  RunRuleSweep(state, "rete-dbms-scan");
+}
+void BM_RuleScaling_Query(benchmark::State& state) {
+  RunRuleSweep(state, "query");
+}
+void BM_RuleScaling_QueryScan(benchmark::State& state) {
+  RunRuleSweep(state, "query-scan");
+}
+void BM_RuleScaling_Pattern(benchmark::State& state) {
+  RunRuleSweep(state, "pattern");
+}
+void BM_RuleScaling_PatternScan(benchmark::State& state) {
+  RunRuleSweep(state, "pattern-scan");
+}
+void BM_RuleScaling_ReteEqOnly(benchmark::State& state) {
+  RunRuleSweep(state, "rete", /*eq_only=*/true);
+}
+void BM_RuleScaling_QueryEqOnly(benchmark::State& state) {
+  RunRuleSweep(state, "query", /*eq_only=*/true);
+}
+
+// Scan variants carry explicit iteration counts: at 4096 rules every
+// delta tests ~1000 entries on its class, and auto-sizing the run would
+// take minutes per data point.
+#define RULE_ARGS ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+BENCHMARK(BM_RuleScaling_Rete) RULE_ARGS;
+BENCHMARK(BM_RuleScaling_ReteScan) RULE_ARGS->Iterations(500);
+BENCHMARK(BM_RuleScaling_ReteDbms) RULE_ARGS;
+BENCHMARK(BM_RuleScaling_ReteDbmsScan) RULE_ARGS->Iterations(500);
+BENCHMARK(BM_RuleScaling_Query) RULE_ARGS;
+BENCHMARK(BM_RuleScaling_QueryScan) RULE_ARGS->Iterations(500);
+BENCHMARK(BM_RuleScaling_Pattern) RULE_ARGS;
+BENCHMARK(BM_RuleScaling_PatternScan) RULE_ARGS->Iterations(500);
+BENCHMARK(BM_RuleScaling_ReteEqOnly) RULE_ARGS;
+BENCHMARK(BM_RuleScaling_QueryEqOnly) RULE_ARGS;
+#undef RULE_ARGS
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

@@ -49,9 +49,12 @@ std::unique_ptr<Setup> MakeSetup(WorkloadSpec spec,
   return setup;
 }
 
-/// The four architectures by name, plus "-scan" variants with all
-/// indexing (join-key token memories, auto-declared WM hash indexes)
-/// forced off — the ablation baselines for the indexing benchmarks.
+/// The four architectures by name, plus two ablation families:
+///  * "-scan": all indexing forced off — join-key token memories,
+///    auto-declared WM hash indexes, AND constant-test discrimination —
+///    the full linear-walk baseline for the indexing benchmarks.
+///  * "-nodisc": only the constant-test discrimination index off (other
+///    indexing at defaults), isolating the dispatch-tier contribution.
 inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
                                                   Catalog* catalog) {
   if (name == "query") return std::make_unique<QueryMatcher>(catalog);
@@ -66,22 +69,47 @@ inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
     ExecutorOptions eo;
     eo.use_indexes = false;
     eo.declare_rule_indexes = false;
+    eo.discriminate_dispatch = false;
     return std::make_unique<QueryMatcher>(catalog, eo);
   }
   if (name == "pattern-scan") {
     PatternMatcherOptions po;
     po.declare_wm_indexes = false;
+    po.discriminate_dispatch = false;
     return std::make_unique<PatternMatcher>(catalog, po);
   }
   if (name == "rete-scan") {
     ReteOptions opts;
     opts.index_memories = false;
+    opts.discriminate_alpha = false;
     return std::make_unique<ReteNetwork>(catalog, opts);
   }
   if (name == "rete-dbms-scan") {
     ReteOptions opts;
     opts.dbms_backed = true;
     opts.index_memories = false;
+    opts.discriminate_alpha = false;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "query-nodisc") {
+    ExecutorOptions eo;
+    eo.discriminate_dispatch = false;
+    return std::make_unique<QueryMatcher>(catalog, eo);
+  }
+  if (name == "pattern-nodisc") {
+    PatternMatcherOptions po;
+    po.discriminate_dispatch = false;
+    return std::make_unique<PatternMatcher>(catalog, po);
+  }
+  if (name == "rete-nodisc") {
+    ReteOptions opts;
+    opts.discriminate_alpha = false;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "rete-dbms-nodisc") {
+    ReteOptions opts;
+    opts.dbms_backed = true;
+    opts.discriminate_alpha = false;
     return std::make_unique<ReteNetwork>(catalog, opts);
   }
   std::fprintf(stderr, "unknown matcher %s\n", name.c_str());

@@ -2,10 +2,12 @@
 #define PRODB_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace prodb {
@@ -16,6 +18,10 @@ namespace prodb {
 /// COND relations (§4.2.3: "propagation of changes can be performed in
 /// parallel to all the COND relations") and for the concurrent execution
 /// engine's workers (§5).
+///
+/// A task that throws does not take the process down: the first exception
+/// is captured and rethrown from the next Wait(), and `pending_` stays
+/// balanced so Wait() cannot hang on the lost decrement.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t threads) {
@@ -48,10 +54,17 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last Wait(), rethrows the first such exception here (on
+  /// the submitting thread) after the drain completes.
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    std::exception_ptr failure;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      failure = std::exchange(first_failure_, nullptr);
+    }
+    if (failure) std::rethrow_exception(failure);
   }
 
   size_t size() const { return workers_.size(); }
@@ -67,9 +80,19 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      std::exception_ptr failure;
+      try {
+        task();
+      } catch (...) {
+        // Letting the exception escape would std::terminate the worker;
+        // skipping the decrement below would wedge Wait() forever.
+        failure = std::current_exception();
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
+        if (failure && first_failure_ == nullptr) {
+          first_failure_ = std::move(failure);
+        }
         if (--pending_ == 0) done_cv_.notify_all();
       }
     }
@@ -82,6 +105,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t pending_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_failure_;
 };
 
 }  // namespace prodb

@@ -26,6 +26,12 @@ struct ExecutorOptions {
   /// approach over the Rete network's fixed plan (§3.2, §4.1.2); the
   /// ablation benchmark compares both settings.
   bool reorder = false;
+  /// Consumed by the matchers driving this executor (not the executor
+  /// itself): route per-delta rule dispatch through the constant-test
+  /// discrimination index instead of walking every condition element
+  /// registered on the delta's relation (§2.3 / [STON86a]). Off restores
+  /// the linear walk for the ablation benchmarks.
+  bool discriminate_dispatch = true;
 };
 
 /// One satisfying combination of WM tuples for a conjunctive query.

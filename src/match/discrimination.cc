@@ -1,0 +1,96 @@
+#include "match/discrimination.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prodb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stab coordinate of a tuple value under the null < numbers < symbols
+/// total order of Value::Compare.
+double StabCoord(const Value& v) {
+  if (v.is_numeric()) return v.numeric();
+  return v.is_null() ? -kInf : kInf;
+}
+
+}  // namespace
+
+void DiscriminationIndex::Add(uint32_t id,
+                              const std::vector<ConstantTest>& tests) {
+  ++total_;
+
+  // Tier 1: any equality against a constant pins the entry to one hash
+  // bucket — the most selective classifiable discriminator.
+  for (const ConstantTest& t : tests) {
+    if (t.op == CompareOp::kEq) {
+      eq_buckets_[t.attr][t.constant].push_back(id);
+      ++eq_count_;
+      return;
+    }
+  }
+
+  // Tier 2: intersect the bounded numeric comparisons per attribute and
+  // index the first attribute that has any. Strict bounds stay inclusive
+  // (the exact test re-runs on candidates, so widening is safe).
+  int best_attr = -1;
+  double lo = -kInf, hi = kInf;
+  for (const ConstantTest& t : tests) {
+    if (!t.constant.is_numeric()) continue;
+    if (best_attr != -1 && t.attr != best_attr) continue;
+    double c = t.constant.numeric();
+    switch (t.op) {
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        best_attr = t.attr;
+        hi = std::min(hi, c);
+        break;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        best_attr = t.attr;
+        lo = std::max(lo, c);
+        break;
+      default:
+        break;  // kNe discriminates nothing; kEq handled above
+    }
+  }
+  if (best_attr != -1) {
+    range_trees_[best_attr].Insert(lo, hi, id);
+    ++range_count_;
+    return;
+  }
+
+  // Tier 3: nothing classifiable — always a candidate.
+  residual_.push_back(id);
+}
+
+void DiscriminationIndex::Seal() const {
+  std::vector<uint32_t> scratch;
+  for (const auto& [attr, tree] : range_trees_) {
+    (void)attr;
+    tree.Stab(0.0, &scratch);
+    scratch.clear();
+  }
+}
+
+void DiscriminationIndex::Lookup(const Tuple& t,
+                                 std::vector<uint32_t>* out) const {
+  out->insert(out->end(), residual_.begin(), residual_.end());
+  for (const auto& [attr, buckets] : eq_buckets_) {
+    if (static_cast<size_t>(attr) >= t.arity()) continue;
+    auto it = buckets.find(t[static_cast<size_t>(attr)]);
+    if (it == buckets.end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  for (const auto& [attr, tree] : range_trees_) {
+    if (static_cast<size_t>(attr) >= t.arity()) continue;
+    tree.Stab(StabCoord(t[static_cast<size_t>(attr)]), out);
+  }
+  // Each entry lives in exactly one tier under exactly one key, so the
+  // union is already duplicate-free; sort restores registration order.
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace prodb

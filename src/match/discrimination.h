@@ -1,0 +1,86 @@
+#ifndef PRODB_MATCH_DISCRIMINATION_H_
+#define PRODB_MATCH_DISCRIMINATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "db/predicate.h"
+#include "index/interval_tree.h"
+
+namespace prodb {
+
+/// Constant-test discrimination index (§2.3 / [STON86a]): sublinear
+/// dispatch from a WM tuple to the registered condition tests that can
+/// possibly accept it, replacing the per-delta linear walk over every
+/// alpha node / condition element of the tuple's class.
+///
+/// Entries are conjunctions of ConstantTests registered under a caller-
+/// chosen id (an index into the caller's per-class dispatch vector).
+/// Each entry is classified once, at registration, into one of three
+/// tiers by its most discriminating classifiable test:
+///
+///  * eq tier — the entry has an `attr == constant` test: it is hashed
+///    under (attr, constant). A lookup probes one bucket per indexed
+///    attribute with the tuple's value at that attribute.
+///  * range tier — the entry has bounded comparison tests against
+///    numeric constants on some attribute: the conjunction of those
+///    bounds forms one interval [lo, hi] in a per-attribute interval
+///    tree, found by an O(log n + k) stab with the tuple's value.
+///  * residual tier — nothing classifiable (no tests, only `<>` tests,
+///    or only comparisons against non-numeric constants): the entry is
+///    a candidate for every tuple.
+///
+/// Contract: Lookup returns a *superset* of the entries whose tests all
+/// pass (sorted ascending, duplicate-free). False positives are fine —
+/// callers re-run the exact Matches/TupleConsistent on every candidate —
+/// but an entry whose tests pass is never missing. The over-
+/// approximations are: strict bounds are widened to inclusive interval
+/// endpoints, and only one test per entry discriminates (the rest are
+/// re-checked by the caller).
+///
+/// Cross-type ordering makes the range tier subtle: Value::Compare ranks
+/// null < numbers < symbols, so a symbol *does* satisfy `attr > 5`.
+/// Lookup therefore stabs with -inf for null values and +inf for
+/// symbols, which lands them in exactly the intervals whose tests they
+/// could pass under that total order.
+class DiscriminationIndex {
+ public:
+  /// Registers entry `id` (must be unused) with the given conjunction.
+  void Add(uint32_t id, const std::vector<ConstantTest>& tests);
+
+  /// Appends the candidate ids for `t` to *out and sorts the result
+  /// (duplicate-free by construction: each entry lives in one tier under
+  /// one key). Attributes beyond t.arity() never contribute.
+  void Lookup(const Tuple& t, std::vector<uint32_t>* out) const;
+
+  /// Forces the lazily-rebuilt range trees into their built state so
+  /// subsequent Lookups are pure reads (the concurrent engine drives
+  /// matcher maintenance from worker threads). Matchers call this at
+  /// rule-registration time, before any WM activity.
+  void Seal() const;
+
+  size_t size() const { return total_; }
+  size_t eq_entries() const { return eq_count_; }
+  size_t range_entries() const { return range_count_; }
+  size_t residual_entries() const { return residual_.size(); }
+
+ private:
+  // attr -> constant -> entry ids equality-testing that (attr, constant).
+  std::unordered_map<int,
+                     std::unordered_map<Value, std::vector<uint32_t>,
+                                        ValueHash>>
+      eq_buckets_;
+  // attr -> intervals of entries whose bounds on that attr intersect to
+  // [lo, hi] (inclusive; strict bounds widened).
+  std::unordered_map<int, IntervalTree> range_trees_;
+  std::vector<uint32_t> residual_;
+  size_t eq_count_ = 0;
+  size_t range_count_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_MATCH_DISCRIMINATION_H_

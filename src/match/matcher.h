@@ -29,6 +29,14 @@ struct MatcherStats {
   std::atomic<uint64_t> index_probes{0};
   std::atomic<uint64_t> probe_tokens_visited{0};
   std::atomic<uint64_t> scan_tokens_visited{0};
+  // Dispatch accounting (§2.3 / [STON86a] predicate indexing): one
+  // alpha_tests_evaluated per full constant-test evaluation of an alpha
+  // node / condition element against a delta tuple; candidates_visited
+  // counts the entries the discrimination index nominated (equal to
+  // alpha_tests_evaluated on the indexed path, the full per-class count
+  // on the linear-scan path — the ratio is the index's win).
+  std::atomic<uint64_t> alpha_tests_evaluated{0};
+  std::atomic<uint64_t> candidates_visited{0};
 
   MatcherStats() = default;
   MatcherStats(const MatcherStats& o)
@@ -38,7 +46,9 @@ struct MatcherStats {
         batches(o.batches.load()),
         index_probes(o.index_probes.load()),
         probe_tokens_visited(o.probe_tokens_visited.load()),
-        scan_tokens_visited(o.scan_tokens_visited.load()) {}
+        scan_tokens_visited(o.scan_tokens_visited.load()),
+        alpha_tests_evaluated(o.alpha_tests_evaluated.load()),
+        candidates_visited(o.candidates_visited.load()) {}
 };
 
 /// Interface shared by the four matching architectures the paper

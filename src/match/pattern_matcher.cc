@@ -67,6 +67,10 @@ Status PatternMatcher::AddRule(const Rule& rule) {
     PRODB_RETURN_IF_ERROR(EnsureCondStore(c.relation, &store));
     auto& bucket = c.negated ? negative_by_class_[c.relation]
                              : positive_by_class_[c.relation];
+    auto& disc =
+        c.negated ? negative_disc_[c.relation] : positive_disc_[c.relation];
+    disc.Add(static_cast<uint32_t>(bucket.size()), c.constant_tests);
+    disc.Seal();
     bucket.push_back(CeRef{rule_index, static_cast<int>(ce)});
 
     // Original COND row: constants where the CE tests equality against a
@@ -123,6 +127,27 @@ Status PatternMatcher::AddRule(const Rule& rule) {
 
   rules_.push_back(rule);
   return Status::OK();
+}
+
+void PatternMatcher::DispatchTargets(bool negated, const std::string& rel,
+                                     size_t n, const Tuple& t,
+                                     std::vector<uint32_t>* out) {
+  out->clear();
+  if (options_.discriminate_dispatch) {
+    out->reserve(last_candidates_.load(std::memory_order_relaxed));
+    const auto& discs = negated ? negative_disc_ : positive_disc_;
+    auto it = discs.find(rel);
+    if (it != discs.end()) it->second.Lookup(t, out);
+    last_candidates_.store(static_cast<uint32_t>(out->size()),
+                           std::memory_order_relaxed);
+    stats_.candidates_visited += out->size();
+  } else {
+    out->reserve(n);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) {
+      out->push_back(i);
+    }
+  }
+  stats_.alpha_tests_evaluated += out->size();
 }
 
 std::string PatternMatcher::ProjectionKey(const Binding& b) {
@@ -316,10 +341,13 @@ Status PatternMatcher::FlushOps(std::vector<PropagationOp>* ops) {
 
 Status PatternMatcher::OnInsert(const std::string& rel, TupleId id,
                                 const Tuple& t) {
+  std::vector<uint32_t> cands;
   auto pit = positive_by_class_.find(rel);
   if (pit != positive_by_class_.end()) {
     std::vector<PropagationOp> ops;
-    for (const CeRef& ref : pit->second) {
+    DispatchTargets(false, rel, pit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = pit->second[pos];
       const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
       const ConditionSpec& ce =
           rule.lhs.conditions[static_cast<size_t>(ref.ce)];
@@ -360,7 +388,9 @@ Status PatternMatcher::OnInsert(const std::string& rel, TupleId id,
   // Negated CEs over this class: consistent instantiations die.
   auto nit = negative_by_class_.find(rel);
   if (nit != negative_by_class_.end()) {
-    for (const CeRef& ref : nit->second) {
+    DispatchTargets(true, rel, nit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = nit->second[pos];
       const ConditionSpec& ce =
           rules_[static_cast<size_t>(ref.rule)].lhs.conditions
               [static_cast<size_t>(ref.ce)];
@@ -390,10 +420,16 @@ Status PatternMatcher::OnDelete(const std::string& rel, TupleId id,
 
   // Decrement / remove the matching patterns this tuple contributed
   // (§4.2.2: "instead of setting Mark bits, we reset them ... Mark bits
-  // can be easily replaced by counters").
+  // can be easily replaced by counters"). Candidate filtering preserves
+  // insert/delete symmetry: a tuple bumps a pattern only if BindSingle
+  // accepted it, which requires its constant tests to pass — and the
+  // candidate set always contains every CE whose constant tests pass.
+  std::vector<uint32_t> cands;
   auto pit = positive_by_class_.find(rel);
   if (pit != positive_by_class_.end()) {
-    for (const CeRef& ref : pit->second) {
+    DispatchTargets(false, rel, pit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = pit->second[pos];
       const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
       const ConditionSpec& ce =
           rule.lhs.conditions[static_cast<size_t>(ref.ce)];
@@ -417,7 +453,9 @@ Status PatternMatcher::OnDelete(const std::string& rel, TupleId id,
   // the rule under the binding the blocker carried.
   auto nit = negative_by_class_.find(rel);
   if (nit != negative_by_class_.end()) {
-    for (const CeRef& ref : nit->second) {
+    DispatchTargets(true, rel, nit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = nit->second[pos];
       const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
       const ConditionSpec& ce =
           rule.lhs.conditions[static_cast<size_t>(ref.ce)];
@@ -442,9 +480,12 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
                          : OnDelete(d.relation, d.id, d.tuple);
   }
 
+  std::vector<uint32_t> cands;
+
   // One conflict-set pass retiring instantiations that reference any
   // deleted tuple at a positive CE (per-tuple pays one pass per delete).
-  std::map<std::string, std::unordered_set<TupleId, TupleIdHash>> deleted;
+  std::unordered_map<std::string, std::unordered_set<TupleId, TupleIdHash>>
+      deleted;
   for (const Delta& d : batch) {
     if (d.is_delete()) deleted[d.relation].insert(d.id);
   }
@@ -463,29 +504,28 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
   }
 
   // One pass retiring instantiations blocked by inserted negated-CE
-  // witnesses; later additions evaluate against post-batch WM, so they
-  // are censored by the blockers already.
-  bool negated_inserts = false;
+  // witnesses, restricted to the (delta, CE) pairs the discrimination
+  // index says can interact; later additions evaluate against post-batch
+  // WM, so they are censored by the blockers already.
+  std::vector<std::pair<const Delta*, const CeRef*>> blockers;
   for (const Delta& d : batch) {
-    if (d.is_insert() && negative_by_class_.count(d.relation)) {
-      negated_inserts = true;
-      break;
+    if (!d.is_insert()) continue;
+    auto nit = negative_by_class_.find(d.relation);
+    if (nit == negative_by_class_.end()) continue;
+    DispatchTargets(true, d.relation, nit->second.size(), d.tuple, &cands);
+    for (uint32_t pos : cands) {
+      blockers.emplace_back(&d, &nit->second[pos]);
     }
   }
-  if (negated_inserts) {
+  if (!blockers.empty()) {
     conflict_set_.RemoveIf([&](const Instantiation& inst) {
-      for (const Delta& d : batch) {
-        if (!d.is_insert()) continue;
-        auto nit = negative_by_class_.find(d.relation);
-        if (nit == negative_by_class_.end()) continue;
-        for (const CeRef& ref : nit->second) {
-          if (ref.rule != inst.rule_index) continue;
-          const ConditionSpec& ce =
-              rules_[static_cast<size_t>(ref.rule)].lhs.conditions
-                  [static_cast<size_t>(ref.ce)];
-          Binding b = inst.binding;
-          if (TupleConsistent(ce, d.tuple, &b)) return true;
-        }
+      for (const auto& [d, ref] : blockers) {
+        if (ref->rule != inst.rule_index) continue;
+        const ConditionSpec& ce =
+            rules_[static_cast<size_t>(ref->rule)].lhs.conditions
+                [static_cast<size_t>(ref->ce)];
+        Binding b = inst.binding;
+        if (TupleConsistent(ce, d->tuple, &b)) return true;
       }
       return false;
     });
@@ -504,7 +544,10 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
     auto pit = positive_by_class_.find(d.relation);
     if (d.is_insert()) {
       if (pit != positive_by_class_.end()) {
-        for (const CeRef& ref : pit->second) {
+        DispatchTargets(false, d.relation, pit->second.size(), d.tuple,
+                        &cands);
+        for (uint32_t pos : cands) {
+          const CeRef& ref = pit->second[pos];
           const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
           const ConditionSpec& ce =
               rule.lhs.conditions[static_cast<size_t>(ref.ce)];
@@ -547,7 +590,10 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
     // Delete: queue counter decrements (§4.2.2's counters) and re-derive
     // instantiations a negated-CE blocker was suppressing.
     if (pit != positive_by_class_.end()) {
-      for (const CeRef& ref : pit->second) {
+      DispatchTargets(false, d.relation, pit->second.size(), d.tuple,
+                      &cands);
+      for (uint32_t pos : cands) {
+        const CeRef& ref = pit->second[pos];
         const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
         const ConditionSpec& ce =
             rule.lhs.conditions[static_cast<size_t>(ref.ce)];
@@ -566,7 +612,9 @@ Status PatternMatcher::OnBatch(const ChangeSet& batch) {
     }
     auto nit = negative_by_class_.find(d.relation);
     if (nit != negative_by_class_.end()) {
-      for (const CeRef& ref : nit->second) {
+      DispatchTargets(true, d.relation, nit->second.size(), d.tuple, &cands);
+      for (uint32_t pos : cands) {
+        const CeRef& ref = nit->second[pos];
         const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
         const ConditionSpec& ce =
             rule.lhs.conditions[static_cast<size_t>(ref.ce)];

@@ -1,6 +1,7 @@
 #ifndef PRODB_MATCH_PATTERN_MATCHER_H_
 #define PRODB_MATCH_PATTERN_MATCHER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "common/thread_pool.h"
 #include "db/executor.h"
+#include "match/discrimination.h"
 #include "match/matcher.h"
 
 namespace prodb {
@@ -26,6 +28,11 @@ struct PatternMatcherOptions {
   /// in equality tests, so materialization and seeded re-evaluation probe
   /// the WM relations through Relation::Select's index path (§4.1.2).
   bool declare_wm_indexes = true;
+  /// Route per-delta CE dispatch through the constant-test discrimination
+  /// index (eq-hash / interval-tree / residual tiers) instead of walking
+  /// every condition element registered on the delta's relation. Off
+  /// restores the linear walk for the ablation benchmarks.
+  bool discriminate_dispatch = true;
 };
 
 /// The paper's new approach (§4.2): COND relations with matching
@@ -131,6 +138,14 @@ class PatternMatcher : public Matcher {
   Status EnsureCondStore(const std::string& cls, CondStore** out);
   static std::string ProjectionKey(const Binding& b);
 
+  /// Fills *out with the positions (into the class's CeRef bucket) to
+  /// dispatch for `t`: discrimination-index candidates when enabled (a
+  /// superset of the CEs whose constant tests accept `t`; skipping the
+  /// rest is exact — BindSingle checks constant tests first), every
+  /// position otherwise. Updates the dispatch counters either way.
+  void DispatchTargets(bool negated, const std::string& rel, size_t n,
+                       const Tuple& t, std::vector<uint32_t>* out);
+
   /// Projects `full` onto the vars shared between CE `from` and CE `to`
   /// of `rule` (precomputed at AddRule).
   Binding Project(int rule, int from, int to, const Binding& full) const;
@@ -153,11 +168,18 @@ class PatternMatcher : public Matcher {
   PatternMatcherOptions options_;
   Executor executor_;
   std::vector<Rule> rules_;
-  std::map<std::string, std::vector<CeRef>> positive_by_class_;
-  std::map<std::string, std::vector<CeRef>> negative_by_class_;
+  std::unordered_map<std::string, std::vector<CeRef>> positive_by_class_;
+  std::unordered_map<std::string, std::vector<CeRef>> negative_by_class_;
+  // Class name -> discrimination index over the bucket's CE constant
+  // tests (entry id = position in the bucket).
+  std::unordered_map<std::string, DiscriminationIndex> positive_disc_;
+  std::unordered_map<std::string, DiscriminationIndex> negative_disc_;
+  // reserve() hint: previous delta's candidate count (atomic — the
+  // concurrent engine dispatches from worker threads).
+  std::atomic<uint32_t> last_candidates_{0};
   // [rule][from_ce][to_ce] -> shared variable ids (kEq occurrences).
   std::vector<std::vector<std::vector<std::vector<int>>>> shared_vars_;
-  std::map<std::string, std::unique_ptr<CondStore>> cond_stores_;
+  std::unordered_map<std::string, std::unique_ptr<CondStore>> cond_stores_;
   Relation* rule_def_ = nullptr;
   ConflictSet conflict_set_;
   MatcherStats stats_;

@@ -34,10 +34,38 @@ Status QueryMatcher::AddRule(const Rule& rule) {
     auto& bucket =
         c.negated ? negative_by_class_[c.relation]
                   : positive_by_class_[c.relation];
+    auto& disc =
+        c.negated ? negative_disc_[c.relation] : positive_disc_[c.relation];
+    // Always registered (cheap, and the ablation variants keep the
+    // structure comparable); the dispatch flag decides whether lookups
+    // happen.
+    disc.Add(static_cast<uint32_t>(bucket.size()), c.constant_tests);
+    disc.Seal();
     bucket.push_back(CeRef{rule_index, static_cast<int>(ce)});
   }
   rules_.push_back(rule);
   return Status::OK();
+}
+
+void QueryMatcher::DispatchTargets(bool negated, const std::string& rel,
+                                   size_t n, const Tuple& t,
+                                   std::vector<uint32_t>* out) {
+  out->clear();
+  if (executor_.options().discriminate_dispatch) {
+    out->reserve(last_candidates_.load(std::memory_order_relaxed));
+    const auto& discs = negated ? negative_disc_ : positive_disc_;
+    auto it = discs.find(rel);
+    if (it != discs.end()) it->second.Lookup(t, out);
+    last_candidates_.store(static_cast<uint32_t>(out->size()),
+                           std::memory_order_relaxed);
+    stats_.candidates_visited += out->size();
+  } else {
+    out->reserve(n);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) {
+      out->push_back(i);
+    }
+  }
+  stats_.alpha_tests_evaluated += out->size();
 }
 
 Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
@@ -61,11 +89,15 @@ Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
 
 Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
                               const Tuple& t) {
-  // Positive CEs over this class: re-evaluate the LHS seeded with the
-  // new tuple (§4.1.2's re-computation of joins).
+  std::vector<uint32_t> cands;
+  // Positive CEs over this class whose constant tests can accept the new
+  // tuple: re-evaluate the LHS seeded with it (§4.1.2's re-computation
+  // of joins).
   auto pit = positive_by_class_.find(rel);
   if (pit != positive_by_class_.end()) {
-    for (const CeRef& ref : pit->second) {
+    DispatchTargets(false, rel, pit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = pit->second[pos];
       ++stats_.propagations;
       PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, id, t));
     }
@@ -74,7 +106,9 @@ Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
   // instantiations whose binding it is consistent with.
   auto nit = negative_by_class_.find(rel);
   if (nit != negative_by_class_.end()) {
-    for (const CeRef& ref : nit->second) {
+    DispatchTargets(true, rel, nit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = nit->second[pos];
       const ConditionSpec& ce =
           rules_[static_cast<size_t>(ref.rule)].lhs.conditions
               [static_cast<size_t>(ref.ce)];
@@ -90,7 +124,6 @@ Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
 
 Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
                               const Tuple& t) {
-  (void)t;
   // Drop instantiations that referenced the deleted tuple at a CE over
   // this relation.
   conflict_set_.RemoveIf([&](const Instantiation& inst) {
@@ -104,10 +137,14 @@ Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
     return false;
   });
   // A deletion can enable rules negatively dependent on this relation:
-  // re-evaluate them from scratch.
+  // re-evaluate them from scratch. Only CEs whose constant tests accept
+  // the dead tuple need it — a tuple failing them never blocked anything.
   auto nit = negative_by_class_.find(rel);
   if (nit != negative_by_class_.end()) {
-    for (const CeRef& ref : nit->second) {
+    std::vector<uint32_t> cands;
+    DispatchTargets(true, rel, nit->second.size(), t, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = nit->second[pos];
       const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
       std::vector<QueryMatch> matches;
       PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
@@ -133,11 +170,13 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     return d.is_insert() ? OnInsert(d.relation, d.id, d.tuple)
                          : OnDelete(d.relation, d.id, d.tuple);
   }
+  std::vector<uint32_t> cands;
 
   // 1. One conflict-set pass retiring every instantiation that references
   //    a deleted tuple at a positive CE (the per-tuple path pays one full
   //    pass per deletion).
-  std::map<std::string, std::unordered_set<TupleId, TupleIdHash>> deleted;
+  std::unordered_map<std::string, std::unordered_set<TupleId, TupleIdHash>>
+      deleted;
   for (const Delta& d : batch) {
     if (d.is_delete()) deleted[d.relation].insert(d.id);
   }
@@ -156,66 +195,67 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
   }
 
   // 2. One pass retiring instantiations blocked by inserted tuples via
-  //    negated CEs. Additions below evaluate against the post-batch WM,
-  //    so a blocker inserted anywhere in the batch censors them already.
-  bool negated_inserts = false;
+  //    negated CEs, restricted to the (delta, CE) pairs the
+  //    discrimination index says can interact. Additions below evaluate
+  //    against the post-batch WM, so a blocker inserted anywhere in the
+  //    batch censors them already.
+  std::vector<std::pair<const Delta*, const CeRef*>> blockers;
   for (const Delta& d : batch) {
-    if (d.is_insert() && negative_by_class_.count(d.relation)) {
-      negated_inserts = true;
-      break;
+    if (!d.is_insert()) continue;
+    auto nit = negative_by_class_.find(d.relation);
+    if (nit == negative_by_class_.end()) continue;
+    DispatchTargets(true, d.relation, nit->second.size(), d.tuple, &cands);
+    for (uint32_t pos : cands) {
+      blockers.emplace_back(&d, &nit->second[pos]);
     }
   }
-  if (negated_inserts) {
+  if (!blockers.empty()) {
     conflict_set_.RemoveIf([&](const Instantiation& inst) {
-      for (const Delta& d : batch) {
-        if (!d.is_insert()) continue;
-        auto nit = negative_by_class_.find(d.relation);
-        if (nit == negative_by_class_.end()) continue;
-        for (const CeRef& ref : nit->second) {
-          if (ref.rule != inst.rule_index) continue;
-          const ConditionSpec& ce =
-              rules_[static_cast<size_t>(ref.rule)].lhs.conditions
-                  [static_cast<size_t>(ref.ce)];
-          Binding b = inst.binding;
-          if (TupleConsistent(ce, d.tuple, &b)) return true;
-        }
+      for (const auto& [d, ref] : blockers) {
+        if (ref->rule != inst.rule_index) continue;
+        const ConditionSpec& ce =
+            rules_[static_cast<size_t>(ref->rule)].lhs.conditions
+                [static_cast<size_t>(ref->ce)];
+        Binding b = inst.binding;
+        if (TupleConsistent(ce, d->tuple, &b)) return true;
       }
       return false;
     });
   }
 
-  // 3. Seeded evaluation per inserted tuple, grouped by (rule, ce) so a
-  //    batch counts one propagation step per affected condition element
-  //    rather than one per tuple. A tuple both inserted and deleted
-  //    within the batch is never seeded: EvaluateSeeded force-includes
-  //    its seed, and the removal pass above has already run.
+  // 3. Seeded evaluation per inserted tuple against its candidate CEs; a
+  //    batch still counts one propagation step per affected condition
+  //    element rather than one per tuple. A tuple both inserted and
+  //    deleted within the batch is never seeded: EvaluateSeeded
+  //    force-includes its seed, and the removal pass above has already
+  //    run.
   auto dead = [&](const Delta& d) {
     auto it = deleted.find(d.relation);
     return it != deleted.end() && it->second.count(d.id) > 0;
   };
-  for (const auto& [rel, refs] : positive_by_class_) {
-    for (const CeRef& ref : refs) {
-      bool counted = false;
-      for (const Delta& d : batch) {
-        if (!d.is_insert() || d.relation != rel || dead(d)) continue;
-        if (!counted) {
-          ++stats_.propagations;
-          counted = true;
-        }
-        PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, d.id, d.tuple));
-      }
+  std::set<std::pair<const std::string*, uint32_t>> counted;
+  for (const Delta& d : batch) {
+    if (!d.is_insert() || dead(d)) continue;
+    auto pit = positive_by_class_.find(d.relation);
+    if (pit == positive_by_class_.end()) continue;
+    DispatchTargets(false, d.relation, pit->second.size(), d.tuple, &cands);
+    for (uint32_t pos : cands) {
+      const CeRef& ref = pit->second[pos];
+      if (counted.insert({&pit->first, pos}).second) ++stats_.propagations;
+      PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, d.id, d.tuple));
     }
   }
 
-  // 4. Each rule negatively dependent on a relation the batch deleted
-  //    from is re-evaluated once — not once per deleted tuple, the
+  // 4. Each rule negatively dependent on a deletion the index deems
+  //    relevant is re-evaluated once — not once per deleted tuple, the
   //    amortization §4.1.2's "re-computation of joins" cost begs for.
   std::set<int> reeval;
-  for (const auto& [rel, ids] : deleted) {
-    (void)ids;
-    auto nit = negative_by_class_.find(rel);
+  for (const Delta& d : batch) {
+    if (!d.is_delete()) continue;
+    auto nit = negative_by_class_.find(d.relation);
     if (nit == negative_by_class_.end()) continue;
-    for (const CeRef& ref : nit->second) reeval.insert(ref.rule);
+    DispatchTargets(true, d.relation, nit->second.size(), d.tuple, &cands);
+    for (uint32_t pos : cands) reeval.insert(nit->second[pos].rule);
   }
   for (int rule_index : reeval) {
     const Rule& rule = rules_[static_cast<size_t>(rule_index)];
@@ -237,13 +277,13 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
 
 size_t QueryMatcher::AuxiliaryFootprintBytes() const {
   // The whole point of §4.1: no intermediate results are stored. Only the
-  // per-class CE maps exist, which are O(#rules).
+  // per-class CE maps (and their discrimination indexes, O(#CEs)) exist.
   size_t total = 0;
   for (const auto& [name, refs] : positive_by_class_) {
-    total += name.size() + refs.size() * sizeof(CeRef);
+    total += name.size() + refs.size() * (sizeof(CeRef) + 16);
   }
   for (const auto& [name, refs] : negative_by_class_) {
-    total += name.size() + refs.size() * sizeof(CeRef);
+    total += name.size() + refs.size() * (sizeof(CeRef) + 16);
   }
   return total;
 }

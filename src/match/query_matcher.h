@@ -1,11 +1,13 @@
 #ifndef PRODB_MATCH_QUERY_MATCHER_H_
 #define PRODB_MATCH_QUERY_MATCHER_H_
 
-#include <map>
+#include <atomic>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/executor.h"
+#include "match/discrimination.h"
 #include "match/matcher.h"
 
 namespace prodb {
@@ -55,12 +57,27 @@ class QueryMatcher : public Matcher {
   /// additions shared by the per-tuple and batched paths.
   Status SeedAndAdd(int rule_index, int ce, TupleId id, const Tuple& t);
 
+  /// Fills *out with the positions (into the class's CeRef bucket) to
+  /// dispatch for `t`: the discrimination-index candidates when enabled
+  /// (a superset of the CEs whose constant tests pass — skipping the
+  /// rest is exact, constant tests are binding-independent), every
+  /// position otherwise. Updates the dispatch counters either way.
+  void DispatchTargets(bool negated, const std::string& rel, size_t n,
+                       const Tuple& t, std::vector<uint32_t>* out);
+
   Catalog* catalog_;
   Executor executor_;
   std::vector<Rule> rules_;
   // Class name -> positive / negated condition elements over it.
-  std::map<std::string, std::vector<CeRef>> positive_by_class_;
-  std::map<std::string, std::vector<CeRef>> negative_by_class_;
+  std::unordered_map<std::string, std::vector<CeRef>> positive_by_class_;
+  std::unordered_map<std::string, std::vector<CeRef>> negative_by_class_;
+  // Class name -> discrimination index over the bucket's CE constant
+  // tests (entry id = position in the bucket).
+  std::unordered_map<std::string, DiscriminationIndex> positive_disc_;
+  std::unordered_map<std::string, DiscriminationIndex> negative_disc_;
+  // reserve() hint: previous delta's candidate count (atomic — the
+  // concurrent engine dispatches from worker threads).
+  std::atomic<uint32_t> last_candidates_{0};
   ConflictSet conflict_set_;
   MatcherStats stats_;
 };

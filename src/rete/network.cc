@@ -1,7 +1,9 @@
 #include "rete/network.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <unordered_map>
 
 #include "db/executor.h"
 #include "rete/join_keys.h"
@@ -205,7 +207,14 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
       auto owned = std::make_unique<AlphaNode>(std::move(probe));
       alpha = owned.get();
       alpha_nodes_.push_back(std::move(owned));
-      alpha_by_class_[cond.relation].push_back(alpha);
+      std::vector<AlphaNode*>& cls_nodes = alpha_by_class_[cond.relation];
+      // Index the node by its constant tests at the position it occupies
+      // in the class vector; intra-CE attr pairs are unclassifiable and
+      // re-checked by Matches on candidates. A shared node (found above)
+      // is already indexed — once.
+      alpha_disc_[cond.relation].Add(
+          static_cast<uint32_t>(cls_nodes.size()), alpha->tests);
+      cls_nodes.push_back(alpha);
       if (options_.share_alpha) alpha_index_[sig] = alpha;
     }
     alpha->successors.push_back(node);
@@ -281,6 +290,12 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
   }
 
   tail->productions.push_back(rule_index);
+  // Rebuild any range-tier interval trees now, while registration is
+  // still single-threaded; dispatch-time Lookups are then pure reads.
+  for (const auto& [cls, disc] : alpha_disc_) {
+    (void)cls;
+    disc.Seal();
+  }
   return Status::OK();
 }
 
@@ -597,11 +612,55 @@ Status ReteNetwork::PropagateGroup(const std::string& rel,
                                    const std::vector<RightActivation>& group) {
   auto it = alpha_by_class_.find(rel);
   if (it == alpha_by_class_.end()) return Status::OK();
-  for (AlphaNode* alpha : it->second) {
+  const std::vector<AlphaNode*>& nodes = it->second;
+
+  if (options_.discriminate_alpha) {
+    auto dit = alpha_disc_.find(rel);
+    if (dit == alpha_disc_.end()) return Status::OK();
+    const DiscriminationIndex& disc = dit->second;
+    // Tuple-major candidate collection into sparse per-alpha passed
+    // lists, so each surviving alpha still sees the group's deltas in
+    // order while the class's other alpha nodes are never touched.
+    std::vector<uint32_t> cands;
+    cands.reserve(last_candidates_.load(std::memory_order_relaxed));
+    std::unordered_map<uint32_t, std::vector<RightActivation>> passed;
+    std::vector<uint32_t> touched;
+    for (const RightActivation& a : group) {
+      cands.clear();
+      disc.Lookup(*a.tuple, &cands);
+      stats_.candidates_visited += cands.size();
+      for (uint32_t pos : cands) {
+        ++stats_.alpha_tests_evaluated;
+        if (!nodes[pos]->Matches(*a.tuple)) continue;
+        auto [pit, fresh] = passed.try_emplace(pos);
+        if (fresh) {
+          pit->second.reserve(group.size());
+          touched.push_back(pos);
+        }
+        pit->second.push_back(a);
+      }
+    }
+    last_candidates_.store(static_cast<uint32_t>(cands.size()),
+                           std::memory_order_relaxed);
+    // Registration order within the class, as the linear walk visits.
+    std::sort(touched.begin(), touched.end());
+    for (uint32_t pos : touched) {
+      ++stats_.propagations;
+      for (JoinNode* node : nodes[pos]->successors) {
+        PRODB_RETURN_IF_ERROR(ActivateRightBatch(node, passed[pos]));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Linear-scan ablation: every alpha node of the class tests every
+  // delta — the §3.2 full walk the discrimination index replaces.
+  for (AlphaNode* alpha : nodes) {
     ++stats_.propagations;
     std::vector<RightActivation> passed;
     passed.reserve(group.size());
     for (const RightActivation& a : group) {
+      ++stats_.alpha_tests_evaluated;
       if (alpha->Matches(*a.tuple)) passed.push_back(a);
     }
     if (passed.empty()) continue;
@@ -630,7 +689,7 @@ Status ReteNetwork::OnBatch(const ChangeSet& batch) {
   // order; the conflict set reconciles by instantiation key, so the net
   // result matches per-tuple propagation.
   std::vector<const std::string*> order;
-  std::map<std::string, std::vector<RightActivation>> groups;
+  std::unordered_map<std::string, std::vector<RightActivation>> groups;
   for (const Delta& d : batch) {
     auto [it, inserted] = groups.try_emplace(d.relation);
     if (inserted) order.push_back(&it->first);

@@ -1,12 +1,13 @@
 #ifndef PRODB_RETE_NETWORK_H_
 #define PRODB_RETE_NETWORK_H_
 
-#include <map>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "match/discrimination.h"
 #include "match/matcher.h"
 #include "rete/token_store.h"
 
@@ -37,6 +38,12 @@ struct ReteOptions {
   /// full scan the paper complains about (§3.2); the ablation benchmark
   /// compares both.
   bool index_memories = true;
+  /// Dispatch each WM delta through a per-class constant-test
+  /// discrimination index (eq-hash / interval-tree / residual tiers, §2.3
+  /// / [STON86a]) instead of testing it against every alpha node of its
+  /// class — the remaining linear walk on the §3.2 hot path. Off restores
+  /// the full per-class walk for the ablation benchmarks.
+  bool discriminate_alpha = true;
 };
 
 /// Structural counters (Figure 1/3 analyses, E1).
@@ -143,7 +150,15 @@ class ReteNetwork : public Matcher {
   std::vector<std::unique_ptr<AlphaNode>> alpha_nodes_;
   std::vector<std::unique_ptr<JoinNode>> join_nodes_;
   // Class name -> alpha nodes testing that class.
-  std::map<std::string, std::vector<AlphaNode*>> alpha_by_class_;
+  std::unordered_map<std::string, std::vector<AlphaNode*>> alpha_by_class_;
+  // Class name -> discrimination index over that class's alpha nodes
+  // (entry id = position in the alpha_by_class_ vector). Shared alpha
+  // nodes are indexed once, when first created.
+  std::unordered_map<std::string, DiscriminationIndex> alpha_disc_;
+  // Size of the previous delta's candidate set — reserve() hint for the
+  // dispatch scratch vector (atomic: the concurrent engine drives
+  // OnBatch from worker threads).
+  std::atomic<uint32_t> last_candidates_{0};
   // Alpha sharing: signature -> node.
   std::unordered_map<std::string, AlphaNode*> alpha_index_;
   // Beta sharing: join-chain prefix signature -> last node of the chain.

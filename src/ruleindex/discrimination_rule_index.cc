@@ -1,0 +1,109 @@
+#include "ruleindex/discrimination_rule_index.h"
+
+#include <algorithm>
+
+namespace prodb {
+
+std::vector<ConstantTest> DiscriminationRuleIndex::ToTests(
+    const IndexedCondition& cond) {
+  std::vector<ConstantTest> tests;
+  for (size_t a = 0; a < cond.ranges.size(); ++a) {
+    const IndexedCondition::Range& r = cond.ranges[a];
+    if (r.lo && r.hi && *r.lo == *r.hi) {
+      // Point condition: land it in the eq-hash tier.
+      tests.push_back(
+          ConstantTest{static_cast<int>(a), CompareOp::kEq, Value(*r.lo)});
+      continue;
+    }
+    if (r.lo) {
+      tests.push_back(
+          ConstantTest{static_cast<int>(a), CompareOp::kGe, Value(*r.lo)});
+    }
+    if (r.hi) {
+      tests.push_back(
+          ConstantTest{static_cast<int>(a), CompareOp::kLe, Value(*r.hi)});
+    }
+  }
+  return tests;
+}
+
+Status DiscriminationRuleIndex::AddCondition(const IndexedCondition& cond) {
+  if (conditions_.count(cond.id)) {
+    return Status::InvalidArgument("condition id already registered");
+  }
+  conditions_[cond.id] = cond;
+  DiscriminationIndex& disc = by_relation_[cond.relation];
+  disc.Add(cond.id, ToTests(cond));
+  disc.Seal();
+  return Status::OK();
+}
+
+Status DiscriminationRuleIndex::RemoveCondition(uint32_t id) {
+  auto it = conditions_.find(id);
+  if (it == conditions_.end()) return Status::NotFound("condition");
+  std::string rel = it->second.relation;
+  conditions_.erase(it);
+  // The DiscriminationIndex has no per-entry removal; the dead id stays
+  // inside it as a tombstone that Affected filters out, until tombstones
+  // outnumber live entries and the relation's index is rebuilt.
+  size_t& dead = ++tombstones_[rel];
+  size_t live = 0;
+  for (const auto& [cid, c] : conditions_) {
+    if (c.relation == rel) ++live;
+  }
+  if (dead > live) RebuildRelation(rel);
+  return Status::OK();
+}
+
+void DiscriminationRuleIndex::RebuildRelation(const std::string& rel) {
+  DiscriminationIndex fresh;
+  for (const auto& [cid, c] : conditions_) {
+    if (c.relation == rel) fresh.Add(cid, ToTests(c));
+  }
+  fresh.Seal();
+  by_relation_[rel] = std::move(fresh);
+  tombstones_[rel] = 0;
+}
+
+Status DiscriminationRuleIndex::Affected(const std::string& rel,
+                                         const Tuple& t,
+                                         std::vector<uint32_t>* affected) {
+  affected->clear();
+  auto it = by_relation_.find(rel);
+  if (it == by_relation_.end()) return Status::OK();
+  scratch_.clear();
+  it->second.Lookup(t, &scratch_);
+  for (uint32_t id : scratch_) {
+    auto cit = conditions_.find(id);
+    if (cit == conditions_.end()) continue;  // tombstone
+    if (cit->second.Matches(t)) affected->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status DiscriminationRuleIndex::OnInsert(const std::string& rel, TupleId,
+                                         const Tuple& t,
+                                         std::vector<uint32_t>* affected) {
+  return Affected(rel, t, affected);
+}
+
+Status DiscriminationRuleIndex::OnDelete(const std::string& rel, TupleId,
+                                         const Tuple& t,
+                                         std::vector<uint32_t>* affected) {
+  return Affected(rel, t, affected);
+}
+
+size_t DiscriminationRuleIndex::FootprintBytes() const {
+  size_t total = 0;
+  for (const auto& [rel, disc] : by_relation_) {
+    total += rel.size() + disc.size() * 2 * sizeof(uint32_t) +
+             disc.range_entries() * (2 * sizeof(double) + sizeof(uint32_t));
+  }
+  for (const auto& [id, cond] : conditions_) {
+    total += sizeof(id) + cond.relation.size() +
+             cond.ranges.size() * sizeof(IndexedCondition::Range);
+  }
+  return total;
+}
+
+}  // namespace prodb

@@ -1,0 +1,54 @@
+#ifndef PRODB_RULEINDEX_DISCRIMINATION_RULE_INDEX_H_
+#define PRODB_RULEINDEX_DISCRIMINATION_RULE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "match/discrimination.h"
+#include "ruleindex/rule_index.h"
+
+namespace prodb {
+
+/// The matchers' constant-test discrimination index re-used as a rule
+/// index (§2.3): each IndexedCondition's per-attribute [lo, hi] intervals
+/// become kGe/kLe constant tests fed to a per-relation DiscriminationIndex
+/// (degenerate lo == hi intervals become kEq tests so point conditions
+/// land in the hash tier). The index nominates a candidate superset; the
+/// exact IndexedCondition::Matches filter then removes false positives,
+/// so — unlike the marker schemes — the affected sets reported here carry
+/// no false drops.
+///
+/// Like PredicateIndex this keeps no per-tuple bookkeeping: an update
+/// pays one Lookup, insertions need no special treatment, and removal is
+/// handled by tombstoning (with a full rebuild once tombstones dominate).
+class DiscriminationRuleIndex : public RuleIndex {
+ public:
+  Status AddCondition(const IndexedCondition& cond) override;
+  Status RemoveCondition(uint32_t id) override;
+  Status OnInsert(const std::string& rel, TupleId id, const Tuple& t,
+                  std::vector<uint32_t>* affected) override;
+  Status OnDelete(const std::string& rel, TupleId id, const Tuple& t,
+                  std::vector<uint32_t>* affected) override;
+  size_t FootprintBytes() const override;
+  std::string name() const override { return "discrimination-index"; }
+
+ private:
+  /// Shared by OnInsert/OnDelete (both report the conditions whose
+  /// qualification covers `t`; neither keeps per-tuple state).
+  Status Affected(const std::string& rel, const Tuple& t,
+                  std::vector<uint32_t>* affected);
+  static std::vector<ConstantTest> ToTests(const IndexedCondition& cond);
+  void RebuildRelation(const std::string& rel);
+
+  std::unordered_map<std::string, DiscriminationIndex> by_relation_;
+  // Live entries still present in by_relation_ that Affected must drop.
+  std::unordered_map<std::string, size_t> tombstones_;
+  std::map<uint32_t, IndexedCondition> conditions_;
+  std::vector<uint32_t> scratch_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_RULEINDEX_DISCRIMINATION_RULE_INDEX_H_

@@ -35,12 +35,31 @@ std::vector<Rule> WorkloadGenerator::GenerateRules() const {
     for (size_t k = 0; k < spec_.ces_per_rule; ++k) {
       ConditionSpec ce;
       ce.relation = ClassName((j + k) % spec_.num_classes);
-      // Constant equality on attr 0: controls how many WM tuples pass
-      // the alpha test.
-      ce.constant_tests.push_back(ConstantTest{
-          0, CompareOp::kEq,
-          Value(static_cast<int64_t>(rng.Uniform(
-              static_cast<uint64_t>(spec_.domain))))});
+      // Constant test(s) on attr 0: control how many WM tuples pass the
+      // alpha test, and which discrimination-index tier the CE lands in
+      // (equality -> hash, bounded range -> interval tree, <> ->
+      // residual).
+      double kind = rng.NextDouble();
+      if (kind < spec_.range_test_prob) {
+        int64_t lo = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(spec_.domain)));
+        int64_t width = 1 + static_cast<int64_t>(rng.Uniform(
+                                static_cast<uint64_t>(spec_.domain) / 8 + 1));
+        ce.constant_tests.push_back(
+            ConstantTest{0, CompareOp::kGe, Value(lo)});
+        ce.constant_tests.push_back(
+            ConstantTest{0, CompareOp::kLe, Value(lo + width)});
+      } else if (kind < spec_.range_test_prob + spec_.residual_test_prob) {
+        ce.constant_tests.push_back(ConstantTest{
+            0, CompareOp::kNe,
+            Value(static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(spec_.domain))))});
+      } else {
+        ce.constant_tests.push_back(ConstantTest{
+            0, CompareOp::kEq,
+            Value(static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(spec_.domain))))});
+      }
       if (spec_.ces_per_rule > 1) {
         if (spec_.chain_join) {
           // Chain: CE_k exports a variable on attr 2, CE_{k+1} imports it
@@ -110,9 +129,35 @@ Tuple WorkloadGenerator::RandomTuple(Rng* rng) const {
 Tuple WorkloadGenerator::MatchingTuple(const Rule& rule, size_t ce,
                                        Rng* rng) const {
   Tuple t = RandomTuple(rng);
+  // Fix up each attribute until the CE's constant tests accept it. The
+  // generator emits either one kEq, one kNe, or a kGe/kLe pair (lo <= hi)
+  // per attribute, so sequential adjustment converges.
   for (const ConstantTest& ct : rule.lhs.conditions[ce].constant_tests) {
-    if (ct.op == CompareOp::kEq) {
-      t[static_cast<size_t>(ct.attr)] = ct.constant;
+    Value& v = t[static_cast<size_t>(ct.attr)];
+    switch (ct.op) {
+      case CompareOp::kEq:
+        v = ct.constant;
+        break;
+      case CompareOp::kNe:
+        if (v == ct.constant) {
+          v = Value(ct.constant.as_int() == 0 ? int64_t{1}
+                                              : ct.constant.as_int() - 1);
+        }
+        break;
+      case CompareOp::kGe:
+      case CompareOp::kLe:
+        if (!EvalCompare(v, ct.op, ct.constant)) v = ct.constant;
+        break;
+      case CompareOp::kGt:
+        if (!EvalCompare(v, ct.op, ct.constant)) {
+          v = Value(ct.constant.as_int() + 1);
+        }
+        break;
+      case CompareOp::kLt:
+        if (!EvalCompare(v, ct.op, ct.constant)) {
+          v = Value(ct.constant.as_int() - 1);
+        }
+        break;
     }
   }
   return t;

@@ -26,6 +26,13 @@ struct WorkloadSpec {
   int64_t domain = 64;
   /// Probability that a rule carries one extra negated CE.
   double negation_prob = 0.0;
+  /// Probability that a CE's constant test on attr 0 is a bounded numeric
+  /// range `lo <= a0 <= hi` (a kGe/kLe pair) instead of an equality —
+  /// exercises the discrimination index's interval-tree tier.
+  double range_test_prob = 0.0;
+  /// Probability that it is a `a0 <> c` test instead — unclassifiable,
+  /// so the CE lands in the discrimination index's residual tier.
+  double residual_test_prob = 0.0;
   /// Chain joins (CE_k ~ CE_{k+1}) when true; star joins (all CEs share
   /// one variable with CE_0) otherwise.
   bool chain_join = true;

@@ -36,27 +36,31 @@ std::vector<MatcherCase> AllMatchers() {
          opts.dbms_backed = true;
          return std::make_unique<ReteNetwork>(c, opts);
        }},
-      // The same architectures with all indexing forced off. The defaults
-      // above run with join-key probes and declared WM indexes enabled, so
-      // agreement between the two halves of this list proves the probe
-      // paths are pure filters — same conflict sets, fewer tuples visited.
+      // The same architectures with all indexing forced off (join-key
+      // probes, declared WM indexes, constant-test discrimination). The
+      // defaults above run fully indexed, so agreement between the two
+      // halves of this list proves every probe path is a pure filter —
+      // same conflict sets, fewer tuples visited.
       {"query-scan",
        [](Catalog* c) {
          ExecutorOptions eo;
          eo.use_indexes = false;
          eo.declare_rule_indexes = false;
+         eo.discriminate_dispatch = false;
          return std::make_unique<QueryMatcher>(c, eo);
        }},
       {"pattern-scan",
        [](Catalog* c) {
          PatternMatcherOptions po;
          po.declare_wm_indexes = false;
+         po.discriminate_dispatch = false;
          return std::make_unique<PatternMatcher>(c, po);
        }},
       {"rete-scan",
        [](Catalog* c) {
          ReteOptions opts;
          opts.index_memories = false;
+         opts.discriminate_alpha = false;
          return std::make_unique<ReteNetwork>(c, opts);
        }},
       {"rete-dbms-scan",
@@ -64,6 +68,36 @@ std::vector<MatcherCase> AllMatchers() {
          ReteOptions opts;
          opts.dbms_backed = true;
          opts.index_memories = false;
+         opts.discriminate_alpha = false;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      // Discrimination-only ablation: everything else at defaults, so a
+      // divergence here pins any bug on the candidate-dispatch tier
+      // specifically (candidates must be a superset of the CEs/alphas
+      // whose constant tests pass).
+      {"query-nodisc",
+       [](Catalog* c) {
+         ExecutorOptions eo;
+         eo.discriminate_dispatch = false;
+         return std::make_unique<QueryMatcher>(c, eo);
+       }},
+      {"pattern-nodisc",
+       [](Catalog* c) {
+         PatternMatcherOptions po;
+         po.discriminate_dispatch = false;
+         return std::make_unique<PatternMatcher>(c, po);
+       }},
+      {"rete-nodisc",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.discriminate_alpha = false;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"rete-dbms-nodisc",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.dbms_backed = true;
+         opts.discriminate_alpha = false;
          return std::make_unique<ReteNetwork>(c, opts);
        }},
   };

@@ -1,0 +1,65 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace prodb {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesInWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  pool.Submit([&count] { ++count; });
+  // Without the catch in Run() the throw terminates the process; without
+  // the balanced decrement this Wait() hangs.
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task boom");
+  }
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, OnlyFirstFailureRethrownAndStateResets) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "first");
+  }
+  // The failure slot was consumed: the pool is reusable and a clean
+  // round of work waits without throwing.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingPendingReturnsImmediately) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+}  // namespace
+}  // namespace prodb
