@@ -1,0 +1,135 @@
+// Fault-tolerance cost accounting.
+//
+// Two questions the fault-injection work raises for the performance
+// story: (1) what does wrapping every disk op in the injecting
+// decorator cost when no fault is armed — i.e. can the sweep harness's
+// instrumentation be left on in stress builds; (2) what does one
+// injected mid-workload fault cost end-to-end once the error has
+// propagated, the pool re-balanced, and the workload resumed. Both run
+// the same paged churn workload the sweep uses, so the numbers line up
+// with tests/fault_sweep_test.cc.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/fault_disk.h"
+
+namespace prodb {
+namespace {
+
+// Paged insert/delete churn over a pool small enough to evict: every
+// step does real ReadPage/WritePage traffic through the disk manager.
+void RunPagedChurn(Catalog* catalog, size_t steps) {
+  Relation* rel = nullptr;
+  bench::Abort(
+      catalog->CreateRelation(
+          Schema("Churn", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}),
+          StorageKind::kPaged, &rel),
+      "relation");
+  Rng rng(17);
+  std::vector<TupleId> ids;
+  for (size_t i = 0; i < steps; ++i) {
+    if (ids.size() > 64 && rng.Chance(0.5)) {
+      size_t pick = rng.Uniform(ids.size());
+      bench::Abort(rel->Delete(ids[pick]), "delete");
+      ids.erase(ids.begin() + static_cast<long>(pick));
+    } else {
+      TupleId id;
+      bench::Abort(rel->Insert(Tuple{Value(static_cast<int64_t>(i)),
+                                     Value(static_cast<int64_t>(i * 3))},
+                               &id),
+                   "insert");
+      ids.push_back(id);
+    }
+  }
+  bench::Abort(catalog->buffer_pool()->FlushAll(), "flush");
+}
+
+CatalogOptions ChurnOptions(DiskManager* disk) {
+  CatalogOptions copts;
+  copts.default_storage = StorageKind::kPaged;
+  copts.buffer_pool_frames = 8;  // tiny: force eviction traffic
+  copts.disk = disk;
+  return copts;
+}
+
+// Baseline: the pool talks straight to a MemoryDiskManager.
+void BM_FaultDisk_RawDisk(benchmark::State& state) {
+  const size_t steps = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    MemoryDiskManager disk;
+    Catalog catalog(ChurnOptions(&disk));
+    RunPagedChurn(&catalog, steps);
+    benchmark::DoNotOptimize(disk.PageCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(steps));
+}
+
+// Same workload through a disarmed FaultInjectingDiskManager: the cost
+// of the decorator's op accounting (a mutex + counters per disk op).
+void BM_FaultDisk_DisarmedWrapper(benchmark::State& state) {
+  const size_t steps = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    FaultInjectingDiskManager fault(std::make_unique<MemoryDiskManager>());
+    Catalog catalog(ChurnOptions(&fault));
+    RunPagedChurn(&catalog, steps);
+    benchmark::DoNotOptimize(fault.total_ops());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(steps));
+}
+
+BENCHMARK(BM_FaultDisk_RawDisk)->Arg(2000)->Arg(20000);
+BENCHMARK(BM_FaultDisk_DisarmedWrapper)->Arg(2000)->Arg(20000);
+
+// One-shot fault at the workload's midpoint (by global op index from a
+// dry run), then recovery: disarm, flush everything, verify the books.
+// Measures the full fail-propagate-rebalance-resume path, not just the
+// error return. The workload tolerates the failed step by skipping it —
+// the same contract the sweep asserts (clean Status, no torn state).
+void BM_FaultDisk_MidworkloadFaultAndRecover(benchmark::State& state) {
+  const size_t steps = static_cast<size_t>(state.range(0));
+  // Dry run to learn the op count so the fault lands mid-workload.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingDiskManager fault(std::make_unique<MemoryDiskManager>());
+    Catalog catalog(ChurnOptions(&fault));
+    RunPagedChurn(&catalog, steps);
+    total_ops = fault.total_ops();
+  }
+  uint64_t faults_seen = 0;
+  for (auto _ : state) {
+    FaultInjectingDiskManager fault(std::make_unique<MemoryDiskManager>());
+    fault.FailAtOp(total_ops / 2);
+    Catalog catalog(ChurnOptions(&fault));
+    Relation* rel = nullptr;
+    bench::Abort(
+        catalog.CreateRelation(
+            Schema("Churn", {{"a", ValueType::kInt}, {"b", ValueType::kInt}}),
+            StorageKind::kPaged, &rel),
+        "relation");
+    Rng rng(17);
+    for (size_t i = 0; i < steps; ++i) {
+      TupleId id;
+      (void)rel->Insert(Tuple{Value(static_cast<int64_t>(i)),
+                              Value(static_cast<int64_t>(i * 3))},
+                        &id);
+    }
+    faults_seen += fault.injected_faults();
+    fault.Disarm();
+    bench::Abort(catalog.buffer_pool()->FlushAll(), "flush");
+    bench::Abort(catalog.buffer_pool()->VerifyFrameAccounting(), "balance");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(steps));
+  state.counters["faults_injected"] =
+      static_cast<double>(faults_seen) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_FaultDisk_MidworkloadFaultAndRecover)->Arg(2000);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

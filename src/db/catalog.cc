@@ -8,6 +8,11 @@ Catalog::Catalog(CatalogOptions options) : options_(std::move(options)) {}
 
 Status Catalog::EnsurePool() {
   if (pool_ != nullptr) return Status::OK();
+  if (options_.disk != nullptr) {
+    pool_ = std::make_unique<BufferPool>(options_.buffer_pool_frames,
+                                         options_.disk);
+    return Status::OK();
+  }
   std::unique_ptr<DiskManager> disk;
   if (!options_.db_path.empty()) {
     std::unique_ptr<FileDiskManager> fdm;

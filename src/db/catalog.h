@@ -23,6 +23,10 @@ struct CatalogOptions {
   size_t buffer_pool_frames = 256;
   /// When non-empty, paged relations persist to this file.
   std::string db_path;
+  /// When set, the buffer pool runs over this externally owned manager
+  /// instead of creating one (takes precedence over db_path). The fault
+  /// sweep uses this to put a whole catalog behind an injecting disk.
+  DiskManager* disk = nullptr;
 };
 
 /// Name -> Relation registry; the database.

@@ -37,16 +37,24 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
   // so tuples come back under their original ids — conflict-set entries
   // recorded before this transaction still reference those ids, and a
   // value-only re-insert would strand them on ids that no longer exist.
+  // Compensation is best-effort: one failed step (e.g. an I/O error on a
+  // paged relation) must not abandon the remaining steps, and the locks
+  // are released no matter what — a transaction that can neither commit
+  // nor fully compensate must not also wedge every other transaction.
   auto abort_with = [&](Status st) -> Status {
     ChangeSet inverse = delta.Inverse();
+    Status comp_error;
     for (size_t i = 0; i < inverse.size(); ++i) {
       Delta& d = inverse[i];
       Relation* rel = wm_.catalog()->Get(d.relation);
-      Status s = d.is_insert() ? rel->Restore(d.id, d.tuple)
-                               : rel->Delete(d.id);
-      if (!s.ok()) return s;
+      Status s = rel == nullptr
+                     ? Status::NotFound("relation " + d.relation)
+                     : (d.is_insert() ? rel->Restore(d.id, d.tuple)
+                                      : rel->Delete(d.id));
+      if (!s.ok() && comp_error.ok()) comp_error = s;
     }
     txn_manager_.lock_manager()->ReleaseAll(txn->id());
+    if (!comp_error.ok()) return comp_error;
     return st;
   };
 
@@ -65,6 +73,10 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
   for (size_t ce = 0; ce < rule.lhs.conditions.size(); ++ce) {
     const ConditionSpec& cond = rule.lhs.conditions[ce];
     Relation* rel = wm_.catalog()->Get(cond.relation);
+    if (rel == nullptr) {
+      *stale = true;
+      return abort_with(Status::OK());
+    }
     if (cond.negated) {
       bool exists = false;
       Status st = rel->Scan([&](TupleId, const Tuple& t) {

@@ -82,7 +82,8 @@ Status SequentialEngine::Step(bool* fired, EngineRunResult* result) {
       if (rule.lhs.conditions[ce].negated) continue;
       Relation* rel = wm_.catalog()->Get(rule.lhs.conditions[ce].relation);
       Tuple t;
-      Status st = rel->Get(inst.tuple_ids[ce], &t);
+      Status st = rel == nullptr ? Status::NotFound("relation dropped")
+                                 : rel->Get(inst.tuple_ids[ce], &t);
       if (!st.ok() || t != inst.tuples[ce]) {
         stale = true;
         break;

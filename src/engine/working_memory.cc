@@ -62,7 +62,15 @@ Status WorkingMemory::Modify(const std::string& cls, TupleId id,
   PRODB_RETURN_IF_ERROR(rel->Get(id, &old));
   PRODB_RETURN_IF_ERROR(rel->Delete(id));
   TupleId nid;
-  PRODB_RETURN_IF_ERROR(rel->Insert(t, &nid));
+  Status st = rel->Insert(t, &nid);
+  if (!st.ok()) {
+    // The delete already landed but the matcher was never told about it.
+    // Put the tuple back under its original id so relation and matcher
+    // agree again; if even the restore fails, the insert error still
+    // wins — it is what the caller can act on.
+    (void)rel->Restore(id, old);
+    return st;
+  }
   if (new_id != nullptr) *new_id = nid;
   if (in_batch_) {
     pending_.AddModify(cls, id, old, t, nid);

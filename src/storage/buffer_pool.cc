@@ -28,21 +28,32 @@ Frame* BufferPool::Victim(Status* status) {
     *status = Status::Internal("buffer pool exhausted: all frames pinned");
     return nullptr;
   }
-  Frame* f = lru_.front();
-  lru_.pop_front();
-  lru_pos_.erase(f);
-  page_table_.erase(f->page_id);
-  ++stats_.evictions;
-  if (f->dirty) {
-    Status st = disk_->WritePage(f->page_id, f->data);
-    if (!st.ok()) {
-      *status = st;
-      return nullptr;
+  // Walk the LRU candidates oldest-first. A dirty candidate is only
+  // evicted once its writeback succeeds; on failure it stays fully
+  // resident (frame, page-table and LRU entries intact) so the only copy
+  // of its data is preserved, and the next candidate is tried. If every
+  // candidate's writeback fails, the first error is surfaced.
+  Status first_error;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame* f = *it;
+    if (f->dirty) {
+      Status st = disk_->WritePage(f->page_id, f->data);
+      if (!st.ok()) {
+        ++stats_.writeback_failures;
+        if (first_error.ok()) first_error = st;
+        continue;
+      }
+      ++stats_.dirty_writebacks;
+      f->dirty = false;
     }
-    ++stats_.dirty_writebacks;
-    f->dirty = false;
+    lru_.erase(it);
+    lru_pos_.erase(f);
+    page_table_.erase(f->page_id);
+    ++stats_.evictions;
+    return f;
   }
-  return f;
+  *status = first_error;
+  return nullptr;
 }
 
 Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
@@ -67,7 +78,15 @@ Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
   Status st;
   Frame* f = Victim(&st);
   if (f == nullptr) return st;
-  PRODB_RETURN_IF_ERROR(disk_->ReadPage(page_id, f->data));
+  st = disk_->ReadPage(page_id, f->data);
+  if (!st.ok()) {
+    // The victim was already detached from the page table / LRU; hand it
+    // back to the free list or the pool permanently loses a frame.
+    f->page_id = UINT32_MAX;
+    f->dirty = false;
+    free_frames_.push_back(f);
+    return st;
+  }
   f->page_id = page_id;
   f->pin_count = 1;
   f->dirty = false;
@@ -123,6 +142,68 @@ Status BufferPool::FlushPage(uint32_t page_id) {
   if (f->dirty) {
     PRODB_RETURN_IF_ERROR(disk_->WritePage(f->page_id, f->data));
     f->dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::VerifyFrameAccounting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pinned = 0;
+  for (const auto& f : frames_) {
+    if (f->pin_count < 0) {
+      return Status::Internal("frame accounting: negative pin count on page " +
+                              std::to_string(f->page_id));
+    }
+    if (f->pin_count > 0) ++pinned;
+  }
+  if (free_frames_.size() + lru_.size() + pinned != frames_.size()) {
+    return Status::Internal(
+        "frame accounting: free " + std::to_string(free_frames_.size()) +
+        " + lru " + std::to_string(lru_.size()) + " + pinned " +
+        std::to_string(pinned) + " != capacity " +
+        std::to_string(frames_.size()));
+  }
+  if (page_table_.size() != lru_.size() + pinned) {
+    return Status::Internal(
+        "frame accounting: page table " + std::to_string(page_table_.size()) +
+        " != lru " + std::to_string(lru_.size()) + " + pinned " +
+        std::to_string(pinned));
+  }
+  if (lru_pos_.size() != lru_.size()) {
+    return Status::Internal("frame accounting: lru_pos/lru size mismatch");
+  }
+  for (Frame* f : lru_) {
+    if (f->pin_count != 0) {
+      return Status::Internal("frame accounting: pinned frame in LRU, page " +
+                              std::to_string(f->page_id));
+    }
+    auto it = page_table_.find(f->page_id);
+    if (it == page_table_.end() || it->second != f) {
+      return Status::Internal(
+          "frame accounting: LRU frame not in page table, page " +
+          std::to_string(f->page_id));
+    }
+  }
+  for (Frame* f : free_frames_) {
+    auto it = page_table_.find(f->page_id);
+    if (it != page_table_.end() && it->second == f) {
+      return Status::Internal("frame accounting: free frame resident, page " +
+                              std::to_string(f->page_id));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::VerifyCleanFramesMatchDisk() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[kPageSize];
+  for (const auto& [pid, f] : page_table_) {
+    if (f->dirty) continue;
+    PRODB_RETURN_IF_ERROR(disk_->ReadPage(pid, buf));
+    if (std::memcmp(buf, f->data, kPageSize) != 0) {
+      return Status::Corruption("clean frame diverges from disk, page " +
+                                std::to_string(pid));
+    }
   }
   return Status::OK();
 }

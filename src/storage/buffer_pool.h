@@ -27,6 +27,9 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// Evictions abandoned because the dirty page could not be written; the
+  /// page stays resident and dirty (fault-tolerance invariant).
+  uint64_t writeback_failures = 0;
 };
 
 /// Fixed-capacity page cache with LRU replacement and pin counting.
@@ -58,6 +61,18 @@ class BufferPool {
 
   /// Writes back every dirty resident page.
   Status FlushAll();
+
+  /// Frame-accounting invariant: every frame is exactly one of free,
+  /// resident-unpinned (in the LRU list) or resident-pinned, and the page
+  /// table / LRU bookkeeping agree. I/O failures must never leak frames —
+  /// the fault sweep calls this after every injected fault.
+  Status VerifyFrameAccounting() const;
+
+  /// Checks that every clean resident frame's bytes match the on-disk
+  /// image — a frame marked clean without a successful write (a silently
+  /// dropped dirty page) shows up as divergence. Call with faults
+  /// disarmed and no writer concurrently pinning pages.
+  Status VerifyCleanFramesMatchDisk() const;
 
   size_t capacity() const { return frames_.size(); }
   const BufferPoolStats& stats() const { return stats_; }

@@ -37,12 +37,21 @@ FileDiskManager::~FileDiskManager() {
 
 Status FileDiskManager::AllocatePage(uint32_t* page_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  *page_id = page_count_++;
+  // The id is only committed once the zero-fill write lands; otherwise a
+  // failed allocate would burn a page id that ReadPage then accepts as
+  // in-range garbage.
+  uint32_t candidate = page_count_;
   char zeros[kPageSize] = {};
-  file_.seekp(static_cast<std::streamoff>(*page_id) * kPageSize);
+  file_.seekp(static_cast<std::streamoff>(candidate) * kPageSize);
   file_.write(zeros, kPageSize);
   file_.flush();
-  if (!file_.good()) return Status::IOError("allocate failed: " + path_);
+  if (!file_.good()) {
+    // One failed I/O must not poison the stream for every later call.
+    file_.clear();
+    return Status::IOError("allocate failed: " + path_);
+  }
+  page_count_ = candidate + 1;
+  *page_id = candidate;
   ++writes_;
   return Status::OK();
 }
@@ -54,7 +63,10 @@ Status FileDiskManager::ReadPage(uint32_t page_id, char* out) {
   }
   file_.seekg(static_cast<std::streamoff>(page_id) * kPageSize);
   file_.read(out, kPageSize);
-  if (!file_.good()) return Status::IOError("read failed: " + path_);
+  if (!file_.good()) {
+    file_.clear();
+    return Status::IOError("read failed: " + path_);
+  }
   ++reads_;
   return Status::OK();
 }
@@ -67,9 +79,17 @@ Status FileDiskManager::WritePage(uint32_t page_id, const char* data) {
   file_.seekp(static_cast<std::streamoff>(page_id) * kPageSize);
   file_.write(data, kPageSize);
   file_.flush();
-  if (!file_.good()) return Status::IOError("write failed: " + path_);
+  if (!file_.good()) {
+    file_.clear();
+    return Status::IOError("write failed: " + path_);
+  }
   ++writes_;
   return Status::OK();
+}
+
+void FileDiskManager::InjectStreamFaultForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.setstate(std::ios::failbit);
 }
 
 uint32_t FileDiskManager::PageCount() const {

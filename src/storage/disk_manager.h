@@ -59,6 +59,11 @@ class FileDiskManager : public DiskManager {
   uint64_t reads() const override { return reads_; }
   uint64_t writes() const override { return writes_; }
 
+  /// Puts the stream into a failed state so the next operation fails —
+  /// the only deterministic way to exercise real-fstream error paths
+  /// (failbit recovery, allocate id rollback) without faulting the OS.
+  void InjectStreamFaultForTesting();
+
  private:
   FileDiskManager() = default;
 

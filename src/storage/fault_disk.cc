@@ -1,0 +1,142 @@
+#include "storage/fault_disk.h"
+
+#include <string>
+
+namespace prodb {
+
+namespace {
+const char* KindName(DiskOpKind kind) {
+  switch (kind) {
+    case DiskOpKind::kRead:
+      return "read";
+    case DiskOpKind::kWrite:
+      return "write";
+    case DiskOpKind::kAllocate:
+      return "allocate";
+  }
+  return "?";
+}
+}  // namespace
+
+void FaultInjectingDiskManager::FailNth(DiskOpKind kind, uint64_t nth,
+                                        bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_plans_[static_cast<size_t>(kind)] =
+      Plan{op_counts_[static_cast<size_t>(kind)] + nth, sticky};
+}
+
+void FaultInjectingDiskManager::FailAtOp(uint64_t nth, bool sticky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  any_plan_ = Plan{total_ops_ + nth, sticky};
+}
+
+void FaultInjectingDiskManager::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& p : kind_plans_) p.reset();
+  any_plan_.reset();
+}
+
+void FaultInjectingDiskManager::set_freeze_on_fault(bool v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  freeze_on_fault_ = v;
+}
+
+bool FaultInjectingDiskManager::has_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_taken_;
+}
+
+uint32_t FaultInjectingDiskManager::snapshot_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(snapshot_.size());
+}
+
+Status FaultInjectingDiskManager::ReadSnapshotPage(uint32_t page_id,
+                                                   char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!snapshot_taken_) {
+    return Status::Internal("no crash snapshot taken");
+  }
+  if (page_id >= snapshot_.size()) {
+    return Status::OutOfRange("snapshot page " + std::to_string(page_id));
+  }
+  std::copy(snapshot_[page_id].begin(), snapshot_[page_id].end(), out);
+  return Status::OK();
+}
+
+uint64_t FaultInjectingDiskManager::ops(DiskOpKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counts_[static_cast<size_t>(kind)];
+}
+
+uint64_t FaultInjectingDiskManager::total_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ops_;
+}
+
+uint64_t FaultInjectingDiskManager::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+void FaultInjectingDiskManager::SnapshotLocked() {
+  // The snapshot is taken before the failed operation reaches the inner
+  // manager, so it is exactly the image a crash at this instant would
+  // leave on disk.
+  uint32_t pages = inner_->PageCount();
+  snapshot_.assign(pages, std::vector<char>(kPageSize));
+  for (uint32_t p = 0; p < pages; ++p) {
+    // A snapshot read that itself fails leaves the page zeroed; the
+    // decorator never injects into its own snapshot reads.
+    (void)inner_->ReadPage(p, snapshot_[p].data());
+  }
+  snapshot_taken_ = true;
+}
+
+Status FaultInjectingDiskManager::Account(DiskOpKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t k = static_cast<size_t>(kind);
+  uint64_t kind_index = op_counts_[k]++;
+  uint64_t global_index = total_ops_++;
+
+  bool fire = false;
+  if (auto& plan = kind_plans_[k]) {
+    if (kind_index == plan->at) {
+      fire = true;
+      if (!plan->sticky) plan.reset();
+    } else if (plan->sticky && kind_index > plan->at) {
+      fire = true;
+    }
+  }
+  if (auto& plan = any_plan_) {
+    if (global_index == plan->at) {
+      fire = true;
+      if (!plan->sticky) plan.reset();
+    } else if (plan->sticky && global_index > plan->at) {
+      fire = true;
+    }
+  }
+  if (!fire) return Status::OK();
+  ++injected_;
+  if (freeze_on_fault_ && !snapshot_taken_) SnapshotLocked();
+  return Status::IOError("injected fault: " + std::string(KindName(kind)) +
+                         " op " + std::to_string(global_index));
+}
+
+Status FaultInjectingDiskManager::AllocatePage(uint32_t* page_id) {
+  PRODB_RETURN_IF_ERROR(Account(DiskOpKind::kAllocate));
+  return inner_->AllocatePage(page_id);
+}
+
+Status FaultInjectingDiskManager::ReadPage(uint32_t page_id, char* out) {
+  PRODB_RETURN_IF_ERROR(Account(DiskOpKind::kRead));
+  return inner_->ReadPage(page_id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(uint32_t page_id,
+                                            const char* data) {
+  PRODB_RETURN_IF_ERROR(Account(DiskOpKind::kWrite));
+  return inner_->WritePage(page_id, data);
+}
+
+}  // namespace prodb

@@ -1,0 +1,111 @@
+#ifndef PRODB_STORAGE_FAULT_DISK_H_
+#define PRODB_STORAGE_FAULT_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace prodb {
+
+/// The three injectable operation kinds, indexable as array slots.
+enum class DiskOpKind : uint8_t { kRead = 0, kWrite = 1, kAllocate = 2 };
+inline constexpr size_t kDiskOpKinds = 3;
+
+/// DiskManager decorator that injects I/O failures on demand.
+///
+/// The paper's premise is that a DBMS brings recovery "for free" (§1,
+/// §3.2) — but only if the storage and transaction layers actually
+/// tolerate I/O errors instead of losing state on them. This decorator
+/// makes those error paths testable: it counts every operation and can be
+/// armed to fail the N-th read / write / allocate (per-op-type), or the
+/// N-th operation of any kind (for exhaustive sweeps). A fault is either
+/// one-shot (exactly one failure, then pass-through) or sticky (every
+/// matching operation from the N-th on fails, like a dead device).
+///
+/// Optionally the decorator "freezes" a copy of the backing pages at the
+/// moment the first fault fires — a crash snapshot taken *before* the
+/// failed operation could touch the disk, usable to simulate restart
+/// from the surviving on-disk image.
+///
+/// Injected failures never reach the inner manager: the operation is
+/// rejected up front with Status::IOError, exactly as if the device had
+/// failed. Thread-safe.
+class FaultInjectingDiskManager : public DiskManager {
+ public:
+  /// Owning wrap.
+  explicit FaultInjectingDiskManager(std::unique_ptr<DiskManager> inner)
+      : inner_(inner.get()), owned_(std::move(inner)) {}
+  /// Non-owning wrap.
+  explicit FaultInjectingDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  /// Arms a fault on the `nth` (0-based, counted from now) subsequent
+  /// operation of `kind`. Replaces any previously armed fault of that
+  /// kind. `sticky` extends the failure to every later op of the kind.
+  void FailNth(DiskOpKind kind, uint64_t nth, bool sticky = false);
+
+  /// Arms a fault on the `nth` (0-based, counted from now) subsequent
+  /// operation of *any* kind — the sweep harness's knob: one run per
+  /// injectable index covers the whole I/O trace.
+  void FailAtOp(uint64_t nth, bool sticky = false);
+
+  /// Clears every armed fault; the snapshot (if taken) is kept.
+  void Disarm();
+
+  /// When set, the first injected fault snapshots the inner manager's
+  /// pages (the crash image) before failing the operation.
+  void set_freeze_on_fault(bool v);
+
+  bool has_snapshot() const;
+  uint32_t snapshot_page_count() const;
+  /// Reads page `page_id` of the crash snapshot into `out`.
+  Status ReadSnapshotPage(uint32_t page_id, char* out) const;
+
+  /// Operations seen since construction (injected failures included).
+  uint64_t ops(DiskOpKind kind) const;
+  uint64_t total_ops() const;
+  /// Failures injected so far.
+  uint64_t injected_faults() const;
+
+  DiskManager* inner() const { return inner_; }
+
+  Status AllocatePage(uint32_t* page_id) override;
+  Status ReadPage(uint32_t page_id, char* out) override;
+  Status WritePage(uint32_t page_id, const char* data) override;
+  uint32_t PageCount() const override { return inner_->PageCount(); }
+  uint64_t reads() const override { return inner_->reads(); }
+  uint64_t writes() const override { return inner_->writes(); }
+
+ private:
+  struct Plan {
+    uint64_t at;   // absolute op index (per-kind or global) that fails
+    bool sticky;
+  };
+
+  /// Counts the op, decides whether to inject, and takes the snapshot if
+  /// this is the first fault and freezing is on. Returns the injected
+  /// error, or OK to pass through.
+  Status Account(DiskOpKind kind);
+  void SnapshotLocked();
+
+  DiskManager* inner_;
+  std::unique_ptr<DiskManager> owned_;
+
+  mutable std::mutex mu_;
+  uint64_t op_counts_[kDiskOpKinds] = {};
+  uint64_t total_ops_ = 0;
+  uint64_t injected_ = 0;
+  std::optional<Plan> kind_plans_[kDiskOpKinds];
+  std::optional<Plan> any_plan_;
+  bool freeze_on_fault_ = false;
+  bool snapshot_taken_ = false;
+  std::vector<std::vector<char>> snapshot_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_FAULT_DISK_H_

@@ -67,24 +67,45 @@ Status Transaction::Rollback() {
   // Undoing a deletion re-inserts the tuple under a fresh id; if the
   // transaction later deleted that same (already re-identified) tuple,
   // the corresponding insert-undo must chase the remapping.
+  //
+  // Undo is best-effort: a step that fails (an I/O error from a paged
+  // relation, a tuple removed behind the transaction's back) must not
+  // strand the remaining entries — bailing out mid-loop leaves WM
+  // half-rolled-back with the undo log still claiming the changes are
+  // live. Every entry is attempted; the transaction always reaches
+  // kAborted; the returned Status reports what could not be undone.
   std::map<std::pair<std::string, TupleId>, TupleId> remap;
+  Status first_error;
+  size_t failed = 0;
   for (auto it = changes_.rbegin(); it != changes_.rend(); ++it) {
     Relation* r = catalog_->Get(it->relation);
-    if (r == nullptr) continue;
-    if (it->inserted) {
+    Status st;
+    if (r == nullptr) {
+      st = Status::NotFound("relation " + it->relation);
+    } else if (it->inserted) {
       TupleId target = it->id;
       auto rit = remap.find({it->relation, it->id});
       if (rit != remap.end()) target = rit->second;
-      PRODB_RETURN_IF_ERROR(r->Delete(target));
+      st = r->Delete(target);
     } else {
       TupleId id;
-      PRODB_RETURN_IF_ERROR(r->Insert(it->tuple, &id));
-      remap[{it->relation, it->id}] = id;
+      st = r->Insert(it->tuple, &id);
+      if (st.ok()) remap[{it->relation, it->id}] = id;
+    }
+    if (!st.ok()) {
+      ++failed;
+      if (first_error.ok()) first_error = st;
     }
   }
+  size_t total = changes_.size();
   changes_.clear();
   state_ = TxnState::kAborted;
-  return Status::OK();
+  if (failed == 0) return Status::OK();
+  if (failed == 1) return first_error;
+  return Status::Internal("rollback incomplete: " + std::to_string(failed) +
+                          " of " + std::to_string(total) +
+                          " undo steps failed; first: " +
+                          first_error.ToString());
 }
 
 std::unique_ptr<Transaction> TxnManager::Begin() {

@@ -16,6 +16,14 @@
 namespace prodb {
 namespace {
 
+// Every paged test ends with the pool's books balanced: no frame may be
+// leaked off the free list / LRU / pin accounting by any code path the
+// workload exercised.
+void ExpectPoolBalanced(Catalog* catalog) {
+  Status st = catalog->buffer_pool()->VerifyFrameAccounting();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
 // Runs the same random trace against a memory catalog and a paged
 // catalog (tiny buffer pool: eviction guaranteed); conflict sets must
 // stay identical step by step.
@@ -75,6 +83,7 @@ void RunPagedVsMemory(
               CanonicalConflictSet(*mem.matcher))
         << "diverged at step " << step;
   }
+  ExpectPoolBalanced(paged.catalog.get());
 }
 
 TEST(PagedSystemTest, QueryMatcherPagedEqualsMemory) {
@@ -117,6 +126,7 @@ TEST(PagedSystemTest, DbmsRetePagedMemoriesEndToEnd) {
   EXPECT_TRUE(matcher.conflict_set().empty());
   // Buffer pool really paged: more pages than frames.
   EXPECT_GT(catalog.buffer_pool()->stats().misses, 0u);
+  ExpectPoolBalanced(&catalog);
 }
 
 TEST(PagedSystemTest, EngineRunsOnFileBackedDatabase) {
@@ -146,6 +156,7 @@ TEST(PagedSystemTest, EngineRunsOnFileBackedDatabase) {
   ASSERT_TRUE(engine.Run(&result).ok());
   EXPECT_EQ(result.firings, 100u);
   EXPECT_EQ(catalog.Get("Emp")->Count(), 0u);
+  ExpectPoolBalanced(&catalog);
   std::remove(copts.db_path.c_str());
 }
 

@@ -10,6 +10,14 @@
 namespace prodb {
 namespace {
 
+// Frame-accounting invariant, checked after every buffer-pool-touching
+// test: no test may leave the pool with leaked frames or inconsistent
+// page-table/LRU bookkeeping.
+void ExpectPoolBalanced(const BufferPool& pool) {
+  Status st = pool.VerifyFrameAccounting();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
 TEST(MemoryDiskManagerTest, AllocateReadWrite) {
   MemoryDiskManager dm;
   uint32_t p0, p1;
@@ -58,6 +66,45 @@ TEST(FileDiskManagerTest, PersistsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+TEST(FileDiskManagerTest, StreamFailureIsNotSticky) {
+  std::string path = testing::TempDir() + "/prodb_dm_failbit.db";
+  std::unique_ptr<FileDiskManager> dm;
+  ASSERT_TRUE(FileDiskManager::Open(path, /*truncate=*/true, &dm).ok());
+  uint32_t pid;
+  ASSERT_TRUE(dm->AllocatePage(&pid).ok());
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(dm->WritePage(pid, buf).ok());
+  // One failed operation must not make every later operation fail: the
+  // stream's failbit has to be cleared after the error.
+  dm->InjectStreamFaultForTesting();
+  EXPECT_FALSE(dm->ReadPage(pid, buf).ok());
+  EXPECT_TRUE(dm->ReadPage(pid, buf).ok());
+  dm->InjectStreamFaultForTesting();
+  EXPECT_FALSE(dm->WritePage(pid, buf).ok());
+  EXPECT_TRUE(dm->WritePage(pid, buf).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, FailedAllocateDoesNotBurnPageId) {
+  std::string path = testing::TempDir() + "/prodb_dm_alloc.db";
+  std::unique_ptr<FileDiskManager> dm;
+  ASSERT_TRUE(FileDiskManager::Open(path, /*truncate=*/true, &dm).ok());
+  uint32_t pid;
+  ASSERT_TRUE(dm->AllocatePage(&pid).ok());
+  EXPECT_EQ(pid, 0u);
+  // A failed allocate must not consume a page id: the id would be
+  // in-range for ReadPage but its page was never zero-filled.
+  dm->InjectStreamFaultForTesting();
+  EXPECT_FALSE(dm->AllocatePage(&pid).ok());
+  EXPECT_EQ(dm->PageCount(), 1u);
+  char buf[kPageSize];
+  EXPECT_EQ(dm->ReadPage(1, buf).code(), Status::Code::kOutOfRange);
+  ASSERT_TRUE(dm->AllocatePage(&pid).ok());
+  EXPECT_EQ(pid, 1u);  // the failed attempt's id is reissued
+  EXPECT_TRUE(dm->ReadPage(1, buf).ok());
+  std::remove(path.c_str());
+}
+
 TEST(BufferPoolTest, FetchHitsCache) {
   auto disk = std::make_unique<MemoryDiskManager>();
   MemoryDiskManager* raw = disk.get();
@@ -73,6 +120,7 @@ TEST(BufferPoolTest, FetchHitsCache) {
   EXPECT_EQ(raw->reads(), reads_before);  // served from cache
   EXPECT_EQ(pool.stats().hits, 1u);
   ASSERT_TRUE(pool.UnpinPage(pid, false).ok());
+  ExpectPoolBalanced(pool);
 }
 
 TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
@@ -94,6 +142,7 @@ TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
   EXPECT_EQ(f->data[0], 'a');
   ASSERT_TRUE(pool.UnpinPage(pids[0], false).ok());
   EXPECT_GT(raw->writes(), 0u);
+  ExpectPoolBalanced(pool);
 }
 
 TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
@@ -108,6 +157,7 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
   EXPECT_TRUE(pool.NewPage(&p2, &f2).ok());
   ASSERT_TRUE(pool.UnpinPage(p1, false).ok());
   ASSERT_TRUE(pool.UnpinPage(p2, false).ok());
+  ExpectPoolBalanced(pool);
 }
 
 TEST(BufferPoolTest, UnpinErrorsOnBadCalls) {
@@ -118,6 +168,7 @@ TEST(BufferPoolTest, UnpinErrorsOnBadCalls) {
   ASSERT_TRUE(pool.NewPage(&pid, &f).ok());
   ASSERT_TRUE(pool.UnpinPage(pid, false).ok());
   EXPECT_FALSE(pool.UnpinPage(pid, false).ok());  // already unpinned
+  ExpectPoolBalanced(pool);
 }
 
 class HeapFileTest : public ::testing::Test {
@@ -127,6 +178,7 @@ class HeapFileTest : public ::testing::Test {
         16, std::make_unique<MemoryDiskManager>());
     ASSERT_TRUE(HeapFile::Create(pool_.get(), &hf_).ok());
   }
+  void TearDown() override { ExpectPoolBalanced(*pool_); }
   Tuple MakeTuple(int i) {
     return Tuple{Value(i), Value("name" + std::to_string(i)), Value(i * 1.5)};
   }
@@ -297,6 +349,7 @@ TEST(HeapFileProperty, RandomChurnMatchesReference) {
                  return Status::OK();
                }).ok());
   EXPECT_EQ(seen, reference.size());
+  ExpectPoolBalanced(pool);
 }
 
 }  // namespace

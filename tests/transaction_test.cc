@@ -95,6 +95,37 @@ TEST_F(TransactionTest, RollbackOrderIsReversed) {
   EXPECT_EQ(rel_->Count(), 0u);
 }
 
+TEST_F(TransactionTest, RollbackContinuesPastFailedUndo) {
+  auto txn = txn_manager_->Begin();
+  TupleId t1, t2;
+  ASSERT_TRUE(txn->Insert("T", Tuple{Value(1), Value("a")}, &t1).ok());
+  ASSERT_TRUE(txn->Insert("T", Tuple{Value(2), Value("b")}, &t2).ok());
+  // Sabotage the later change so its undo (a Delete) fails: rollback
+  // walks in reverse, hits the failure first, and must still undo t1
+  // instead of bailing out mid-loop with WM half-rolled-back.
+  ASSERT_TRUE(rel_->Delete(t2).ok());
+  Status st = txn_manager_->Abort(txn.get());
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+  EXPECT_TRUE(txn->changes().empty());
+  EXPECT_EQ(rel_->Count(), 0u);  // t1's undo still ran
+  EXPECT_EQ(locks_.LockedResourceCount(), 0u);
+}
+
+TEST_F(TransactionTest, RollbackReportsMultipleFailedUndos) {
+  auto txn = txn_manager_->Begin();
+  TupleId t1, t2;
+  ASSERT_TRUE(txn->Insert("T", Tuple{Value(1), Value("a")}, &t1).ok());
+  ASSERT_TRUE(txn->Insert("T", Tuple{Value(2), Value("b")}, &t2).ok());
+  ASSERT_TRUE(rel_->Delete(t1).ok());
+  ASSERT_TRUE(rel_->Delete(t2).ok());
+  Status st = txn->Rollback();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("2 of 2"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+}
+
 TEST_F(TransactionTest, MissingRelationErrors) {
   auto txn = txn_manager_->Begin();
   TupleId id;
