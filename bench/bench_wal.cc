@@ -1,0 +1,158 @@
+// WAL cost accounting (E14).
+//
+// Three questions the durability work raises for the performance story:
+// (1) what a commit costs as a function of how much work it carries —
+// group commit amortizes the log force, so batch size is the lever;
+// (2) what write-ahead logging costs a paged transactional churn
+// workload end-to-end versus the same workload with WAL off; (3) what
+// restart recovery costs as a function of log length, since recovery
+// runs on every open of an existing image.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/recovery.h"
+#include "txn/transaction.h"
+
+namespace prodb {
+namespace {
+
+CatalogOptions WalOptions(DiskManager* disk, bool wal) {
+  CatalogOptions copts;
+  copts.default_storage = StorageKind::kPaged;
+  copts.buffer_pool_frames = 64;
+  copts.disk = disk;
+  copts.enable_wal = wal;
+  return copts;
+}
+
+Schema WalSchema() {
+  return Schema("W", {{"a", ValueType::kInt}, {"b", ValueType::kSymbol}});
+}
+
+// One transaction of `batch` inserts per iteration, committed through
+// the group-commit path: the commit's single log force carries the whole
+// batch, so time/op should fall as the batch widens.
+void BM_CommitBatch(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  MemoryDiskManager disk;
+  Catalog catalog(WalOptions(&disk, /*wal=*/true));
+  LockManager locks;
+  Relation* rel = nullptr;
+  bench::Abort(catalog.CreateRelation(WalSchema(), StorageKind::kPaged, &rel),
+               "relation");
+  TxnManager tm(&catalog, &locks);
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto txn = tm.Begin();
+    for (size_t i = 0; i < batch; ++i) {
+      TupleId id;
+      bench::Abort(txn->Insert("W", Tuple{Value(n++), Value("payload")}, &id),
+                   "insert");
+    }
+    bench::Abort(tm.Commit(txn.get()), "commit");
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_CommitBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Transactional insert/delete churn, WAL off (arg 0) vs on (arg 1): the
+// difference is the whole durability tax — record encoding, page LSN
+// stamping, no-steal bookkeeping, and one log force per commit.
+void BM_TxnChurn(benchmark::State& state) {
+  bool wal = state.range(0) != 0;
+  constexpr size_t kTxns = 64;
+  constexpr size_t kOpsPerTxn = 8;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryDiskManager disk;
+    Catalog catalog(WalOptions(&disk, wal));
+    LockManager locks;
+    Relation* rel = nullptr;
+    bench::Abort(
+        catalog.CreateRelation(WalSchema(), StorageKind::kPaged, &rel),
+        "relation");
+    TxnManager tm(&catalog, &locks);
+    Rng rng(17);
+    std::vector<TupleId> ids;
+    state.ResumeTiming();
+    int64_t n = 0;
+    for (size_t t = 0; t < kTxns; ++t) {
+      auto txn = tm.Begin();
+      for (size_t i = 0; i < kOpsPerTxn; ++i) {
+        if (ids.size() > 32 && rng.Chance(0.4)) {
+          size_t pick = rng.Uniform(ids.size());
+          bench::Abort(txn->Delete("W", ids[pick]), "delete");
+          ids.erase(ids.begin() + static_cast<long>(pick));
+        } else {
+          TupleId id;
+          bench::Abort(
+              txn->Insert("W", Tuple{Value(n++), Value("payload")}, &id),
+              "insert");
+          ids.push_back(id);
+        }
+      }
+      bench::Abort(tm.Commit(txn.get()), "commit");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kTxns * kOpsPerTxn));
+  state.SetLabel(wal ? "wal" : "no-wal");
+}
+BENCHMARK(BM_TxnChurn)->Arg(0)->Arg(1);
+
+// Restart recovery over a crash image whose log holds `commits`
+// committed transactions. The timed region is exactly what Catalog runs
+// on open: scan, redo, truncate, flush.
+void BM_Recovery(benchmark::State& state) {
+  size_t commits = static_cast<size_t>(state.range(0));
+
+  // Build the image once: commit `commits` transactions, then drop the
+  // catalog (and its dirty pool) so only disk + log survive.
+  MemoryDiskManager master;
+  {
+    Catalog catalog(WalOptions(&master, /*wal=*/true));
+    LockManager locks;
+    Relation* rel = nullptr;
+    bench::Abort(
+        catalog.CreateRelation(WalSchema(), StorageKind::kPaged, &rel),
+        "relation");
+    TxnManager tm(&catalog, &locks);
+    int64_t n = 0;
+    for (size_t t = 0; t < commits; ++t) {
+      auto txn = tm.Begin();
+      for (size_t i = 0; i < 4; ++i) {
+        TupleId id;
+        bench::Abort(
+            txn->Insert("W", Tuple{Value(n++), Value("payload")}, &id),
+            "insert");
+      }
+      bench::Abort(tm.Commit(txn.get()), "commit");
+    }
+  }
+
+  char buf[kPageSize];
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemoryDiskManager img;
+    for (uint32_t p = 0; p < master.PageCount(); ++p) {
+      uint32_t pid;
+      bench::Abort(img.AllocatePage(&pid), "alloc");
+      bench::Abort(master.ReadPage(p, buf), "read");
+      bench::Abort(img.WritePage(p, buf), "write");
+    }
+    BufferPool pool(64, &img);
+    state.ResumeTiming();
+    RecoveryResult rr;
+    bench::Abort(RecoverLog(&pool, &rr), "recover");
+    benchmark::DoNotOptimize(rr.records_redone);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(commits));
+}
+BENCHMARK(BM_Recovery)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

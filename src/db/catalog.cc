@@ -11,19 +11,36 @@ Status Catalog::EnsurePool() {
   if (options_.disk != nullptr) {
     pool_ = std::make_unique<BufferPool>(options_.buffer_pool_frames,
                                          options_.disk);
-    return Status::OK();
-  }
-  std::unique_ptr<DiskManager> disk;
-  if (!options_.db_path.empty()) {
-    std::unique_ptr<FileDiskManager> fdm;
-    PRODB_RETURN_IF_ERROR(
-        FileDiskManager::Open(options_.db_path, /*truncate=*/true, &fdm));
-    disk = std::move(fdm);
   } else {
-    disk = std::make_unique<MemoryDiskManager>();
+    std::unique_ptr<DiskManager> disk;
+    if (!options_.db_path.empty()) {
+      std::unique_ptr<FileDiskManager> fdm;
+      PRODB_RETURN_IF_ERROR(FileDiskManager::Open(
+          options_.db_path, /*truncate=*/!options_.open_existing, &fdm));
+      disk = std::move(fdm);
+    } else {
+      disk = std::make_unique<MemoryDiskManager>();
+    }
+    pool_ = std::make_unique<BufferPool>(options_.buffer_pool_frames,
+                                         std::move(disk));
   }
-  pool_ = std::make_unique<BufferPool>(options_.buffer_pool_frames,
-                                       std::move(disk));
+  if (options_.enable_wal) {
+    LogManagerOptions lopts;
+    lopts.auto_flush = options_.wal_auto_flush;
+    DiskManager* disk = pool_->disk();
+    if (disk->PageCount() == 0) {
+      // Fresh database: the log head claims the first page.
+      PRODB_RETURN_IF_ERROR(LogManager::Create(disk, lopts, &wal_));
+    } else {
+      // Restart over an existing image (clean shutdown or crash): redo
+      // the committed prefix, truncate the torn tail, resume appends at
+      // the intact end.
+      PRODB_RETURN_IF_ERROR(RecoverLog(pool_.get(), &recovery_));
+      PRODB_RETURN_IF_ERROR(LogManager::Resume(
+          disk, lopts, recovery_.log_pages, recovery_.log_end, &wal_));
+    }
+    pool_->SetWal(wal_.get());
+  }
   return Status::OK();
 }
 
@@ -44,6 +61,21 @@ Status Catalog::CreateRelation(const Schema& schema, StorageKind kind,
   } else {
     rel = std::make_unique<Relation>(schema);
   }
+  *out = rel.get();
+  relations_.emplace(schema.name(), std::move(rel));
+  return Status::OK();
+}
+
+Status Catalog::AdoptPaged(const Schema& schema, uint32_t head_page_id,
+                           Relation** out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (relations_.count(schema.name())) {
+    return Status::AlreadyExists("relation " + schema.name());
+  }
+  PRODB_RETURN_IF_ERROR(EnsurePool());
+  std::unique_ptr<Relation> rel;
+  PRODB_RETURN_IF_ERROR(
+      Relation::OpenPaged(schema, pool_.get(), head_page_id, &rel));
   *out = rel.get();
   relations_.emplace(schema.name(), std::move(rel));
   return Status::OK();
@@ -89,6 +121,23 @@ BufferPool* Catalog::buffer_pool() {
   std::lock_guard<std::mutex> lock(mu_);
   EnsurePool();
   return pool_.get();
+}
+
+LogManager* Catalog::wal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.get();
+}
+
+uint64_t Catalog::recovered_max_txn_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_.max_txn_id;
+}
+
+Status Catalog::Recover(RecoveryResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PRODB_RETURN_IF_ERROR(EnsurePool());
+  *out = recovery_;
+  return Status::OK();
 }
 
 }  // namespace prodb

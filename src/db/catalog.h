@@ -10,6 +10,8 @@
 #include "common/status.h"
 #include "db/relation.h"
 #include "storage/buffer_pool.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace prodb {
 
@@ -23,10 +25,23 @@ struct CatalogOptions {
   size_t buffer_pool_frames = 256;
   /// When non-empty, paged relations persist to this file.
   std::string db_path;
+  /// Open `db_path` without truncating (reopen / restart). Ignored when
+  /// `db_path` is empty.
+  bool open_existing = false;
   /// When set, the buffer pool runs over this externally owned manager
   /// instead of creating one (takes precedence over db_path). The fault
   /// sweep uses this to put a whole catalog behind an injecting disk.
   DiskManager* disk = nullptr;
+  /// Write-ahead logging for the paged store. On an empty disk a fresh
+  /// log is created (its head takes the first page); on a non-empty disk
+  /// restart recovery runs first — scan the log, redo committed work,
+  /// truncate the torn tail — and the log resumes where the intact
+  /// prefix ended.
+  bool enable_wal = false;
+  /// Flush the log after every append instead of waiting for commits
+  /// (the crash sweep's knob: every record boundary becomes a disk-write
+  /// boundary).
+  bool wal_auto_flush = false;
 };
 
 /// Name -> Relation registry; the database.
@@ -45,6 +60,12 @@ class Catalog {
   Status CreateRelation(const Schema& schema, StorageKind kind,
                         Relation** out);
 
+  /// Registers a paged relation over an existing heap file (restart after
+  /// recovery: heap pages survived, the registry did not). Secondary
+  /// indexes are memory-resident and must be re-created by the caller.
+  Status AdoptPaged(const Schema& schema, uint32_t head_page_id,
+                    Relation** out);
+
   /// nullptr when absent.
   Relation* Get(const std::string& name) const;
 
@@ -58,6 +79,22 @@ class Catalog {
 
   BufferPool* buffer_pool();
 
+  /// The write-ahead log, or nullptr when WAL is disabled (or the pool
+  /// has not been created yet).
+  LogManager* wal();
+
+  /// Forces pool (and, with enable_wal on a non-empty disk, restart
+  /// recovery) to run now, and reports what recovery did. On a fresh
+  /// disk *out is all-zero. Recovery otherwise happens implicitly the
+  /// first time the pool is needed.
+  Status Recover(RecoveryResult* out);
+
+  /// Highest transaction id restart recovery saw in the log (0 when WAL
+  /// is off, the disk was fresh, or recovery has not run yet). TxnManager
+  /// allocates above this so recovered commit records never alias new
+  /// transactions.
+  uint64_t recovered_max_txn_id() const;
+
  private:
   Status EnsurePool();
 
@@ -65,6 +102,8 @@ class Catalog {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LogManager> wal_;
+  RecoveryResult recovery_;
 };
 
 }  // namespace prodb

@@ -14,6 +14,21 @@ Status Relation::CreatePaged(Schema schema, BufferPool* pool,
   return Status::OK();
 }
 
+Status Relation::OpenPaged(Schema schema, BufferPool* pool,
+                           uint32_t head_page_id,
+                           std::unique_ptr<Relation>* out) {
+  auto rel = std::unique_ptr<Relation>(
+      new Relation(std::move(schema), StorageKind::kPaged));
+  PRODB_RETURN_IF_ERROR(HeapFile::Open(pool, head_page_id, &rel->heap_));
+  *out = std::move(rel);
+  return Status::OK();
+}
+
+uint32_t Relation::head_page_id() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return heap_ != nullptr ? heap_->head_page_id() : UINT32_MAX;
+}
+
 void Relation::IndexInsert(const Tuple& t, TupleId id) {
   for (auto& [attr, idx] : hash_indexes_) {
     idx->Insert(t[static_cast<size_t>(attr)], id);

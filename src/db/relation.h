@@ -40,6 +40,17 @@ class Relation {
   static Status CreatePaged(Schema schema, BufferPool* pool,
                             std::unique_ptr<Relation>* out);
 
+  /// Paged relation over an existing heap file rooted at `head_page_id`
+  /// (restart: reattach to pages that survived recovery). Indexes are
+  /// memory-resident, so any needed index must be re-created after open.
+  static Status OpenPaged(Schema schema, BufferPool* pool,
+                          uint32_t head_page_id,
+                          std::unique_ptr<Relation>* out);
+
+  /// First page of the paged backend (kNoPage sentinel for kMemory); the
+  /// durable name a relation can be reopened by after restart.
+  uint32_t head_page_id() const;
+
   const Schema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
   StorageKind storage_kind() const { return kind_; }

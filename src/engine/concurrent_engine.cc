@@ -44,14 +44,29 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
   auto abort_with = [&](Status st) -> Status {
     ChangeSet inverse = delta.Inverse();
     Status comp_error;
-    for (size_t i = 0; i < inverse.size(); ++i) {
-      Delta& d = inverse[i];
-      Relation* rel = wm_.catalog()->Get(d.relation);
-      Status s = rel == nullptr
-                     ? Status::NotFound("relation " + d.relation)
-                     : (d.is_insert() ? rel->Restore(d.id, d.tuple)
-                                      : rel->Delete(d.id));
-      if (!s.ok() && comp_error.ok()) comp_error = s;
+    {
+      // Compensation records stay attributed to the aborting transaction
+      // so restart recovery skips them together with the forward records
+      // (no commit record will ever exist for this id).
+      WalTxnScope wal_scope(txn->id());
+      for (size_t i = 0; i < inverse.size(); ++i) {
+        Delta& d = inverse[i];
+        Relation* rel = wm_.catalog()->Get(d.relation);
+        Status s = rel == nullptr
+                       ? Status::NotFound("relation " + d.relation)
+                       : (d.is_insert() ? rel->Restore(d.id, d.tuple)
+                                        : rel->Delete(d.id));
+        if (!s.ok() && comp_error.ok()) comp_error = s;
+      }
+    }
+    if (LogManager* wal = wm_.catalog()->wal()) {
+      LogRecord rec;
+      rec.type = LogRecordType::kAbort;
+      rec.txn_id = txn->id();
+      wal->Append(rec);
+      // Compensation restored pre-transaction state; the dirtied pages
+      // may reach disk again.
+      wm_.catalog()->buffer_pool()->ReleaseTxnPages(txn->id());
     }
     txn_manager_.lock_manager()->ReleaseAll(txn->id());
     if (!comp_error.ok()) return comp_error;
@@ -163,11 +178,20 @@ Status ConcurrentEngine::RunInstantiation(const Instantiation& inst,
     if (!st.ok()) {
       // Maintenance failed mid-batch: matcher state cannot be unwound
       // cleanly, so surface the error (relations keep the committed ∆).
+      // The page holds must still drop or the pool wedges permanently.
+      if (wm_.catalog()->wal() != nullptr) {
+        wm_.catalog()->buffer_pool()->ReleaseTxnPages(txn->id());
+      }
       txn_manager_.lock_manager()->ReleaseAll(txn->id());
       return st;
     }
   }
-  txn_manager_.Commit(txn.get());
+  {
+    // Commit point: force the log through our commit record. On failure
+    // the transaction is still active — compensate like any other abort.
+    Status st = txn_manager_.Commit(txn.get());
+    if (!st.ok()) return abort_with(st);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     commit_log_.push_back(inst.rule_name);

@@ -2,6 +2,19 @@
 
 namespace prodb {
 
+Status WorkingMemory::ForceLog() {
+  // Auto-commit durability point for the sequential path: WM mutations
+  // outside a Transaction carry txn id 0 and are redone at restart
+  // whenever they are intact in the log, so "committed" means "flushed".
+  // Called after matcher maintenance so the same flush also hardens any
+  // paged matcher bookkeeping (DBMS-Rete token memories) the batch
+  // touched; group commit makes this one flush per batch, not per record.
+  if (LogManager* wal = catalog_->wal()) {
+    return wal->Flush();
+  }
+  return Status::OK();
+}
+
 Status WorkingMemory::ApplyToRelation(Delta* d) {
   Relation* rel = catalog_->Get(d->relation);
   if (rel == nullptr) return Status::NotFound("class " + d->relation);
@@ -32,7 +45,8 @@ Status WorkingMemory::Insert(const std::string& cls, const Tuple& t,
   }
   ChangeSet one;
   one.AddInsert(cls, d.tuple, d.id);
-  return matcher_->OnBatch(one);
+  PRODB_RETURN_IF_ERROR(matcher_->OnBatch(one));
+  return ForceLog();
 }
 
 Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
@@ -47,7 +61,8 @@ Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
   }
   ChangeSet one;
   one.AddDelete(cls, id, d.tuple);
-  return matcher_->OnBatch(one);
+  PRODB_RETURN_IF_ERROR(matcher_->OnBatch(one));
+  return ForceLog();
 }
 
 Status WorkingMemory::Modify(const std::string& cls, TupleId id,
@@ -78,7 +93,8 @@ Status WorkingMemory::Modify(const std::string& cls, TupleId id,
   }
   ChangeSet pair;
   pair.AddModify(cls, id, old, t, nid);
-  return matcher_->OnBatch(pair);
+  PRODB_RETURN_IF_ERROR(matcher_->OnBatch(pair));
+  return ForceLog();
 }
 
 void WorkingMemory::BeginBatch() {
@@ -91,7 +107,8 @@ Status WorkingMemory::CommitBatch() {
   if (pending_.empty()) return Status::OK();
   ChangeSet batch;
   std::swap(batch, pending_);
-  return matcher_->OnBatch(batch);
+  PRODB_RETURN_IF_ERROR(matcher_->OnBatch(batch));
+  return ForceLog();
 }
 
 Status WorkingMemory::Apply(ChangeSet* cs) {
@@ -100,7 +117,8 @@ Status WorkingMemory::Apply(ChangeSet* cs) {
   for (size_t i = 0; i < cs->size(); ++i) {
     PRODB_RETURN_IF_ERROR(ApplyToRelation(&(*cs)[i]));
   }
-  return matcher_->OnBatch(*cs);
+  PRODB_RETURN_IF_ERROR(matcher_->OnBatch(*cs));
+  return ForceLog();
 }
 
 }  // namespace prodb

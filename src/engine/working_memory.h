@@ -64,6 +64,10 @@ class WorkingMemory {
   /// tuple values in place.
   Status ApplyToRelation(Delta* d);
 
+  /// Flushes the catalog's WAL, if any — the auto-commit durability
+  /// point for mutations made outside a Transaction.
+  Status ForceLog();
+
   Catalog* catalog_;
   Matcher* matcher_;
   bool in_batch_ = false;

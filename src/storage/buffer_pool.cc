@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "storage/page_layout.h"
+#include "storage/wal.h"
+
 namespace prodb {
 
 BufferPool::BufferPool(size_t capacity, DiskManager* disk) : disk_(disk) {
@@ -32,12 +35,17 @@ Frame* BufferPool::Victim(Status* status) {
   // evicted once its writeback succeeds; on failure it stays fully
   // resident (frame, page-table and LRU entries intact) so the only copy
   // of its data is preserved, and the next candidate is tried. If every
-  // candidate's writeback fails, the first error is surfaced.
+  // candidate's writeback fails, the first error is surfaced. Pages held
+  // by an in-flight transaction are skipped entirely (no-steal).
   Status first_error;
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     Frame* f = *it;
+    if (unstealable_.count(f->page_id) != 0) {
+      ++stats_.unstealable_skips;
+      continue;
+    }
     if (f->dirty) {
-      Status st = disk_->WritePage(f->page_id, f->data);
+      Status st = WritePageWithWalRule(f);
       if (!st.ok()) {
         ++stats_.writeback_failures;
         if (first_error.ok()) first_error = st;
@@ -52,8 +60,56 @@ Frame* BufferPool::Victim(Status* status) {
     ++stats_.evictions;
     return f;
   }
+  if (first_error.ok()) {
+    first_error = Status::Internal(
+        "buffer pool exhausted: every unpinned frame is held by an "
+        "in-flight transaction");
+  }
   *status = first_error;
   return nullptr;
+}
+
+Status BufferPool::WritePageWithWalRule(const Frame* f) {
+  if (wal_ != nullptr) {
+    Lsn lsn = PageLsn(f->data);
+    if (lsn > wal_->flushed_lsn()) {
+      PRODB_RETURN_IF_ERROR(wal_->FlushTo(lsn));
+      ++stats_.log_forces;
+    }
+  }
+  return disk_->WritePage(f->page_id, f->data);
+}
+
+void BufferPool::SetWal(LogManager* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
+
+void BufferPool::MarkTxnPage(uint64_t txn_id, uint32_t page_id) {
+  if (txn_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& pages = txn_pages_[txn_id];
+  for (uint32_t p : pages) {
+    if (p == page_id) return;  // this transaction already holds the page
+  }
+  pages.push_back(page_id);
+  ++unstealable_[page_id];
+}
+
+void BufferPool::ReleaseTxnPages(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_pages_.find(txn_id);
+  if (it == txn_pages_.end()) return;
+  for (uint32_t p : it->second) {
+    auto u = unstealable_.find(p);
+    if (u != unstealable_.end() && --u->second <= 0) unstealable_.erase(u);
+  }
+  txn_pages_.erase(it);
+}
+
+size_t BufferPool::UnstealablePageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unstealable_.size();
 }
 
 Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
@@ -139,8 +195,10 @@ Status BufferPool::FlushPage(uint32_t page_id) {
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Frame* f = it->second;
+  // No-steal: pages of in-flight transactions must not reach disk.
+  if (unstealable_.count(page_id) != 0) return Status::OK();
   if (f->dirty) {
-    PRODB_RETURN_IF_ERROR(disk_->WritePage(f->page_id, f->data));
+    PRODB_RETURN_IF_ERROR(WritePageWithWalRule(f));
     f->dirty = false;
   }
   return Status::OK();
@@ -211,8 +269,9 @@ Status BufferPool::VerifyCleanFramesMatchDisk() const {
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [pid, f] : page_table_) {
+    if (unstealable_.count(pid) != 0) continue;  // no-steal
     if (f->dirty) {
-      PRODB_RETURN_IF_ERROR(disk_->WritePage(f->page_id, f->data));
+      PRODB_RETURN_IF_ERROR(WritePageWithWalRule(f));
       f->dirty = false;
     }
   }

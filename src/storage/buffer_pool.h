@@ -21,6 +21,8 @@ struct Frame {
   char data[kPageSize] = {};
 };
 
+class LogManager;
+
 /// Counters exposed for the I/O benchmarks (E3, E8).
 struct BufferPoolStats {
   uint64_t hits = 0;
@@ -30,6 +32,11 @@ struct BufferPoolStats {
   /// Evictions abandoned because the dirty page could not be written; the
   /// page stays resident and dirty (fault-tolerance invariant).
   uint64_t writeback_failures = 0;
+  /// WAL-rule log flushes forced by a page writeback.
+  uint64_t log_forces = 0;
+  /// Eviction candidates skipped because an in-flight transaction had
+  /// dirtied them (no-steal rule).
+  uint64_t unstealable_skips = 0;
 };
 
 /// Fixed-capacity page cache with LRU replacement and pin counting.
@@ -79,14 +86,41 @@ class BufferPool {
   void ResetStats() { stats_ = BufferPoolStats{}; }
   DiskManager* disk() const { return disk_; }
 
+  /// --- Write-ahead logging hooks ---------------------------------------
+  /// Attaches the WAL. From then on the pool enforces the WAL rule: every
+  /// page carries its LSN at kPageLsnOff (all pooled pages are slotted
+  /// heap pages), and no dirty page is written back — by eviction or an
+  /// explicit flush — before the log is durable up to that LSN.
+  void SetWal(LogManager* wal);
+  LogManager* wal() const { return wal_; }
+
+  /// No-steal rule: marks `page_id` as dirtied by in-flight transaction
+  /// `txn_id`. The page will not be evicted or flushed until
+  /// ReleaseTxnPages(txn_id) — called at commit (after the log force) or
+  /// after abort compensation — so the on-disk image never contains
+  /// effects of a transaction whose fate is undecided, which is what lets
+  /// restart recovery skip losers instead of undoing them.
+  void MarkTxnPage(uint64_t txn_id, uint32_t page_id);
+  void ReleaseTxnPages(uint64_t txn_id);
+  size_t UnstealablePageCount() const;
+
  private:
   /// Finds a frame to (re)use: a free frame if any, else the LRU unpinned
   /// frame (writing it back if dirty). Returns nullptr if all are pinned.
   Frame* Victim(Status* status);
 
+  /// Flushes the WAL up to `page`'s LSN (no-op without a WAL) and then
+  /// writes the page. Shared by eviction and the flush entry points.
+  Status WritePageWithWalRule(const Frame* f);
+
   mutable std::mutex mu_;
   DiskManager* disk_;
+  LogManager* wal_ = nullptr;
   std::unique_ptr<DiskManager> owned_disk_;
+  // page id -> number of in-flight transactions that dirtied it, plus the
+  // per-transaction page lists that release those holds.
+  std::unordered_map<uint32_t, int> unstealable_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> txn_pages_;
   std::vector<std::unique_ptr<Frame>> frames_;
   std::unordered_map<uint32_t, Frame*> page_table_;
   std::list<Frame*> lru_;  // front = least recently used; unpinned only

@@ -2,111 +2,32 @@
 
 #include <cstring>
 
+#include "storage/page_layout.h"
+#include "storage/wal.h"
+
 namespace prodb {
 
 namespace {
 
-// Page header field offsets (see layout in heap_file.h).
-constexpr size_t kNextPageOff = 0;   // u32
-constexpr size_t kSlotCountOff = 4;  // u16
-constexpr size_t kFreeEndOff = 6;    // u16
-constexpr size_t kHeaderSize = 8;
-constexpr size_t kSlotSize = 4;  // u16 offset + u16 length
-constexpr uint16_t kDeadSlot = 0xFFFF;
-constexpr uint32_t kNoPage = UINT32_MAX;
-
-uint16_t GetU16(const char* p, size_t off) {
-  uint16_t v;
-  std::memcpy(&v, p + off, 2);
-  return v;
-}
-void PutU16(char* p, size_t off, uint16_t v) { std::memcpy(p + off, &v, 2); }
-uint32_t GetU32(const char* p, size_t off) {
-  uint32_t v;
-  std::memcpy(&v, p + off, 4);
-  return v;
-}
-void PutU32(char* p, size_t off, uint32_t v) { std::memcpy(p + off, &v, 4); }
-
-uint16_t SlotOffset(const char* page, uint16_t slot) {
-  return GetU16(page, kHeaderSize + slot * kSlotSize);
-}
-uint16_t SlotLength(const char* page, uint16_t slot) {
-  return GetU16(page, kHeaderSize + slot * kSlotSize + 2);
-}
-void SetSlot(char* page, uint16_t slot, uint16_t offset, uint16_t length) {
-  PutU16(page, kHeaderSize + slot * kSlotSize, offset);
-  PutU16(page, kHeaderSize + slot * kSlotSize + 2, length);
-}
-
-void InitPage(char* page) {
-  PutU32(page, kNextPageOff, kNoPage);
-  PutU16(page, kSlotCountOff, 0);
-  PutU16(page, kFreeEndOff, static_cast<uint16_t>(kPageSize));
-}
-
-// Contiguous free bytes between the slot directory and the record area.
-size_t ContiguousFree(const char* page) {
-  uint16_t slots = GetU16(page, kSlotCountOff);
-  uint16_t free_end = GetU16(page, kFreeEndOff);
-  size_t dir_end = kHeaderSize + slots * kSlotSize;
-  return free_end > dir_end ? free_end - dir_end : 0;
-}
-
-// Free bytes counting dead-record space that compaction can recover.
-size_t ReclaimableFree(const char* page) {
-  uint16_t slots = GetU16(page, kSlotCountOff);
-  size_t used = 0;
-  for (uint16_t s = 0; s < slots; ++s) {
-    if (SlotLength(page, s) != kDeadSlot) used += SlotLength(page, s);
-  }
-  size_t dir_end = kHeaderSize + slots * kSlotSize;
-  return kPageSize - dir_end - used;
-}
-
-// Moves all live records to the end of the page, squeezing out holes left
-// by deletions. Slot ids are preserved.
-void CompactPage(char* page) {
-  uint16_t slots = GetU16(page, kSlotCountOff);
-  char buf[kPageSize];
-  size_t write_end = kPageSize;
-  // First copy records out to avoid overlapping-move hazards.
-  std::memcpy(buf, page, kPageSize);
-  for (uint16_t s = 0; s < slots; ++s) {
-    uint16_t len = SlotLength(buf, s);
-    if (len == kDeadSlot || len == 0) continue;
-    uint16_t off = SlotOffset(buf, s);
-    write_end -= len;
-    std::memcpy(page + write_end, buf + off, len);
-    SetSlot(page, s, static_cast<uint16_t>(write_end), len);
-  }
-  PutU16(page, kFreeEndOff, static_cast<uint16_t>(write_end));
-}
-
-// Inserts an encoded record into the page if it fits. Returns the slot id
-// or -1 if there is not enough space even after compaction.
-int InsertIntoPage(char* page, const std::string& rec) {
-  if (rec.size() > kPageSize - kHeaderSize - kSlotSize) return -1;
-  uint16_t slots = GetU16(page, kSlotCountOff);
-  // Dead slots are never reused for new records: a TupleId, once
-  // assigned, permanently names the tuple that lived there — matcher
-  // bookkeeping and abort compensation (Restore) key on id stability.
-  // Only the 4-byte directory entry persists; the record bytes are
-  // reclaimed by CompactPage.
-  size_t need = rec.size() + kSlotSize;
-  if (ContiguousFree(page) < need) {
-    if (ReclaimableFree(page) < need) return -1;
-    CompactPage(page);
-    if (ContiguousFree(page) < need) return -1;
-  }
-  uint16_t free_end = GetU16(page, kFreeEndOff);
-  free_end = static_cast<uint16_t>(free_end - rec.size());
-  std::memcpy(page + free_end, rec.data(), rec.size());
-  PutU16(page, kFreeEndOff, free_end);
-  uint16_t slot = slots;
-  PutU16(page, kSlotCountOff, static_cast<uint16_t>(slots + 1));
-  SetSlot(page, slot, free_end, static_cast<uint16_t>(rec.size()));
-  return slot;
+// Appends a WAL record for a page mutation and stamps the page LSN. A
+// no-op when the pool has no WAL attached. Structural records (page
+// format / link) are always attributed to txn 0 — they are redone at
+// restart regardless of transaction outcome (an extra formatted empty
+// page is harmless); data records carry the thread's current transaction
+// id, and the page is marked unstealable for it (no-steal rule).
+void LogAndStamp(BufferPool* pool, Frame* frame, LogRecordType type,
+                 uint32_t slot, std::string data, bool structural = false) {
+  LogManager* wal = pool->wal();
+  if (wal == nullptr) return;
+  LogRecord rec;
+  rec.type = type;
+  rec.txn_id = structural ? 0 : CurrentWalTxn();
+  rec.page_id = frame->page_id;
+  rec.slot = slot;
+  rec.data = std::move(data);
+  Lsn lsn = wal->Append(rec);
+  SetPageLsn(frame->data, lsn);
+  if (rec.txn_id != 0) pool->MarkTxnPage(rec.txn_id, rec.page_id);
 }
 
 }  // namespace
@@ -116,11 +37,13 @@ Status HeapFile::Create(BufferPool* pool, std::unique_ptr<HeapFile>* out) {
   uint32_t page_id;
   Frame* frame;
   PRODB_RETURN_IF_ERROR(pool->NewPage(&page_id, &frame));
-  InitPage(frame->data);
+  InitHeapPage(frame->data);
+  LogAndStamp(pool, frame, LogRecordType::kPageFormat, 0, {},
+              /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool->UnpinPage(page_id, /*dirty=*/true));
   hf->pages_.push_back(page_id);
   hf->free_space_[page_id] =
-      static_cast<uint16_t>(kPageSize - kHeaderSize);
+      static_cast<uint16_t>(kPageSize - kPageHeaderSize);
   *out = std::move(hf);
   return Status::OK();
 }
@@ -135,7 +58,7 @@ Status HeapFile::Open(BufferPool* pool, uint32_t head_page_id,
     hf->pages_.push_back(pid);
     hf->free_space_[pid] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
-    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    uint16_t slots = PageSlotCount(frame->data);
     for (uint16_t s = 0; s < slots; ++s) {
       if (SlotLength(frame->data, s) != kDeadSlot) {
         ++hf->live_tuples_;
@@ -143,7 +66,7 @@ Status HeapFile::Open(BufferPool* pool, uint32_t head_page_id,
         ++hf->dead_slots_;
       }
     }
-    uint32_t next = GetU32(frame->data, kNextPageOff);
+    uint32_t next = PageNext(frame->data);
     PRODB_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/false));
     pid = next;
   }
@@ -157,16 +80,22 @@ Status HeapFile::Open(BufferPool* pool, uint32_t head_page_id,
 Status HeapFile::AppendPage(uint32_t* page_id) {
   Frame* frame;
   PRODB_RETURN_IF_ERROR(pool_->NewPage(page_id, &frame));
-  InitPage(frame->data);
+  InitHeapPage(frame->data);
+  LogAndStamp(pool_, frame, LogRecordType::kPageFormat, 0, {},
+              /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(*page_id, /*dirty=*/true));
   // Link from the current tail.
   uint32_t tail = pages_.back();
   Frame* tail_frame;
   PRODB_RETURN_IF_ERROR(pool_->FetchPage(tail, &tail_frame));
-  PutU32(tail_frame->data, kNextPageOff, *page_id);
+  SetPageNext(tail_frame->data, *page_id);
+  std::string link(4, '\0');
+  std::memcpy(link.data(), page_id, 4);
+  LogAndStamp(pool_, tail_frame, LogRecordType::kPageLink, 0,
+              std::move(link), /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(tail, /*dirty=*/true));
   pages_.push_back(*page_id);
-  free_space_[*page_id] = static_cast<uint16_t>(kPageSize - kHeaderSize);
+  free_space_[*page_id] = static_cast<uint16_t>(kPageSize - kPageHeaderSize);
   return Status::OK();
 }
 
@@ -174,7 +103,7 @@ Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string rec;
   tuple.SerializeTo(&rec);
-  if (rec.size() > kPageSize - kHeaderSize - kSlotSize) {
+  if (rec.size() > kPageSize - kPageHeaderSize - kSlotSize) {
     return Status::InvalidArgument("tuple larger than a page");
   }
   // Try the most recently appended page first (common append workload),
@@ -191,6 +120,8 @@ Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
     PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
     int slot = InsertIntoPage(frame->data, rec);
     if (slot >= 0) {
+      LogAndStamp(pool_, frame, LogRecordType::kSlotPut,
+                  static_cast<uint32_t>(slot), rec);
       free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
       PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
       id->page_id = pid;
@@ -205,6 +136,10 @@ Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
   Frame* frame;
   PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
   int slot = InsertIntoPage(frame->data, rec);
+  if (slot >= 0) {
+    LogAndStamp(pool_, frame, LogRecordType::kSlotPut,
+                static_cast<uint32_t>(slot), rec);
+  }
   free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
   if (slot < 0) return Status::Internal("insert failed on fresh page");
@@ -219,7 +154,7 @@ Status HeapFile::Get(TupleId id, Tuple* out) const {
   Frame* frame;
   PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
   Status st = Status::OK();
-  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  uint16_t slots = PageSlotCount(frame->data);
   if (id.slot_id >= slots || SlotLength(frame->data, id.slot_id) == kDeadSlot) {
     st = Status::NotFound("tuple " + id.ToString());
   } else {
@@ -240,11 +175,12 @@ Status HeapFile::Delete(TupleId id) {
   PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
   Status st = Status::OK();
   bool dirty = false;
-  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  uint16_t slots = PageSlotCount(frame->data);
   if (id.slot_id >= slots || SlotLength(frame->data, id.slot_id) == kDeadSlot) {
     st = Status::NotFound("tuple " + id.ToString());
   } else {
     SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), 0, kDeadSlot);
+    LogAndStamp(pool_, frame, LogRecordType::kSlotDelete, id.slot_id, {});
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     --live_tuples_;
@@ -263,7 +199,7 @@ Status HeapFile::Restore(TupleId id, const Tuple& tuple) {
   PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
   Status st = Status::OK();
   bool dirty = false;
-  uint16_t slots = GetU16(frame->data, kSlotCountOff);
+  uint16_t slots = PageSlotCount(frame->data);
   if (id.slot_id >= slots) {
     st = Status::InvalidArgument("no slot " + id.ToString());
   } else if (SlotLength(frame->data, id.slot_id) != kDeadSlot) {
@@ -274,12 +210,13 @@ Status HeapFile::Restore(TupleId id, const Tuple& tuple) {
     // CompactPage preserves slot ids and leaves dead slots dead, so the
     // directory entry at id.slot_id survives.
     if (ContiguousFree(frame->data) < rec.size()) CompactPage(frame->data);
-    uint16_t free_end = GetU16(frame->data, kFreeEndOff);
+    uint16_t free_end = GetU16(frame->data, kPageFreeEndOff);
     free_end = static_cast<uint16_t>(free_end - rec.size());
     std::memcpy(frame->data + free_end, rec.data(), rec.size());
-    PutU16(frame->data, kFreeEndOff, free_end);
+    PutU16(frame->data, kPageFreeEndOff, free_end);
     SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), free_end,
             static_cast<uint16_t>(rec.size()));
+    LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec);
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     ++live_tuples_;
@@ -297,7 +234,7 @@ Status HeapFile::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
     tuple.SerializeTo(&rec);
     Frame* frame;
     PRODB_RETURN_IF_ERROR(pool_->FetchPage(id.page_id, &frame));
-    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    uint16_t slots = PageSlotCount(frame->data);
     if (id.slot_id >= slots ||
         SlotLength(frame->data, id.slot_id) == kDeadSlot) {
       PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, false));
@@ -311,6 +248,7 @@ Status HeapFile::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
       std::memcpy(frame->data + off, rec.data(), rec.size());
       SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), off,
               static_cast<uint16_t>(rec.size()));
+      LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec);
       free_space_[id.page_id] =
           static_cast<uint16_t>(ReclaimableFree(frame->data));
       PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, true));
@@ -349,7 +287,7 @@ Status HeapFile::Scan(
     // callback that re-enters the heap file cannot deadlock on the pin.
     std::vector<std::pair<TupleId, Tuple>> batch;
     Status st = Status::OK();
-    uint16_t slots = GetU16(frame->data, kSlotCountOff);
+    uint16_t slots = PageSlotCount(frame->data);
     for (uint16_t s = 0; s < slots && st.ok(); ++s) {
       uint16_t len = SlotLength(frame->data, s);
       if (len == kDeadSlot) continue;

@@ -16,16 +16,18 @@ namespace prodb {
 
 /// Unordered collection of variable-length tuples stored in slotted pages.
 ///
-/// Page layout:
-///   [u32 next_page_id][u16 slot_count][u16 free_end][slot 0][slot 1]...
-///   ... free space ...                         [record k]...[record 0]
-/// where each slot is (u16 offset, u16 length). Records grow downward
-/// from the end of the page; the slot directory grows upward. A deleted
-/// slot has length kDeadSlot and its record space is reclaimed by
-/// CompactPage when an insertion would otherwise not fit. Dead slots are
-/// never reused for new inserts — TupleIds are stable for the lifetime
-/// of the file (matcher bookkeeping and abort compensation key on them);
-/// only Restore may revive a dead slot, under its original id.
+/// The page layout (header with next pointer, slot count, free end and
+/// page LSN; slot directory growing up; records growing down) lives in
+/// storage/page_layout.h, shared with WAL redo. A deleted slot has length
+/// kDeadSlot and its record space is reclaimed by CompactPage when an
+/// insertion would otherwise not fit. Dead slots are never reused for new
+/// inserts — TupleIds are stable for the lifetime of the file (matcher
+/// bookkeeping and abort compensation key on them); only Restore may
+/// revive a dead slot, under its original id.
+///
+/// When the buffer pool has a WAL attached, every mutation appends a
+/// physical log record and stamps the page LSN before unpinning, so the
+/// pool's WAL rule can order log and page writes.
 ///
 /// Pages of one heap file form a singly linked list through next_page_id,
 /// so a file can be reopened from its head page id after restart.

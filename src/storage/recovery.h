@@ -1,0 +1,63 @@
+#ifndef PRODB_STORAGE_RECOVERY_H_
+#define PRODB_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/wal.h"
+
+namespace prodb {
+
+/// One decoded record plus its position in the log stream.
+struct ScannedRecord {
+  LogRecord rec;
+  Lsn lsn = 0;  // stream offset just past the record (== its LSN)
+};
+
+/// Result of walking the log page chain from kWalHeadPageId.
+struct LogScanResult {
+  std::vector<ScannedRecord> records;  // every intact record, in order
+  std::vector<uint32_t> pages;         // log page chain, in stream order
+  Lsn valid_end = 0;   // stream offset past the last intact record
+  Lsn stream_end = 0;  // stream offset past the last byte present on disk
+  bool torn_tail = false;  // bytes past valid_end (torn / corrupt record)
+};
+
+/// Scans the write-ahead log directly from `disk` (never through a buffer
+/// pool: the log is not page-cached). The scan stops cleanly at the first
+/// truncated or CRC-failing record; everything before it is intact.
+Status ScanLog(DiskManager* disk, LogScanResult* out);
+
+struct RecoveryResult {
+  uint64_t records_scanned = 0;
+  uint64_t records_redone = 0;
+  uint64_t committed_txns = 0;
+  bool torn_tail = false;
+  uint64_t truncated_bytes = 0;  // bytes discarded past the last intact record
+  Lsn log_end = 0;               // where appends resume
+  std::vector<uint32_t> log_pages;
+  std::vector<uint64_t> committed;  // committed txn ids, ascending
+  // Highest transaction id seen anywhere in the log (0 on a fresh log).
+  // Post-restart id allocation must start above it, or a reused id would
+  // inherit the old transaction's commit record at the next recovery.
+  uint64_t max_txn_id = 0;
+};
+
+/// Restart recovery: scan the log, redo the physical records of committed
+/// transactions (txn 0 records — auto-commit and structural — are always
+/// redone) wherever the record's LSN exceeds the on-disk page LSN, then
+/// truncate the log tail at the first torn or CRC-failing record and
+/// flush everything. Redo-wins: losers are simply not redone; the commit
+/// record is the cutoff. Idempotent — running it twice on the same image
+/// leaves every page byte-identical.
+///
+/// `pool` must be a fresh pool over the crash image with no WAL attached
+/// yet (recovery's own page writes need no WAL rule: the entire valid log
+/// is already on disk by definition).
+Status RecoverLog(BufferPool* pool, RecoveryResult* out);
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_RECOVERY_H_

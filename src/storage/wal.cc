@@ -1,0 +1,232 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "storage/page_layout.h"
+
+namespace prodb {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+thread_local uint64_t g_wal_txn = 0;
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeLogRecord(const LogRecord& rec, std::string* out) {
+  std::string body;
+  body.reserve(kLogRecordBodyFixed + rec.data.size());
+  body.push_back(static_cast<char>(rec.type));
+  char scratch[8];
+  std::memcpy(scratch, &rec.txn_id, 8);
+  body.append(scratch, 8);
+  std::memcpy(scratch, &rec.page_id, 4);
+  body.append(scratch, 4);
+  std::memcpy(scratch, &rec.slot, 4);
+  body.append(scratch, 4);
+  uint32_t dlen = static_cast<uint32_t>(rec.data.size());
+  std::memcpy(scratch, &dlen, 4);
+  body.append(scratch, 4);
+  body.append(rec.data);
+
+  uint32_t len = static_cast<uint32_t>(body.size());
+  uint32_t crc = Crc32(body.data(), body.size());
+  char hdr[kLogRecordHeader];
+  std::memcpy(hdr, &len, 4);
+  std::memcpy(hdr + 4, &crc, 4);
+  out->append(hdr, kLogRecordHeader);
+  out->append(body);
+}
+
+bool DecodeLogRecord(const char* buf, size_t len, size_t* pos,
+                     LogRecord* out) {
+  if (*pos + kLogRecordHeader > len) return false;
+  uint32_t blen, crc;
+  std::memcpy(&blen, buf + *pos, 4);
+  std::memcpy(&crc, buf + *pos + 4, 4);
+  if (blen < kLogRecordBodyFixed || blen > kMaxLogRecordBody) return false;
+  if (*pos + kLogRecordHeader + blen > len) return false;
+  const char* body = buf + *pos + kLogRecordHeader;
+  if (Crc32(body, blen) != crc) return false;
+  uint8_t type = static_cast<uint8_t>(body[0]);
+  if (type < static_cast<uint8_t>(LogRecordType::kSlotPut) ||
+      type > static_cast<uint8_t>(LogRecordType::kAbort)) {
+    return false;
+  }
+  out->type = static_cast<LogRecordType>(type);
+  std::memcpy(&out->txn_id, body + 1, 8);
+  std::memcpy(&out->page_id, body + 9, 4);
+  std::memcpy(&out->slot, body + 13, 4);
+  uint32_t dlen;
+  std::memcpy(&dlen, body + 17, 4);
+  if (dlen != blen - kLogRecordBodyFixed) return false;
+  out->data.assign(body + kLogRecordBodyFixed, dlen);
+  *pos += kLogRecordHeader + blen;
+  return true;
+}
+
+Status LogManager::Create(DiskManager* disk, LogManagerOptions options,
+                          std::unique_ptr<LogManager>* out) {
+  auto log = std::unique_ptr<LogManager>(new LogManager(disk, options));
+  uint32_t head;
+  PRODB_RETURN_IF_ERROR(disk->AllocatePage(&head));
+  if (head != kWalHeadPageId) {
+    return Status::Internal(
+        "WAL head landed on page " + std::to_string(head) +
+        "; the log must be created before any other allocation");
+  }
+  // Write the empty head (used = 0, no next) so a crash image taken
+  // before the first flush still scans as a valid empty log.
+  char page[kPageSize] = {};
+  SetPageNext(page, kNoPage);
+  PutU16(page, kLogPageUsedOff, 0);
+  PRODB_RETURN_IF_ERROR(disk->WritePage(head, page));
+  log->pages_.push_back(head);
+  *out = std::move(log);
+  return Status::OK();
+}
+
+Status LogManager::Resume(DiskManager* disk, LogManagerOptions options,
+                          std::vector<uint32_t> pages, Lsn end,
+                          std::unique_ptr<LogManager>* out) {
+  if (pages.empty()) {
+    return Status::InvalidArgument("WAL resume needs at least the head page");
+  }
+  auto log = std::unique_ptr<LogManager>(new LogManager(disk, options));
+  log->pages_ = std::move(pages);
+  log->end_ = end;
+  log->flushed_ = end;
+  // pending_ must hold the whole incomplete tail page (its durable bytes
+  // are rewritten alongside new ones on every tail-growth flush).
+  size_t tail_start = static_cast<size_t>(end / kLogPagePayload) *
+                      kLogPagePayload;
+  log->buf_start_ = tail_start;
+  if (end > tail_start) {
+    size_t tail_index = tail_start / kLogPagePayload;
+    if (tail_index >= log->pages_.size()) {
+      return Status::InvalidArgument("WAL resume: end past the page chain");
+    }
+    char page[kPageSize];
+    PRODB_RETURN_IF_ERROR(disk->ReadPage(log->pages_[tail_index], page));
+    log->pending_.assign(page + kLogPageHeaderSize,
+                         static_cast<size_t>(end - tail_start));
+  }
+  *out = std::move(log);
+  return Status::OK();
+}
+
+Lsn LogManager::Append(const LogRecord& rec) {
+  Lsn lsn;
+  bool flush;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EncodeLogRecord(rec, &pending_);
+    end_ = buf_start_ + pending_.size();
+    lsn = end_;
+    ++stats_.records_appended;
+    flush = options_.auto_flush;
+  }
+  if (flush) {
+    // Best-effort: a failed auto-flush leaves the record buffered; the
+    // WAL rule re-checks durability before any dependent page writeback.
+    Status st = FlushTo(lsn);
+    (void)st;
+  }
+  return lsn;
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked(lsn);
+}
+
+Status LogManager::FlushLocked(Lsn lsn) {
+  if (lsn <= flushed_) return Status::OK();
+  if (lsn > end_) lsn = end_;
+  bool wrote = false;
+  // pending_ holds stream bytes [buf_start_, end_), where buf_start_ is
+  // always the start of the first not-completely-written log page. A tail
+  // page is rewritten (atomically, in the fault model) every time it
+  // grows; its bytes leave pending_ only once the page fills and can
+  // never change again. A crash between two rewrites leaves the older
+  // version — a clean record-boundary prefix.
+  while (flushed_ < lsn) {
+    size_t page_index = static_cast<size_t>(flushed_ / kLogPagePayload);
+    size_t page_start = page_index * kLogPagePayload;
+    size_t in_page = static_cast<size_t>(flushed_ - page_start);
+    while (page_index >= pages_.size()) {
+      uint32_t pid;
+      PRODB_RETURN_IF_ERROR(disk_->AllocatePage(&pid));
+      pages_.push_back(pid);
+    }
+    size_t take = std::min(static_cast<size_t>(end_ - flushed_),
+                           kLogPagePayload - in_page);
+    bool fills_page = in_page + take == kLogPagePayload;
+    // Extend the chain before (re)writing the filled page so its next
+    // pointer is final; a crash in between leaves a zeroed (used = 0)
+    // successor that scans as end-of-log.
+    if (fills_page && page_index + 1 >= pages_.size()) {
+      uint32_t pid;
+      PRODB_RETURN_IF_ERROR(disk_->AllocatePage(&pid));
+      pages_.push_back(pid);
+    }
+    char page[kPageSize] = {};
+    SetPageNext(page, fills_page ? pages_[page_index + 1] : kNoPage);
+    PutU16(page, kLogPageUsedOff, static_cast<uint16_t>(in_page + take));
+    std::memcpy(page + kLogPageHeaderSize,
+                pending_.data() + (page_start - buf_start_), in_page + take);
+    PRODB_RETURN_IF_ERROR(disk_->WritePage(pages_[page_index], page));
+    ++stats_.pages_written;
+    wrote = true;
+    flushed_ += take;
+    if (fills_page) {
+      // Pages fill strictly in order, so buf_start_ == page_start here.
+      pending_.erase(0, kLogPagePayload);
+      buf_start_ = page_start + kLogPagePayload;
+    }
+  }
+  if (wrote) ++stats_.flushes;
+  return Status::OK();
+}
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_;
+}
+
+Lsn LogManager::flushed_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_;
+}
+
+uint64_t CurrentWalTxn() { return g_wal_txn; }
+
+WalTxnScope::WalTxnScope(uint64_t txn_id) : saved_(g_wal_txn) {
+  g_wal_txn = txn_id;
+}
+
+WalTxnScope::~WalTxnScope() { g_wal_txn = saved_; }
+
+}  // namespace prodb

@@ -1,0 +1,168 @@
+#ifndef PRODB_STORAGE_WAL_H_
+#define PRODB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace prodb {
+
+/// Log sequence number: the byte offset just past a record in the log
+/// stream. 0 means "before any record" — a page LSN of 0 marks a page no
+/// WAL record has ever touched.
+using Lsn = uint64_t;
+
+/// By convention the log head occupies the first page a WAL-enabled
+/// catalog allocates, so restart recovery knows where to start scanning
+/// without any separate metadata store.
+inline constexpr uint32_t kWalHeadPageId = 0;
+
+/// Log page layout: [u32 next_page_id][u16 used_bytes][u16 reserved]
+/// followed by `used_bytes` of record-stream payload. Records are a byte
+/// stream chunked across the page chain, so page i holds stream bytes
+/// [i * kLogPagePayload, i * kLogPagePayload + used).
+inline constexpr size_t kLogPageNextOff = 0;  // u32
+inline constexpr size_t kLogPageUsedOff = 4;  // u16
+inline constexpr size_t kLogPageHeaderSize = 8;
+inline constexpr size_t kLogPagePayload = kPageSize - kLogPageHeaderSize;
+
+/// Typed physical log records. Slot-level records carry the slot id the
+/// original operation used, so redo places bytes at the recorded slot
+/// instead of re-deriving it — replay stays exact even though records of
+/// uncommitted (loser) transactions are skipped.
+enum class LogRecordType : uint8_t {
+  kSlotPut = 1,     // slot now holds `data` (insert / restore / in-place update)
+  kSlotDelete = 2,  // slot tombstoned
+  kPageFormat = 3,  // fresh heap page formatted (always txn 0: structural)
+  kPageLink = 4,    // next-page pointer set to u32 in `data` (structural)
+  kPageImage = 5,   // full 4 KiB page image in `data`
+  kCommit = 6,      // transaction commit — the redo cutoff
+  kAbort = 7,       // transaction abort (hygiene; absence of commit suffices)
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kCommit;
+  uint64_t txn_id = 0;  // 0 = auto-commit (redone whenever intact in the log)
+  uint32_t page_id = 0;
+  uint32_t slot = 0;
+  std::string data;
+};
+
+/// On-stream encoding: [u32 body_len][u32 crc32(body)][body], body =
+/// [u8 type][u64 txn][u32 page][u32 slot][u32 data_len][data]. Exposed for
+/// the torn-tail tests, which surgically damage encoded records on disk.
+inline constexpr size_t kLogRecordHeader = 8;   // len + crc
+inline constexpr size_t kLogRecordBodyFixed = 21;
+/// Body length ceiling used as a corruption sanity check when scanning.
+inline constexpr uint32_t kMaxLogRecordBody =
+    kLogRecordBodyFixed + static_cast<uint32_t>(kPageSize);
+
+/// CRC32 (reflected, poly 0xEDB88320) over `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+
+void EncodeLogRecord(const LogRecord& rec, std::string* out);
+/// Decodes one record at `buf[pos]`; false on truncation or CRC mismatch.
+bool DecodeLogRecord(const char* buf, size_t len, size_t* pos,
+                     LogRecord* out);
+
+struct LogManagerOptions {
+  /// Flush after every append (the crash sweep's knob: every record
+  /// boundary becomes a disk-write boundary). Group commit otherwise:
+  /// records buffer in memory until an explicit Flush — typically a
+  /// transaction commit, whose single flush carries every record buffered
+  /// by whoever appended since the last one.
+  bool auto_flush = false;
+};
+
+struct LogManagerStats {
+  uint64_t records_appended = 0;
+  uint64_t flushes = 0;        // Flush calls that wrote at least one page
+  uint64_t pages_written = 0;  // physical log-page writes
+};
+
+/// Append-only write-ahead log over a DiskManager.
+///
+/// The log shares the data DiskManager: log pages are ordinary allocated
+/// pages chained through their headers, beginning at kWalHeadPageId. That
+/// is what makes FaultInjectingDiskManager's freeze-on-fault snapshot a
+/// complete crash image — one snapshot captures data pages and log in a
+/// single consistent cut. Appends go to an in-memory buffer and never
+/// touch disk; Flush writes buffered bytes through (allocating log pages
+/// as needed) and is the only failure point. Thread-safe.
+class LogManager {
+ public:
+  /// Fresh log: allocates the head page (must end up at kWalHeadPageId —
+  /// callers create the log before any other allocation).
+  static Status Create(DiskManager* disk, LogManagerOptions options,
+                       std::unique_ptr<LogManager>* out);
+
+  /// Resumes an existing log after recovery: appends continue at stream
+  /// offset `end` on the already-truncated page chain `pages`.
+  static Status Resume(DiskManager* disk, LogManagerOptions options,
+                       std::vector<uint32_t> pages, Lsn end,
+                       std::unique_ptr<LogManager>* out);
+
+  /// Appends `rec` to the buffer and returns its LSN (stream offset just
+  /// past the record). Pure memory operation — cannot fail. Under
+  /// auto_flush a flush is attempted immediately, best-effort: a flush
+  /// error leaves the record buffered for the next Flush to retry (the
+  /// WAL rule re-checks durability before any page writeback anyway).
+  Lsn Append(const LogRecord& rec);
+
+  /// Writes every buffered byte through to disk.
+  Status Flush() { return FlushTo(next_lsn()); }
+  /// Writes buffered bytes through until at least `lsn` is durable.
+  Status FlushTo(Lsn lsn);
+
+  Lsn next_lsn() const;
+  Lsn flushed_lsn() const;
+  const LogManagerStats& stats() const { return stats_; }
+
+ private:
+  LogManager(DiskManager* disk, LogManagerOptions options)
+      : disk_(disk), options_(options) {}
+
+  Status FlushLocked(Lsn lsn);
+
+  DiskManager* disk_;
+  LogManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> pages_;  // log page chain, in stream order
+  Lsn end_ = 0;                  // stream offset past the last appended byte
+  Lsn flushed_ = 0;              // stream offset past the last durable byte
+  Lsn buf_start_ = 0;            // stream offset of pending_[0]: the start
+                                 // of the first not-fully-written log page
+  std::string pending_;          // bytes [buf_start_, end_)
+  LogManagerStats stats_;
+};
+
+/// --- Transaction attribution --------------------------------------------
+/// HeapFile sits several layers below the Transaction object, so the
+/// current transaction id travels in a thread-local set by this RAII
+/// scope. 0 (no scope) = auto-commit: the record is redone whenever it is
+/// intact in the log. Transaction mutations — forward ops, rollback undo
+/// and concurrent-engine compensation alike — run inside a scope carrying
+/// the transaction id, so every record of a loser stays attributed to it
+/// and is skipped at restart.
+uint64_t CurrentWalTxn();
+
+class WalTxnScope {
+ public:
+  explicit WalTxnScope(uint64_t txn_id);
+  ~WalTxnScope();
+  WalTxnScope(const WalTxnScope&) = delete;
+  WalTxnScope& operator=(const WalTxnScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_STORAGE_WAL_H_

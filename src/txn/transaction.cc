@@ -29,6 +29,9 @@ Status Transaction::Insert(const std::string& rel, const Tuple& t,
   Relation* r = catalog_->Get(rel);
   if (r == nullptr) return Status::NotFound("relation " + rel);
   PRODB_RETURN_IF_ERROR(WriteIntent(rel));
+  // Attribute the WAL records this mutation generates to us; restart
+  // recovery redoes them only if our commit record made it to disk.
+  WalTxnScope wal_scope(id_);
   PRODB_RETURN_IF_ERROR(r->Insert(t, id));
   // Lock the new tuple so no reader observes it before we commit.
   PRODB_RETURN_IF_ERROR(
@@ -41,6 +44,7 @@ Status Transaction::Delete(const std::string& rel, TupleId id) {
   Relation* r = catalog_->Get(rel);
   if (r == nullptr) return Status::NotFound("relation " + rel);
   PRODB_RETURN_IF_ERROR(WriteLock(rel, id));
+  WalTxnScope wal_scope(id_);
   Tuple old;
   PRODB_RETURN_IF_ERROR(r->Get(id, &old));
   PRODB_RETURN_IF_ERROR(r->Delete(id));
@@ -75,6 +79,10 @@ Status Transaction::Rollback() {
   // live. Every entry is attempted; the transaction always reaches
   // kAborted; the returned Status reports what could not be undone.
   std::map<std::pair<std::string, TupleId>, TupleId> remap;
+  // Undo records stay attributed to this (loser) transaction: restart
+  // recovery skips them along with the forward records, and no-steal
+  // keeps both off disk until the abort completes.
+  WalTxnScope wal_scope(id_);
   Status first_error;
   size_t failed = 0;
   for (auto it = changes_.rbegin(); it != changes_.rend(); ++it) {
@@ -109,17 +117,48 @@ Status Transaction::Rollback() {
 }
 
 std::unique_ptr<Transaction> TxnManager::Begin() {
+  // Ids must stay above anything recorded in a recovered log: a reused id
+  // would inherit the dead transaction's commit record at the next
+  // restart and its losers would be redone as winners.
+  uint64_t floor = catalog_->recovered_max_txn_id() + 1;
+  uint64_t cur = next_id_.load();
+  while (cur < floor && !next_id_.compare_exchange_weak(cur, floor)) {
+  }
   return std::make_unique<Transaction>(next_id_.fetch_add(1), catalog_,
                                        locks_);
 }
 
-void TxnManager::Commit(Transaction* txn) {
+Status TxnManager::Commit(Transaction* txn) {
+  if (LogManager* wal = catalog_->wal()) {
+    // Force the log through the commit record: group commit — this one
+    // flush also hardens whatever other transactions buffered since the
+    // last flush. A flush failure leaves the transaction active (not
+    // committed, locks held) so the caller can abort it like any other
+    // failed operation.
+    LogRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.txn_id = txn->id();
+    PRODB_RETURN_IF_ERROR(wal->FlushTo(wal->Append(rec)));
+    // Durable now: the pages this transaction dirtied may be stolen.
+    catalog_->buffer_pool()->ReleaseTxnPages(txn->id());
+  }
   txn->MarkCommitted();
   locks_->ReleaseAll(txn->id());
+  return Status::OK();
 }
 
 Status TxnManager::Abort(Transaction* txn) {
   Status st = txn->Rollback();
+  if (LogManager* wal = catalog_->wal()) {
+    // The abort record is hygiene (absence of a commit already dooms the
+    // transaction at restart); no flush needed. The undo above restored
+    // pre-transaction state, so the pages may reach disk again.
+    LogRecord rec;
+    rec.type = LogRecordType::kAbort;
+    rec.txn_id = txn->id();
+    wal->Append(rec);
+    catalog_->buffer_pool()->ReleaseTxnPages(txn->id());
+  }
   locks_->ReleaseAll(txn->id());
   return st;
 }

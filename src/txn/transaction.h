@@ -85,9 +85,12 @@ class TxnManager {
 
   std::unique_ptr<Transaction> Begin();
 
-  /// Commit: mark committed and release locks. The caller must have
+  /// Commit: force the WAL through a commit record (when the catalog has
+  /// one), mark committed and release locks. The caller must have
   /// finished all maintenance before calling (the §5.2 commit point).
-  void Commit(Transaction* txn);
+  /// On a log-flush failure the transaction is left active with locks
+  /// held; the caller should abort it.
+  Status Commit(Transaction* txn);
 
   /// Abort: undo, mark aborted, release locks.
   Status Abort(Transaction* txn);

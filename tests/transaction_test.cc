@@ -26,7 +26,7 @@ TEST_F(TransactionTest, CommitKeepsChangesAndReleasesLocks) {
   TupleId id;
   ASSERT_TRUE(txn->Insert("T", Tuple{Value(1), Value("a")}, &id).ok());
   EXPECT_TRUE(locks_.Holds(txn->id(), ResourceId::Tup("T", id), LockMode::kX));
-  txn_manager_->Commit(txn.get());
+  ASSERT_TRUE(txn_manager_->Commit(txn.get()).ok());
   EXPECT_EQ(txn->state(), TxnState::kCommitted);
   EXPECT_EQ(rel_->Count(), 1u);
   EXPECT_EQ(locks_.LockedResourceCount(), 0u);
@@ -67,7 +67,7 @@ TEST_F(TransactionTest, UpdateIsDeleteTheInsert) {
   EXPECT_EQ(txn->changes().size(), 2u);
   EXPECT_FALSE(txn->changes()[0].inserted);
   EXPECT_TRUE(txn->changes()[1].inserted);
-  txn_manager_->Commit(txn.get());
+  ASSERT_TRUE(txn_manager_->Commit(txn.get()).ok());
   Tuple out;
   ASSERT_TRUE(rel_->Get(nid, &out).ok());
   EXPECT_EQ(out[1], Value("new"));
@@ -82,7 +82,7 @@ TEST_F(TransactionTest, ReadLocksBlockWriters) {
   // A writer in another "thread" (simulated inline) cannot take X now.
   EXPECT_TRUE(locks_.Holds(reader->id(), ResourceId::Tup("T", id),
                            LockMode::kS));
-  txn_manager_->Commit(reader.get());
+  ASSERT_TRUE(txn_manager_->Commit(reader.get()).ok());
 }
 
 TEST_F(TransactionTest, RollbackOrderIsReversed) {
@@ -131,7 +131,7 @@ TEST_F(TransactionTest, MissingRelationErrors) {
   TupleId id;
   EXPECT_TRUE(txn->Insert("Ghost", Tuple{Value(1)}, &id).IsNotFound());
   EXPECT_TRUE(txn->Delete("Ghost", TupleId{0, 0}).IsNotFound());
-  txn_manager_->Commit(txn.get());
+  ASSERT_TRUE(txn_manager_->Commit(txn.get()).ok());
 }
 
 }  // namespace

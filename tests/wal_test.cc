@@ -1,0 +1,311 @@
+// Unit tests for the write-ahead log: record encoding, the group-commit
+// buffer, page-spanning streams, resume-after-restart, the buffer pool's
+// WAL rule (log before page) and no-steal rule (in-flight transactions'
+// pages never reach disk), and physical redo onto raw pages.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page_layout.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace prodb {
+namespace {
+
+TEST(WalRecordTest, Crc32MatchesCheckValue) {
+  // The standard CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundtrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSlotPut;
+  rec.txn_id = 42;
+  rec.page_id = 7;
+  rec.slot = 3;
+  rec.data = "hello tuple bytes";
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+  EXPECT_EQ(buf.size(), kLogRecordHeader + kLogRecordBodyFixed +
+                            rec.data.size());
+
+  LogRecord out;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(out.type, rec.type);
+  EXPECT_EQ(out.txn_id, rec.txn_id);
+  EXPECT_EQ(out.page_id, rec.page_id);
+  EXPECT_EQ(out.slot, rec.slot);
+  EXPECT_EQ(out.data, rec.data);
+}
+
+TEST(WalRecordTest, DecodeRejectsCorruptionAndTruncation) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = 9;
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+
+  // Truncated mid-body.
+  LogRecord out;
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeLogRecord(buf.data(), buf.size() - 1, &pos, &out));
+  EXPECT_EQ(pos, 0u);
+
+  // Truncated mid-header.
+  pos = 0;
+  EXPECT_FALSE(DecodeLogRecord(buf.data(), kLogRecordHeader - 2, &pos, &out));
+
+  // A flipped body byte fails the CRC.
+  std::string bad = buf;
+  bad[kLogRecordHeader + 3] ^= 0x40;
+  pos = 0;
+  EXPECT_FALSE(DecodeLogRecord(bad.data(), bad.size(), &pos, &out));
+
+  // A garbage type byte is rejected even if CRC were recomputed.
+  pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(buf.data(), buf.size(), &pos, &out));
+}
+
+TEST(WalLogManagerTest, GroupCommitBuffersUntilFlush) {
+  MemoryDiskManager disk;
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(&disk, {}, &wal).ok());
+
+  LogRecord rec;
+  rec.type = LogRecordType::kSlotPut;
+  rec.page_id = 1;
+  rec.data = "abc";
+  Lsn l1 = wal->Append(rec);
+  rec.data = "defg";
+  Lsn l2 = wal->Append(rec);
+  EXPECT_GT(l2, l1);
+  EXPECT_EQ(wal->flushed_lsn(), 0u);
+
+  // Nothing durable yet: the scan sees an empty log.
+  LogScanResult scan;
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  EXPECT_EQ(scan.records.size(), 0u);
+  EXPECT_FALSE(scan.torn_tail);
+
+  ASSERT_TRUE(wal->Flush().ok());
+  EXPECT_EQ(wal->flushed_lsn(), l2);
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].rec.data, "abc");
+  EXPECT_EQ(scan.records[1].rec.data, "defg");
+  EXPECT_EQ(scan.records[1].lsn, l2);
+  EXPECT_EQ(scan.valid_end, l2);
+}
+
+TEST(WalLogManagerTest, AutoFlushMakesEveryAppendDurable) {
+  MemoryDiskManager disk;
+  LogManagerOptions opts;
+  opts.auto_flush = true;
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(&disk, opts, &wal).ok());
+
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = 5;
+  Lsn lsn = wal->Append(rec);
+  EXPECT_EQ(wal->flushed_lsn(), lsn);
+  LogScanResult scan;
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].rec.txn_id, 5u);
+}
+
+TEST(WalLogManagerTest, StreamSpansPages) {
+  MemoryDiskManager disk;
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(&disk, {}, &wal).ok());
+
+  // A full page image cannot fit in one log page; plus enough small
+  // records to cross another boundary.
+  LogRecord big;
+  big.type = LogRecordType::kPageImage;
+  big.page_id = 9;
+  big.data.assign(kPageSize, 'z');
+  wal->Append(big);
+  LogRecord small;
+  small.type = LogRecordType::kSlotPut;
+  small.page_id = 2;
+  for (int i = 0; i < 40; ++i) {
+    small.data = "record-" + std::to_string(i) + std::string(100, 'a');
+    small.slot = static_cast<uint32_t>(i);
+    wal->Append(small);
+  }
+  ASSERT_TRUE(wal->Flush().ok());
+  EXPECT_GT(disk.PageCount(), 2u);
+
+  LogScanResult scan;
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 41u);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.records[0].rec.data.size(), kPageSize);
+  EXPECT_EQ(scan.records[0].rec.data[100], 'z');
+  EXPECT_EQ(scan.records[40].rec.slot, 39u);
+  EXPECT_GT(scan.pages.size(), 1u);
+}
+
+TEST(WalLogManagerTest, ResumeContinuesMidPage) {
+  MemoryDiskManager disk;
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(&disk, {}, &wal).ok());
+  LogRecord rec;
+  rec.type = LogRecordType::kSlotPut;
+  rec.page_id = 1;
+  rec.data = "before-restart";
+  wal->Append(rec);
+  ASSERT_TRUE(wal->Flush().ok());
+
+  LogScanResult scan;
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+
+  // Restart: resume at the intact end and keep appending.
+  std::unique_ptr<LogManager> resumed;
+  ASSERT_TRUE(
+      LogManager::Resume(&disk, {}, scan.pages, scan.valid_end, &resumed)
+          .ok());
+  EXPECT_EQ(resumed->next_lsn(), scan.valid_end);
+  rec.data = "after-restart";
+  Lsn l2 = resumed->Append(rec);
+  ASSERT_TRUE(resumed->Flush().ok());
+
+  ASSERT_TRUE(ScanLog(&disk, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].rec.data, "before-restart");
+  EXPECT_EQ(scan.records[1].rec.data, "after-restart");
+  EXPECT_EQ(scan.records[1].lsn, l2);
+}
+
+TEST(WalBufferPoolTest, WalRuleForcesLogBeforeWriteback) {
+  auto owned = std::make_unique<MemoryDiskManager>();
+  MemoryDiskManager* disk = owned.get();
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(disk, {}, &wal).ok());
+  BufferPool pool(1, std::move(owned));
+  pool.SetWal(wal.get());
+
+  uint32_t p1;
+  Frame* f;
+  ASSERT_TRUE(pool.NewPage(&p1, &f).ok());
+  InitHeapPage(f->data);
+  LogRecord rec;
+  rec.type = LogRecordType::kPageFormat;
+  rec.page_id = p1;
+  Lsn lsn = wal->Append(rec);
+  SetPageLsn(f->data, lsn);
+  ASSERT_TRUE(pool.UnpinPage(p1, /*dirty=*/true).ok());
+  EXPECT_EQ(wal->flushed_lsn(), 0u);
+
+  // Evicting the dirty page must force the log through its LSN first.
+  uint32_t p2;
+  ASSERT_TRUE(pool.NewPage(&p2, &f).ok());
+  EXPECT_GE(wal->flushed_lsn(), lsn);
+  EXPECT_GE(pool.stats().log_forces, 1u);
+  ASSERT_TRUE(pool.UnpinPage(p2, /*dirty=*/false).ok());
+}
+
+TEST(WalBufferPoolTest, NoStealKeepsTxnPagesOffDisk) {
+  BufferPool pool(2, std::make_unique<MemoryDiskManager>());
+  uint32_t pa;
+  Frame* f;
+  ASSERT_TRUE(pool.NewPage(&pa, &f).ok());
+  f->data[100] = 't';
+  ASSERT_TRUE(pool.UnpinPage(pa, /*dirty=*/true).ok());
+  pool.MarkTxnPage(7, pa);
+  pool.MarkTxnPage(7, pa);  // idempotent per transaction
+  EXPECT_EQ(pool.UnstealablePageCount(), 1u);
+
+  // Explicit flushes skip the held page...
+  ASSERT_TRUE(pool.FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(pool.disk()->ReadPage(pa, buf).ok());
+  EXPECT_NE(buf[100], 't');
+
+  // ...and eviction steps past it: with both frames full, the victim is
+  // the *other* unpinned page even though the held one is older.
+  uint32_t pb, pc;
+  ASSERT_TRUE(pool.NewPage(&pb, &f).ok());
+  ASSERT_TRUE(pool.UnpinPage(pb, /*dirty=*/true).ok());
+  ASSERT_TRUE(pool.NewPage(&pc, &f).ok());
+  ASSERT_TRUE(pool.UnpinPage(pc, /*dirty=*/false).ok());
+  EXPECT_GE(pool.stats().unstealable_skips, 1u);
+  Frame* fa;
+  ASSERT_TRUE(pool.FetchPage(pa, &fa).ok());
+  EXPECT_EQ(fa->data[100], 't');  // survived resident, never written
+  ASSERT_TRUE(pool.UnpinPage(pa, /*dirty=*/false).ok());
+
+  // Commit: the hold drops and the page flushes normally.
+  pool.ReleaseTxnPages(7);
+  EXPECT_EQ(pool.UnstealablePageCount(), 0u);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.disk()->ReadPage(pa, buf).ok());
+  EXPECT_EQ(buf[100], 't');
+}
+
+TEST(WalRedoTest, PlaceRecordAtSlotGrowsDirectoryWithDeadSlots) {
+  char page[kPageSize] = {};
+  InitHeapPage(page);
+  ASSERT_TRUE(PlaceRecordAtSlot(page, 3, "cccc"));
+  EXPECT_EQ(PageSlotCount(page), 4u);
+  EXPECT_EQ(SlotLength(page, 0), kDeadSlot);
+  EXPECT_EQ(SlotLength(page, 2), kDeadSlot);
+  EXPECT_EQ(SlotLength(page, 3), 4u);
+  EXPECT_EQ(std::memcmp(page + SlotOffset(page, 3), "cccc", 4), 0);
+
+  // Replacing a live slot (update-in-place redo) keeps the directory size.
+  ASSERT_TRUE(PlaceRecordAtSlot(page, 3, "dd"));
+  EXPECT_EQ(PageSlotCount(page), 4u);
+  EXPECT_EQ(SlotLength(page, 3), 2u);
+  EXPECT_EQ(std::memcmp(page + SlotOffset(page, 3), "dd", 2), 0);
+}
+
+TEST(WalRedoTest, RecoverLogAppliesPageImageRecords) {
+  MemoryDiskManager disk;
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(&disk, {}, &wal).ok());
+  uint32_t data_pid;
+  ASSERT_TRUE(disk.AllocatePage(&data_pid).ok());
+
+  // Log a full formatted page image (never written to the page itself —
+  // redo must materialize it) followed by a slot put on top of it.
+  std::string image(kPageSize, '\0');
+  InitHeapPage(image.data());
+  LogRecord rec;
+  rec.type = LogRecordType::kPageImage;
+  rec.page_id = data_pid;
+  rec.data = image;
+  wal->Append(rec);
+  rec.type = LogRecordType::kSlotPut;
+  rec.slot = 0;
+  rec.data = "payload";
+  Lsn last = wal->Append(rec);
+  ASSERT_TRUE(wal->Flush().ok());
+
+  BufferPool pool(4, &disk);
+  RecoveryResult rr;
+  ASSERT_TRUE(RecoverLog(&pool, &rr).ok());
+  EXPECT_EQ(rr.records_scanned, 2u);
+  EXPECT_EQ(rr.records_redone, 2u);
+  char page[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(data_pid, page).ok());
+  ASSERT_TRUE(HeapPageLooksFormatted(page));
+  ASSERT_EQ(PageSlotCount(page), 1u);
+  EXPECT_EQ(std::memcmp(page + SlotOffset(page, 0), "payload", 7), 0);
+  EXPECT_EQ(PageLsn(page), last);
+}
+
+}  // namespace
+}  // namespace prodb

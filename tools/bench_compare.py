@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares two combined benchmark JSON files (the format the CI bench job
+emits: {"bench_<suite>": <google-benchmark --benchmark_format=json
+output>, ...}) and fails if any benchmark present in BOTH files slowed
+down by more than the allowed ratio in real time.
+
+Only shared (suite, benchmark-name) pairs are compared: new benchmarks
+have no baseline and removed ones have no measurement, so both are
+reported but never gate. Wall-clock noise on shared runners is real;
+the default threshold (+25%) is deliberately loose — this gate exists
+to catch algorithmic regressions, not scheduler jitter.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 1.25]
+Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Everything is normalized to nanoseconds before comparison.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_suites(path):
+    """Returns {suite: {bench_name: real_time_ns}} from a combined file."""
+    with open(path) as f:
+        combined = json.load(f)
+    suites = {}
+    for suite, report in combined.items():
+        if not isinstance(report, dict) or "benchmarks" not in report:
+            continue
+        rows = {}
+        for b in report["benchmarks"]:
+            # Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+            # would double-count; gate on plain iteration rows only.
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = _UNIT_NS.get(b.get("time_unit", "ns"))
+            if unit is None or "real_time" not in b:
+                continue
+            rows[b["name"]] = b["real_time"] * unit
+        suites[suite] = rows
+    return suites
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when fresh/baseline real time exceeds this (default 1.25)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_suites(args.baseline)
+        fresh = load_suites(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for suite in sorted(set(base) | set(fresh)):
+        b_rows = base.get(suite, {})
+        f_rows = fresh.get(suite, {})
+        only_base = sorted(set(b_rows) - set(f_rows))
+        only_fresh = sorted(set(f_rows) - set(b_rows))
+        for name in only_base:
+            print(f"  [gone ] {suite}/{name} (baseline only, not gated)")
+        for name in only_fresh:
+            print(f"  [new  ] {suite}/{name} (no baseline, not gated)")
+        for name in sorted(set(b_rows) & set(f_rows)):
+            b_ns, f_ns = b_rows[name], f_rows[name]
+            compared += 1
+            ratio = f_ns / b_ns if b_ns > 0 else float("inf")
+            verdict = "SLOWER" if ratio > args.threshold else "ok"
+            print(
+                f"  [{verdict:>6}] {suite}/{name}: "
+                f"{b_ns:.0f}ns -> {f_ns:.0f}ns ({ratio:.2f}x baseline)"
+            )
+            if ratio > args.threshold:
+                regressions.append((suite, name, ratio))
+
+    print(f"bench_compare: {compared} shared benchmarks compared")
+    if regressions:
+        print(
+            f"bench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
+            f"beyond {args.threshold:.2f}x:",
+            file=sys.stderr,
+        )
+        for suite, name, ratio in regressions:
+            print(f"  {suite}/{name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"bench_compare: PASS (threshold {args.threshold:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
