@@ -13,7 +13,13 @@ namespace prodb {
 /// human-readable message otherwise. Functions that can fail return a
 /// Status (or a StatusOr<T>, see below) instead of throwing; callers are
 /// expected to check `ok()` before using any out-parameters.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how durability bugs hide
+/// (an unchecked commit or flush failure looks like success). Call sites
+/// that genuinely cannot act on a failure — destructors, best-effort
+/// compensation — must say so with an explicit `(void)`-cast or a named
+/// local.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

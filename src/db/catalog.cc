@@ -33,11 +33,13 @@ Status Catalog::EnsurePool() {
       PRODB_RETURN_IF_ERROR(LogManager::Create(disk, lopts, &wal_));
     } else {
       // Restart over an existing image (clean shutdown or crash): redo
-      // the committed prefix, truncate the torn tail, resume appends at
-      // the intact end.
+      // history from the last checkpoint, roll back losers, truncate the
+      // torn tail, resume appends past the recovery-written CLRs.
       PRODB_RETURN_IF_ERROR(RecoverLog(pool_.get(), &recovery_));
-      PRODB_RETURN_IF_ERROR(LogManager::Resume(
-          disk, lopts, recovery_.log_pages, recovery_.log_end, &wal_));
+      PRODB_RETURN_IF_ERROR(LogManager::Resume(disk, lopts,
+                                               recovery_.log_pages,
+                                               recovery_.log_base,
+                                               recovery_.log_end, &wal_));
     }
     pool_->SetWal(wal_.get());
   }
@@ -119,13 +121,55 @@ size_t Catalog::FootprintBytes() const {
 
 BufferPool* Catalog::buffer_pool() {
   std::lock_guard<std::mutex> lock(mu_);
-  EnsurePool();
+  // A pool-creation failure surfaces as nullptr here; callers that need
+  // the error itself go through Recover().
+  Status st = EnsurePool();
+  if (!st.ok()) return nullptr;
   return pool_.get();
 }
 
 LogManager* Catalog::wal() {
   std::lock_guard<std::mutex> lock(mu_);
   return wal_.get();
+}
+
+Status Catalog::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PRODB_RETURN_IF_ERROR(EnsurePool());
+  if (wal_ == nullptr) {
+    return Status::NotSupported("checkpoint requires enable_wal");
+  }
+  // Two-checkpoint rule: pages dirtied before the *previous* checkpoint
+  // are written back first, so this checkpoint's redo point lands at or
+  // past it and the live log stays bounded even when hot pages never
+  // leave the pool. The checkpoint stays fuzzy: the engine keeps
+  // running, and anything dirtied after the sample lands above the
+  // recorded redo point by construction.
+  PRODB_RETURN_IF_ERROR(
+      pool_->FlushPagesDirtyBefore(wal_->checkpoint_lsn()));
+  return wal_->Checkpoint(pool_->MinDirtyRecLsn());
+}
+
+DurabilityStats Catalog::GetDurabilityStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurabilityStats out;
+  if (wal_ != nullptr) {
+    const LogManagerStats& ws = wal_->stats();
+    out.wal_records_appended = ws.records_appended;
+    out.wal_bytes_appended = ws.bytes_appended;
+    out.wal_flushes = ws.flushes;
+    out.wal_pages_written = ws.pages_written;
+    out.wal_live_pages = wal_->live_log_pages();
+    out.checkpoints_taken = ws.checkpoints_taken;
+    out.log_pages_recycled = ws.pages_recycled;
+  }
+  if (pool_ != nullptr) {
+    const BufferPoolStats& ps = pool_->stats();
+    out.pages_stolen = ps.pages_stolen;
+    out.log_forces = ps.log_forces;
+    out.disk_pages_reused = pool_->disk()->pages_reused();
+  }
+  return out;
 }
 
 uint64_t Catalog::recovered_max_txn_id() const {

@@ -44,6 +44,21 @@ struct CatalogOptions {
   bool wal_auto_flush = false;
 };
 
+/// Durability counters rolled up across the WAL, buffer pool and disk
+/// manager (zeros for components that are absent or not yet created).
+struct DurabilityStats {
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_bytes_appended = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t wal_pages_written = 0;
+  uint64_t wal_live_pages = 0;      // current on-disk log footprint
+  uint64_t checkpoints_taken = 0;
+  uint64_t log_pages_recycled = 0;  // log pages returned for reuse
+  uint64_t pages_stolen = 0;        // in-flight txn pages written back
+  uint64_t log_forces = 0;          // WAL-rule flushes forced by writeback
+  uint64_t disk_pages_reused = 0;   // allocations served from the free list
+};
+
 /// Name -> Relation registry; the database.
 ///
 /// Working-memory classes (declared with `literalize`), the matchers'
@@ -82,6 +97,17 @@ class Catalog {
   /// The write-ahead log, or nullptr when WAL is disabled (or the pool
   /// has not been created yet).
   LogManager* wal();
+
+  /// Fuzzy checkpoint + log truncation: records the active-transaction
+  /// table and the buffer pool's dirty-page low-water LSN in the log,
+  /// forces it, and recycles log pages wholly behind the low-water mark
+  /// into the allocator's free list — all without quiescing the engine.
+  /// Restart recovery then scans from the checkpoint's redo point
+  /// instead of log genesis. NotSupported when WAL is disabled.
+  Status Checkpoint();
+
+  /// Snapshot of the durability counters.
+  DurabilityStats GetDurabilityStats();
 
   /// Forces pool (and, with enable_wal on a non-empty disk, restart
   /// recovery) to run now, and reports what recovery did. On a fresh

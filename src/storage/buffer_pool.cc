@@ -35,15 +35,14 @@ Frame* BufferPool::Victim(Status* status) {
   // evicted once its writeback succeeds; on failure it stays fully
   // resident (frame, page-table and LRU entries intact) so the only copy
   // of its data is preserved, and the next candidate is tried. If every
-  // candidate's writeback fails, the first error is surfaced. Pages held
-  // by an in-flight transaction are skipped entirely (no-steal).
+  // candidate's writeback fails, the first error is surfaced. Pages
+  // dirtied by in-flight transactions are fair game (steal): the WAL
+  // rule inside WritePageWithWalRule forces the log — and with it the
+  // record's inline before-image — before the page hits disk, so restart
+  // undo can always roll the transaction back.
   Status first_error;
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     Frame* f = *it;
-    if (unstealable_.count(f->page_id) != 0) {
-      ++stats_.unstealable_skips;
-      continue;
-    }
     if (f->dirty) {
       Status st = WritePageWithWalRule(f);
       if (!st.ok()) {
@@ -52,7 +51,9 @@ Frame* BufferPool::Victim(Status* status) {
         continue;
       }
       ++stats_.dirty_writebacks;
+      if (unstealable_.count(f->page_id) != 0) ++stats_.pages_stolen;
       f->dirty = false;
+      f->rec_lsn = 0;
     }
     lru_.erase(it);
     lru_pos_.erase(f);
@@ -61,9 +62,7 @@ Frame* BufferPool::Victim(Status* status) {
     return f;
   }
   if (first_error.ok()) {
-    first_error = Status::Internal(
-        "buffer pool exhausted: every unpinned frame is held by an "
-        "in-flight transaction");
+    first_error = Status::Internal("buffer pool: no evictable frame");
   }
   *status = first_error;
   return nullptr;
@@ -107,9 +106,25 @@ void BufferPool::ReleaseTxnPages(uint64_t txn_id) {
   txn_pages_.erase(it);
 }
 
-size_t BufferPool::UnstealablePageCount() const {
+size_t BufferPool::TxnDirtyPageCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return unstealable_.size();
+}
+
+void BufferPool::NoteLoggedUpdate(Frame* f, uint64_t rec_start_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f->rec_lsn == 0) f->rec_lsn = rec_start_lsn + 1;
+}
+
+uint64_t BufferPool::MinDirtyRecLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min_lsn = UINT64_MAX;
+  for (const auto& f : frames_) {
+    if (f->rec_lsn != 0 && f->rec_lsn - 1 < min_lsn) {
+      min_lsn = f->rec_lsn - 1;
+    }
+  }
+  return min_lsn;
 }
 
 Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
@@ -146,6 +161,7 @@ Status BufferPool::FetchPage(uint32_t page_id, Frame** frame) {
   f->page_id = page_id;
   f->pin_count = 1;
   f->dirty = false;
+  f->rec_lsn = 0;
   page_table_[page_id] = f;
   *frame = f;
   return Status::OK();
@@ -165,6 +181,7 @@ Status BufferPool::NewPage(uint32_t* page_id, Frame** frame) {
   f->page_id = *page_id;
   f->pin_count = 1;
   f->dirty = true;
+  f->rec_lsn = 0;
   page_table_[*page_id] = f;
   *frame = f;
   return Status::OK();
@@ -195,11 +212,11 @@ Status BufferPool::FlushPage(uint32_t page_id) {
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Frame* f = it->second;
-  // No-steal: pages of in-flight transactions must not reach disk.
-  if (unstealable_.count(page_id) != 0) return Status::OK();
   if (f->dirty) {
     PRODB_RETURN_IF_ERROR(WritePageWithWalRule(f));
+    if (unstealable_.count(page_id) != 0) ++stats_.pages_stolen;
     f->dirty = false;
+    f->rec_lsn = 0;
   }
   return Status::OK();
 }
@@ -266,13 +283,27 @@ Status BufferPool::VerifyCleanFramesMatchDisk() const {
   return Status::OK();
 }
 
+Status BufferPool::FlushPagesDirtyBefore(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [pid, f] : page_table_) {
+    if (f->dirty && f->rec_lsn != 0 && f->rec_lsn - 1 < lsn) {
+      PRODB_RETURN_IF_ERROR(WritePageWithWalRule(f));
+      if (unstealable_.count(pid) != 0) ++stats_.pages_stolen;
+      f->dirty = false;
+      f->rec_lsn = 0;
+    }
+  }
+  return Status::OK();
+}
+
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [pid, f] : page_table_) {
-    if (unstealable_.count(pid) != 0) continue;  // no-steal
     if (f->dirty) {
       PRODB_RETURN_IF_ERROR(WritePageWithWalRule(f));
+      if (unstealable_.count(pid) != 0) ++stats_.pages_stolen;
       f->dirty = false;
+      f->rec_lsn = 0;
     }
   }
   return Status::OK();

@@ -18,6 +18,13 @@ struct Frame {
   uint32_t page_id = UINT32_MAX;
   int pin_count = 0;
   bool dirty = false;
+  /// Start LSN **plus one** of the first WAL record that dirtied this
+  /// page since it was last clean on disk (0 = no logged update pending
+  /// writeback; the +1 keeps a record at LSN 0 — the first append of a
+  /// fresh database — distinguishable from "clean"). The minimum over
+  /// all frames is the checkpoint redo point: restart redo may skip
+  /// everything below it.
+  uint64_t rec_lsn = 0;
   char data[kPageSize] = {};
 };
 
@@ -34,9 +41,11 @@ struct BufferPoolStats {
   uint64_t writeback_failures = 0;
   /// WAL-rule log flushes forced by a page writeback.
   uint64_t log_forces = 0;
-  /// Eviction candidates skipped because an in-flight transaction had
-  /// dirtied them (no-steal rule).
-  uint64_t unstealable_skips = 0;
+  /// Writebacks of pages dirtied by a still-in-flight transaction
+  /// (steal). Safe because the WAL rule forces the log — including the
+  /// record's inline before-image — before the page reaches disk, so
+  /// restart undo can always roll the transaction back.
+  uint64_t pages_stolen = 0;
 };
 
 /// Fixed-capacity page cache with LRU replacement and pin counting.
@@ -69,6 +78,13 @@ class BufferPool {
   /// Writes back every dirty resident page.
   Status FlushAll();
 
+  /// Writes back dirty pages whose first dirtying record started below
+  /// `lsn` (two-checkpoint rule: called with the previous checkpoint's
+  /// LSN, it guarantees the next checkpoint's redo point lands at or
+  /// past that checkpoint, so the live log stays bounded even when hot
+  /// pages never age out of the LRU). Pages dirtied later stay dirty.
+  Status FlushPagesDirtyBefore(uint64_t lsn);
+
   /// Frame-accounting invariant: every frame is exactly one of free,
   /// resident-unpinned (in the LRU list) or resident-pinned, and the page
   /// table / LRU bookkeeping agree. I/O failures must never leak frames —
@@ -94,15 +110,27 @@ class BufferPool {
   void SetWal(LogManager* wal);
   LogManager* wal() const { return wal_; }
 
-  /// No-steal rule: marks `page_id` as dirtied by in-flight transaction
-  /// `txn_id`. The page will not be evicted or flushed until
-  /// ReleaseTxnPages(txn_id) — called at commit (after the log force) or
-  /// after abort compensation — so the on-disk image never contains
-  /// effects of a transaction whose fate is undecided, which is what lets
-  /// restart recovery skip losers instead of undoing them.
+  /// Steal accounting: marks `page_id` as dirtied by in-flight
+  /// transaction `txn_id`, until ReleaseTxnPages(txn_id) at commit or
+  /// after abort compensation. Unlike the old no-steal rule this no
+  /// longer blocks eviction — undo logging made stealing safe, so a
+  /// transaction's write set may exceed pool capacity — it only
+  /// attributes writebacks of such pages to the pages_stolen counter.
   void MarkTxnPage(uint64_t txn_id, uint32_t page_id);
   void ReleaseTxnPages(uint64_t txn_id);
-  size_t UnstealablePageCount() const;
+  size_t TxnDirtyPageCount() const;
+
+  /// Records that the WAL record starting at `rec_start_lsn` dirtied
+  /// `f` (caller holds the pin). Keeps the frame's first-dirtier LSN for
+  /// MinDirtyRecLsn; cleared whenever the frame's bytes reach disk.
+  void NoteLoggedUpdate(Frame* f, uint64_t rec_start_lsn);
+
+  /// Redo low-water mark: the smallest first-dirtier start LSN over
+  /// frames with logged updates not yet written back, or UINT64_MAX when
+  /// there are none (no constraint). Everything below it is already
+  /// durable in the heap, so a checkpoint may tell recovery to start
+  /// redo here.
+  uint64_t MinDirtyRecLsn() const;
 
  private:
   /// Finds a frame to (re)use: a free frame if any, else the LRU unpinned
@@ -155,7 +183,10 @@ class PageGuard {
 
   void Release() {
     if (pool_ && frame_) {
-      pool_->UnpinPage(frame_->page_id, dirty_);
+      // Unpin of a resident pinned page cannot fail; the guard has no
+      // channel to report one from a destructor anyway.
+      Status st = pool_->UnpinPage(frame_->page_id, dirty_);
+      (void)st;
       pool_ = nullptr;
       frame_ = nullptr;
     }

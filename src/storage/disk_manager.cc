@@ -37,10 +37,13 @@ FileDiskManager::~FileDiskManager() {
 
 Status FileDiskManager::AllocatePage(uint32_t* page_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  // The id is only committed once the zero-fill write lands; otherwise a
-  // failed allocate would burn a page id that ReadPage then accepts as
-  // in-range garbage.
-  uint32_t candidate = page_count_;
+  // Recycled or fresh, the page is handed out only after its zero-fill
+  // write lands; otherwise a failed allocate would burn a page id (or
+  // pop a free-list entry) that ReadPage then accepts as in-range
+  // garbage — and a recycled page must read as zero, not as the stale
+  // log page it used to be.
+  bool reuse = !free_list_.empty();
+  uint32_t candidate = reuse ? free_list_.back() : page_count_;
   char zeros[kPageSize] = {};
   file_.seekp(static_cast<std::streamoff>(candidate) * kPageSize);
   file_.write(zeros, kPageSize);
@@ -50,10 +53,38 @@ Status FileDiskManager::AllocatePage(uint32_t* page_id) {
     file_.clear();
     return Status::IOError("allocate failed: " + path_);
   }
-  page_count_ = candidate + 1;
+  if (reuse) {
+    free_list_.pop_back();
+    ++pages_reused_;
+  } else {
+    page_count_ = candidate + 1;
+  }
   *page_id = candidate;
   ++writes_;
   return Status::OK();
+}
+
+void FileDiskManager::FreePage(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < page_count_) free_list_.push_back(page_id);
+}
+
+void FileDiskManager::SeedFreePages(const std::vector<uint32_t>& pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_list_.clear();
+  for (uint32_t pid : pages) {
+    if (pid < page_count_) free_list_.push_back(pid);
+  }
+}
+
+std::vector<uint32_t> FileDiskManager::FreePages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_;
+}
+
+uint64_t FileDiskManager::pages_reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_reused_;
 }
 
 Status FileDiskManager::ReadPage(uint32_t page_id, char* out) {
@@ -99,9 +130,41 @@ uint32_t FileDiskManager::PageCount() const {
 
 Status MemoryDiskManager::AllocatePage(uint32_t* page_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!free_list_.empty()) {
+    uint32_t pid = free_list_.back();
+    free_list_.pop_back();
+    // Recycled pages must read as zero, same as fresh ones.
+    pages_[pid].assign(kPageSize, 0);
+    ++pages_reused_;
+    *page_id = pid;
+    return Status::OK();
+  }
   *page_id = static_cast<uint32_t>(pages_.size());
   pages_.emplace_back(kPageSize, 0);
   return Status::OK();
+}
+
+void MemoryDiskManager::FreePage(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < pages_.size()) free_list_.push_back(page_id);
+}
+
+void MemoryDiskManager::SeedFreePages(const std::vector<uint32_t>& pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_list_.clear();
+  for (uint32_t pid : pages) {
+    if (pid < pages_.size()) free_list_.push_back(pid);
+  }
+}
+
+std::vector<uint32_t> MemoryDiskManager::FreePages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_;
+}
+
+uint64_t MemoryDiskManager::pages_reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_reused_;
 }
 
 Status MemoryDiskManager::ReadPage(uint32_t page_id, char* out) {

@@ -27,8 +27,31 @@ class DiskManager {
  public:
   virtual ~DiskManager() = default;
 
-  /// Allocates a fresh zeroed page and returns its id via *page_id.
+  /// Allocates a zeroed page and returns its id via *page_id. Recycled
+  /// pages (see FreePage) are preferred over growing the store; either
+  /// way the page is zero on disk when the call returns — callers (log
+  /// chain scans, page-LSN gating) rely on fresh pages reading as zero.
   virtual Status AllocatePage(uint32_t* page_id) = 0;
+
+  /// Returns `page_id` to the allocator's free list for reuse by a later
+  /// AllocatePage. Metadata-only (no I/O, cannot fail); the caller is
+  /// responsible for ensuring nothing references the page any more. The
+  /// default implementation leaks the page (a store may not support
+  /// reuse).
+  virtual void FreePage(uint32_t page_id) { (void)page_id; }
+
+  /// Replaces the free list wholesale — restart recovery re-seeds it
+  /// from the WAL anchor after subtracting pages the log still
+  /// references.
+  virtual void SeedFreePages(const std::vector<uint32_t>& pages) {
+    (void)pages;
+  }
+
+  /// Current free-list contents (unspecified order).
+  virtual std::vector<uint32_t> FreePages() const { return {}; }
+
+  /// How many AllocatePage calls were satisfied from the free list.
+  virtual uint64_t pages_reused() const { return 0; }
 
   /// Reads page `page_id` into `out` (exactly kPageSize bytes).
   virtual Status ReadPage(uint32_t page_id, char* out) = 0;
@@ -53,6 +76,10 @@ class FileDiskManager : public DiskManager {
   ~FileDiskManager() override;
 
   Status AllocatePage(uint32_t* page_id) override;
+  void FreePage(uint32_t page_id) override;
+  void SeedFreePages(const std::vector<uint32_t>& pages) override;
+  std::vector<uint32_t> FreePages() const override;
+  uint64_t pages_reused() const override;
   Status ReadPage(uint32_t page_id, char* out) override;
   Status WritePage(uint32_t page_id, const char* data) override;
   uint32_t PageCount() const override;
@@ -71,14 +98,20 @@ class FileDiskManager : public DiskManager {
   std::fstream file_;
   std::string path_;
   uint32_t page_count_ = 0;
+  std::vector<uint32_t> free_list_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t pages_reused_ = 0;
 };
 
 /// DiskManager over a heap-allocated page vector. Thread-safe.
 class MemoryDiskManager : public DiskManager {
  public:
   Status AllocatePage(uint32_t* page_id) override;
+  void FreePage(uint32_t page_id) override;
+  void SeedFreePages(const std::vector<uint32_t>& pages) override;
+  std::vector<uint32_t> FreePages() const override;
+  uint64_t pages_reused() const override;
   Status ReadPage(uint32_t page_id, char* out) override;
   Status WritePage(uint32_t page_id, const char* data) override;
   uint32_t PageCount() const override;
@@ -88,8 +121,10 @@ class MemoryDiskManager : public DiskManager {
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<char>> pages_;
+  std::vector<uint32_t> free_list_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t pages_reused_ = 0;
 };
 
 }  // namespace prodb

@@ -79,6 +79,17 @@ class FaultInjectingDiskManager : public DiskManager {
   uint32_t PageCount() const override { return inner_->PageCount(); }
   uint64_t reads() const override { return inner_->reads(); }
   uint64_t writes() const override { return inner_->writes(); }
+  // Free-list calls are metadata-only (no I/O in the fault model), so
+  // they forward without fault accounting; the zero-fill a recycled
+  // AllocatePage performs is still injectable as an allocate op.
+  void FreePage(uint32_t page_id) override { inner_->FreePage(page_id); }
+  void SeedFreePages(const std::vector<uint32_t>& pages) override {
+    inner_->SeedFreePages(pages);
+  }
+  std::vector<uint32_t> FreePages() const override {
+    return inner_->FreePages();
+  }
+  uint64_t pages_reused() const override { return inner_->pages_reused(); }
 
  private:
   struct Plan {

@@ -13,10 +13,16 @@ namespace {
 // no-op when the pool has no WAL attached. Structural records (page
 // format / link) are always attributed to txn 0 — they are redone at
 // restart regardless of transaction outcome (an extra formatted empty
-// page is harmless); data records carry the thread's current transaction
-// id, and the page is marked unstealable for it (no-steal rule).
+// page is harmless). Data records carry the thread's current transaction
+// id plus the slot's before-image (`undo_kind` / `undo`), which is what
+// lets the pool steal the page later: the WAL rule forces this record —
+// undo info included — to disk before the page, so restart undo can
+// always roll a loser back. Auto-commit records (txn 0) are never undone
+// and skip the before-image to keep the log lean.
 void LogAndStamp(BufferPool* pool, Frame* frame, LogRecordType type,
-                 uint32_t slot, std::string data, bool structural = false) {
+                 uint32_t slot, std::string data,
+                 UndoKind undo_kind = UndoKind::kNone, std::string undo = {},
+                 bool structural = false) {
   LogManager* wal = pool->wal();
   if (wal == nullptr) return;
   LogRecord rec;
@@ -25,8 +31,14 @@ void LogAndStamp(BufferPool* pool, Frame* frame, LogRecordType type,
   rec.page_id = frame->page_id;
   rec.slot = slot;
   rec.data = std::move(data);
-  Lsn lsn = wal->Append(rec);
+  if (rec.txn_id != 0) {
+    rec.undo_kind = undo_kind;
+    rec.undo = std::move(undo);
+  }
+  Lsn start = 0;
+  Lsn lsn = wal->Append(rec, &start);
   SetPageLsn(frame->data, lsn);
+  pool->NoteLoggedUpdate(frame, start);
   if (rec.txn_id != 0) pool->MarkTxnPage(rec.txn_id, rec.page_id);
 }
 
@@ -39,7 +51,7 @@ Status HeapFile::Create(BufferPool* pool, std::unique_ptr<HeapFile>* out) {
   PRODB_RETURN_IF_ERROR(pool->NewPage(&page_id, &frame));
   InitHeapPage(frame->data);
   LogAndStamp(pool, frame, LogRecordType::kPageFormat, 0, {},
-              /*structural=*/true);
+              UndoKind::kNone, {}, /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool->UnpinPage(page_id, /*dirty=*/true));
   hf->pages_.push_back(page_id);
   hf->free_space_[page_id] =
@@ -82,7 +94,7 @@ Status HeapFile::AppendPage(uint32_t* page_id) {
   PRODB_RETURN_IF_ERROR(pool_->NewPage(page_id, &frame));
   InitHeapPage(frame->data);
   LogAndStamp(pool_, frame, LogRecordType::kPageFormat, 0, {},
-              /*structural=*/true);
+              UndoKind::kNone, {}, /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(*page_id, /*dirty=*/true));
   // Link from the current tail.
   uint32_t tail = pages_.back();
@@ -92,7 +104,7 @@ Status HeapFile::AppendPage(uint32_t* page_id) {
   std::string link(4, '\0');
   std::memcpy(link.data(), page_id, 4);
   LogAndStamp(pool_, tail_frame, LogRecordType::kPageLink, 0,
-              std::move(link), /*structural=*/true);
+              std::move(link), UndoKind::kNone, {}, /*structural=*/true);
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(tail, /*dirty=*/true));
   pages_.push_back(*page_id);
   free_space_[*page_id] = static_cast<uint16_t>(kPageSize - kPageHeaderSize);
@@ -120,8 +132,10 @@ Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
     PRODB_RETURN_IF_ERROR(pool_->FetchPage(pid, &frame));
     int slot = InsertIntoPage(frame->data, rec);
     if (slot >= 0) {
+      // InsertIntoPage never reuses dead slots, so the slot was absent
+      // before: undo is "clear it".
       LogAndStamp(pool_, frame, LogRecordType::kSlotPut,
-                  static_cast<uint32_t>(slot), rec);
+                  static_cast<uint32_t>(slot), rec, UndoKind::kClearSlot);
       free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
       PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
       id->page_id = pid;
@@ -138,7 +152,7 @@ Status HeapFile::Insert(const Tuple& tuple, TupleId* id) {
   int slot = InsertIntoPage(frame->data, rec);
   if (slot >= 0) {
     LogAndStamp(pool_, frame, LogRecordType::kSlotPut,
-                static_cast<uint32_t>(slot), rec);
+                static_cast<uint32_t>(slot), rec, UndoKind::kClearSlot);
   }
   free_space_[pid] = static_cast<uint16_t>(ReclaimableFree(frame->data));
   PRODB_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
@@ -179,8 +193,14 @@ Status HeapFile::Delete(TupleId id) {
   if (id.slot_id >= slots || SlotLength(frame->data, id.slot_id) == kDeadSlot) {
     st = Status::NotFound("tuple " + id.ToString());
   } else {
+    // Before-image first: once the slot is tombstoned the bytes are
+    // unreachable, and undo must be able to put them back.
+    uint16_t off = SlotOffset(frame->data, id.slot_id);
+    uint16_t len = SlotLength(frame->data, id.slot_id);
+    std::string before(frame->data + off, len);
     SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), 0, kDeadSlot);
-    LogAndStamp(pool_, frame, LogRecordType::kSlotDelete, id.slot_id, {});
+    LogAndStamp(pool_, frame, LogRecordType::kSlotDelete, id.slot_id, {},
+                UndoKind::kRestore, std::move(before));
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     --live_tuples_;
@@ -216,7 +236,8 @@ Status HeapFile::Restore(TupleId id, const Tuple& tuple) {
     PutU16(frame->data, kPageFreeEndOff, free_end);
     SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), free_end,
             static_cast<uint16_t>(rec.size()));
-    LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec);
+    LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec,
+                UndoKind::kClearSlot);
     free_space_[id.page_id] =
         static_cast<uint16_t>(ReclaimableFree(frame->data));
     ++live_tuples_;
@@ -245,10 +266,12 @@ Status HeapFile::Update(TupleId id, const Tuple& tuple, TupleId* new_id) {
       // Overwrite in place; tail of the old record becomes a hole that
       // compaction reclaims later.
       uint16_t off = SlotOffset(frame->data, id.slot_id);
+      std::string before(frame->data + off, old_len);
       std::memcpy(frame->data + off, rec.data(), rec.size());
       SetSlot(frame->data, static_cast<uint16_t>(id.slot_id), off,
               static_cast<uint16_t>(rec.size()));
-      LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec);
+      LogAndStamp(pool_, frame, LogRecordType::kSlotPut, id.slot_id, rec,
+                  UndoKind::kRestore, std::move(before));
       free_space_[id.page_id] =
           static_cast<uint16_t>(ReclaimableFree(frame->data));
       PRODB_RETURN_IF_ERROR(pool_->UnpinPage(id.page_id, true));

@@ -13,16 +13,26 @@ namespace prodb {
 /// One decoded record plus its position in the log stream.
 struct ScannedRecord {
   LogRecord rec;
-  Lsn lsn = 0;  // stream offset just past the record (== its LSN)
+  Lsn start = 0;  // stream offset of the record's first byte
+  Lsn lsn = 0;    // stream offset just past the record (== its LSN)
 };
 
-/// Result of walking the log page chain from kWalHeadPageId.
+/// Result of walking the log page chain from the anchor at
+/// kWalAnchorPageId.
 struct LogScanResult {
   std::vector<ScannedRecord> records;  // every intact record, in order
   std::vector<uint32_t> pages;         // log page chain, in stream order
-  Lsn valid_end = 0;   // stream offset past the last intact record
-  Lsn stream_end = 0;  // stream offset past the last byte present on disk
+  Lsn base = 0;            // stream offset of pages.front()'s first byte
+  Lsn scan_start = 0;      // first record boundary decoded (>= base)
+  Lsn valid_end = 0;       // stream offset past the last intact record
+  Lsn stream_end = 0;      // stream offset past the last byte on disk
   bool torn_tail = false;  // bytes past valid_end (torn / corrupt record)
+  Lsn anchor_checkpoint_lsn = 0;     // informational (see wal.h)
+  std::vector<uint32_t> anchor_free; // free-page list persisted in anchor
+  /// False when page 0 is not a valid anchor — only legitimate on a
+  /// crash image taken before LogManager::Create finished; recovery
+  /// re-creates the empty log in that case.
+  bool anchor_valid = false;
 };
 
 /// Scans the write-ahead log directly from `disk` (never through a buffer
@@ -33,10 +43,17 @@ Status ScanLog(DiskManager* disk, LogScanResult* out);
 struct RecoveryResult {
   uint64_t records_scanned = 0;
   uint64_t records_redone = 0;
+  /// Loser records rolled back this run — equivalently, CLRs appended.
+  uint64_t records_undone = 0;
   uint64_t committed_txns = 0;
+  uint64_t loser_txns = 0;
   bool torn_tail = false;
   uint64_t truncated_bytes = 0;  // bytes discarded past the last intact record
-  Lsn log_end = 0;               // where appends resume
+  /// Redo point actually used (from the newest intact checkpoint;
+  /// scan_start when the log has none).
+  Lsn redo_lsn = 0;
+  Lsn log_base = 0;  // where the surviving chain starts in the stream
+  Lsn log_end = 0;   // where appends resume (past any CLRs written here)
   std::vector<uint32_t> log_pages;
   std::vector<uint64_t> committed;  // committed txn ids, ascending
   // Highest transaction id seen anywhere in the log (0 on a fresh log).
@@ -45,17 +62,33 @@ struct RecoveryResult {
   uint64_t max_txn_id = 0;
 };
 
-/// Restart recovery: scan the log, redo the physical records of committed
-/// transactions (txn 0 records — auto-commit and structural — are always
-/// redone) wherever the record's LSN exceeds the on-disk page LSN, then
-/// truncate the log tail at the first torn or CRC-failing record and
-/// flush everything. Redo-wins: losers are simply not redone; the commit
-/// record is the cutoff. Idempotent — running it twice on the same image
-/// leaves every page byte-identical.
+/// Restart recovery, ARIES-style over physical slot records:
+///
+///  1. Scan from the anchor's start point and locate the newest intact
+///     kCheckpoint record; its redo LSN replaces log genesis.
+///  2. Repeat history: redo EVERY intact physical record — winners,
+///     losers and prior-recovery CLRs alike — wherever the record's LSN
+///     exceeds the on-disk page LSN. This reconstructs the exact
+///     crash-moment state, including stolen loser pages.
+///  3. Truncate the torn tail, then undo losers (transactions without a
+///     commit record) in reverse LSN order using each record's inline
+///     before-image, appending a kClr per undone record. Records already
+///     compensated by a CLR from an interrupted earlier recovery are
+///     skipped — that is what makes a crash *during* recovery converge:
+///     the third restart redoes the surviving CLRs and only undoes what
+///     is still uncompensated.
+///  4. Flush everything and re-seed the disk free list from the anchor
+///     (minus any page the surviving log still references).
+///
+/// A transaction's commit record is still the only thing that makes it a
+/// winner; undo is what lets its uncommitted effects reach disk early
+/// (steal) without corrupting the store. Running recovery on an
+/// already-recovered image redoes and undoes nothing and leaves every
+/// page byte-identical.
 ///
 /// `pool` must be a fresh pool over the crash image with no WAL attached
-/// yet (recovery's own page writes need no WAL rule: the entire valid log
-/// is already on disk by definition).
+/// yet (recovery's own page writes need no WAL rule: CLRs are forced
+/// before undo touches any page).
 Status RecoverLog(BufferPool* pool, RecoveryResult* out);
 
 }  // namespace prodb

@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "storage/page_layout.h"
@@ -23,6 +24,39 @@ struct Crc32Table {
 
 thread_local uint64_t g_wal_txn = 0;
 
+void AppendU32(std::string* out, uint32_t v) {
+  char scratch[4];
+  std::memcpy(scratch, &v, 4);
+  out->append(scratch, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char scratch[8];
+  std::memcpy(scratch, &v, 8);
+  out->append(scratch, 8);
+}
+
+// Whether a record registers its transaction in the active-transaction
+// table. Commit/abort settle the transaction, checkpoints are not txn
+// work, and CLRs belong to recovery — a loser must not re-enter the
+// table just because restart undo wrote compensation on its behalf.
+bool IsTxnDataRecord(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kSlotPut:
+    case LogRecordType::kSlotDelete:
+    case LogRecordType::kPageFormat:
+    case LogRecordType::kPageLink:
+    case LogRecordType::kPageImage:
+      return true;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kCheckpoint:
+    case LogRecordType::kClr:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n) {
@@ -37,19 +71,16 @@ uint32_t Crc32(const void* data, size_t n) {
 
 void EncodeLogRecord(const LogRecord& rec, std::string* out) {
   std::string body;
-  body.reserve(kLogRecordBodyFixed + rec.data.size());
+  body.reserve(kLogRecordBodyFixed + rec.data.size() + rec.undo.size());
   body.push_back(static_cast<char>(rec.type));
-  char scratch[8];
-  std::memcpy(scratch, &rec.txn_id, 8);
-  body.append(scratch, 8);
-  std::memcpy(scratch, &rec.page_id, 4);
-  body.append(scratch, 4);
-  std::memcpy(scratch, &rec.slot, 4);
-  body.append(scratch, 4);
-  uint32_t dlen = static_cast<uint32_t>(rec.data.size());
-  std::memcpy(scratch, &dlen, 4);
-  body.append(scratch, 4);
+  AppendU64(&body, rec.txn_id);
+  AppendU32(&body, rec.page_id);
+  AppendU32(&body, rec.slot);
+  AppendU32(&body, static_cast<uint32_t>(rec.data.size()));
+  body.push_back(static_cast<char>(rec.undo_kind));
+  AppendU32(&body, static_cast<uint32_t>(rec.undo.size()));
   body.append(rec.data);
+  body.append(rec.undo);
 
   uint32_t len = static_cast<uint32_t>(body.size());
   uint32_t crc = Crc32(body.data(), body.size());
@@ -58,6 +89,11 @@ void EncodeLogRecord(const LogRecord& rec, std::string* out) {
   std::memcpy(hdr + 4, &crc, 4);
   out->append(hdr, kLogRecordHeader);
   out->append(body);
+}
+
+size_t EncodedLogRecordSize(const LogRecord& rec) {
+  return kLogRecordHeader + kLogRecordBodyFixed + rec.data.size() +
+         rec.undo.size();
 }
 
 bool DecodeLogRecord(const char* buf, size_t len, size_t* pos,
@@ -72,7 +108,7 @@ bool DecodeLogRecord(const char* buf, size_t len, size_t* pos,
   if (Crc32(body, blen) != crc) return false;
   uint8_t type = static_cast<uint8_t>(body[0]);
   if (type < static_cast<uint8_t>(LogRecordType::kSlotPut) ||
-      type > static_cast<uint8_t>(LogRecordType::kAbort)) {
+      type > static_cast<uint8_t>(LogRecordType::kClr)) {
     return false;
   }
   out->type = static_cast<LogRecordType>(type);
@@ -81,50 +117,112 @@ bool DecodeLogRecord(const char* buf, size_t len, size_t* pos,
   std::memcpy(&out->slot, body + 13, 4);
   uint32_t dlen;
   std::memcpy(&dlen, body + 17, 4);
-  if (dlen != blen - kLogRecordBodyFixed) return false;
+  uint8_t undo_kind = static_cast<uint8_t>(body[21]);
+  if (undo_kind > static_cast<uint8_t>(UndoKind::kRestore)) return false;
+  out->undo_kind = static_cast<UndoKind>(undo_kind);
+  uint32_t ulen;
+  std::memcpy(&ulen, body + 22, 4);
+  if (static_cast<uint64_t>(dlen) + ulen != blen - kLogRecordBodyFixed) {
+    return false;
+  }
   out->data.assign(body + kLogRecordBodyFixed, dlen);
+  out->undo.assign(body + kLogRecordBodyFixed + dlen, ulen);
   *pos += kLogRecordHeader + blen;
+  return true;
+}
+
+void EncodeCheckpointData(const CheckpointData& ckpt, std::string* out) {
+  out->clear();
+  AppendU64(out, ckpt.redo_lsn);
+  AppendU32(out, static_cast<uint32_t>(ckpt.active_txns.size()));
+  for (const auto& [txn, first_lsn] : ckpt.active_txns) {
+    AppendU64(out, txn);
+    AppendU64(out, first_lsn);
+  }
+}
+
+bool DecodeCheckpointData(const std::string& buf, CheckpointData* out) {
+  *out = CheckpointData{};
+  if (buf.size() < 12) return false;
+  std::memcpy(&out->redo_lsn, buf.data(), 8);
+  uint32_t n;
+  std::memcpy(&n, buf.data() + 8, 4);
+  if (buf.size() != 12 + static_cast<size_t>(n) * 16) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t txn, first;
+    std::memcpy(&txn, buf.data() + 12 + i * 16, 8);
+    std::memcpy(&first, buf.data() + 12 + i * 16 + 8, 8);
+    out->active_txns[txn] = first;
+  }
+  return true;
+}
+
+void EncodeClrData(const ClrData& clr, std::string* out) {
+  out->clear();
+  AppendU64(out, clr.compensated_lsn);
+  out->push_back(static_cast<char>(clr.op));
+  out->append(clr.bytes);
+}
+
+bool DecodeClrData(const std::string& buf, ClrData* out) {
+  *out = ClrData{};
+  if (buf.size() < 9) return false;
+  std::memcpy(&out->compensated_lsn, buf.data(), 8);
+  uint8_t op = static_cast<uint8_t>(buf[8]);
+  if (op > static_cast<uint8_t>(UndoKind::kRestore)) return false;
+  out->op = static_cast<UndoKind>(op);
+  out->bytes.assign(buf, 9, buf.size() - 9);
   return true;
 }
 
 Status LogManager::Create(DiskManager* disk, LogManagerOptions options,
                           std::unique_ptr<LogManager>* out) {
   auto log = std::unique_ptr<LogManager>(new LogManager(disk, options));
-  uint32_t head;
-  PRODB_RETURN_IF_ERROR(disk->AllocatePage(&head));
-  if (head != kWalHeadPageId) {
+  uint32_t anchor, head;
+  PRODB_RETURN_IF_ERROR(disk->AllocatePage(&anchor));
+  if (anchor != kWalAnchorPageId) {
     return Status::Internal(
-        "WAL head landed on page " + std::to_string(head) +
+        "WAL anchor landed on page " + std::to_string(anchor) +
         "; the log must be created before any other allocation");
   }
-  // Write the empty head (used = 0, no next) so a crash image taken
-  // before the first flush still scans as a valid empty log.
+  PRODB_RETURN_IF_ERROR(disk->AllocatePage(&head));
+  // Write the empty head first, then the anchor that points at it: the
+  // anchor must never reference a page whose log-page header write could
+  // still be pending. A crash anywhere in here leaves either no valid
+  // anchor (recovery re-creates the empty log) or a valid anchor over a
+  // valid empty head.
   char page[kPageSize] = {};
   SetPageNext(page, kNoPage);
   PutU16(page, kLogPageUsedOff, 0);
   PRODB_RETURN_IF_ERROR(disk->WritePage(head, page));
   log->pages_.push_back(head);
+  PRODB_RETURN_IF_ERROR(log->WriteAnchorLocked(head, 0, 0, {}));
   *out = std::move(log);
   return Status::OK();
 }
 
 Status LogManager::Resume(DiskManager* disk, LogManagerOptions options,
-                          std::vector<uint32_t> pages, Lsn end,
+                          std::vector<uint32_t> pages, Lsn base, Lsn end,
                           std::unique_ptr<LogManager>* out) {
   if (pages.empty()) {
     return Status::InvalidArgument("WAL resume needs at least the head page");
   }
+  if (end < base || base % kLogPagePayload != 0) {
+    return Status::InvalidArgument("WAL resume: end/base mismatch");
+  }
   auto log = std::unique_ptr<LogManager>(new LogManager(disk, options));
   log->pages_ = std::move(pages);
+  log->base_ = base;
   log->end_ = end;
   log->flushed_ = end;
   // pending_ must hold the whole incomplete tail page (its durable bytes
   // are rewritten alongside new ones on every tail-growth flush).
-  size_t tail_start = static_cast<size_t>(end / kLogPagePayload) *
-                      kLogPagePayload;
+  Lsn tail_start =
+      base + ((end - base) / kLogPagePayload) * kLogPagePayload;
   log->buf_start_ = tail_start;
   if (end > tail_start) {
-    size_t tail_index = tail_start / kLogPagePayload;
+    size_t tail_index =
+        static_cast<size_t>((tail_start - base) / kLogPagePayload);
     if (tail_index >= log->pages_.size()) {
       return Status::InvalidArgument("WAL resume: end past the page chain");
     }
@@ -137,15 +235,24 @@ Status LogManager::Resume(DiskManager* disk, LogManagerOptions options,
   return Status::OK();
 }
 
-Lsn LogManager::Append(const LogRecord& rec) {
+Lsn LogManager::Append(const LogRecord& rec, Lsn* start) {
   Lsn lsn;
   bool flush;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Lsn rec_start = end_;
     EncodeLogRecord(rec, &pending_);
     end_ = buf_start_ + pending_.size();
     lsn = end_;
+    if (start != nullptr) *start = rec_start;
     ++stats_.records_appended;
+    stats_.bytes_appended += lsn - rec_start;
+    if (rec.txn_id != 0 && IsTxnDataRecord(rec.type)) {
+      active_txns_.emplace(rec.txn_id, rec_start);  // keep first start LSN
+    } else if (rec.type == LogRecordType::kCommit ||
+               rec.type == LogRecordType::kAbort) {
+      active_txns_.erase(rec.txn_id);
+    }
     flush = options_.auto_flush;
   }
   if (flush) {
@@ -171,10 +278,12 @@ Status LogManager::FlushLocked(Lsn lsn) {
   // page is rewritten (atomically, in the fault model) every time it
   // grows; its bytes leave pending_ only once the page fills and can
   // never change again. A crash between two rewrites leaves the older
-  // version — a clean record-boundary prefix.
+  // version — a clean record-boundary prefix. All chain math is relative
+  // to base_: truncation recycles head pages without renumbering LSNs.
   while (flushed_ < lsn) {
-    size_t page_index = static_cast<size_t>(flushed_ / kLogPagePayload);
-    size_t page_start = page_index * kLogPagePayload;
+    size_t page_index =
+        static_cast<size_t>((flushed_ - base_) / kLogPagePayload);
+    Lsn page_start = base_ + page_index * kLogPagePayload;
     size_t in_page = static_cast<size_t>(flushed_ - page_start);
     while (page_index >= pages_.size()) {
       uint32_t pid;
@@ -211,6 +320,96 @@ Status LogManager::FlushLocked(Lsn lsn) {
   return Status::OK();
 }
 
+Status LogManager::Checkpoint(Lsn dirty_low_water) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Redo point: every page effect below it is already on disk in the
+  // heap. UINT64_MAX from the caller means "no dirty logged page" —
+  // redo can start at the current end. Appends racing in after the
+  // caller sampled its pool are fine either way: their effects carry
+  // LSNs above both candidates (the checkpoint is fuzzy, not a barrier).
+  Lsn redo = std::min(dirty_low_water, end_);
+
+  CheckpointData ckpt;
+  ckpt.redo_lsn = redo;
+  ckpt.active_txns = active_txns_;
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  EncodeCheckpointData(ckpt, &rec.data);
+  Lsn rec_start = end_;
+  EncodeLogRecord(rec, &pending_);
+  end_ = buf_start_ + pending_.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += end_ - rec_start;
+  // The checkpoint only exists once it is durable; recovery finds the
+  // newest intact one by scanning, so a crash mid-flush simply falls
+  // back to the previous checkpoint (or log genesis).
+  PRODB_RETURN_IF_ERROR(FlushLocked(end_));
+  checkpoint_lsn_ = end_;
+  ++stats_.checkpoints_taken;
+
+  // Truncation floor: recovery redoes from `redo` and must also be able
+  // to undo any still-active transaction from its first record.
+  Lsn keep = redo;
+  for (const auto& [txn, first_lsn] : ckpt.active_txns) {
+    keep = std::min(keep, first_lsn);
+  }
+
+  // Chain pages wholly below the floor are dead. The tail page is never
+  // freed (the chain must stay non-empty), and `keep <= flushed_` here,
+  // so a freed page can never hold unflushed bytes.
+  size_t n_free = 0;
+  while (n_free + 1 < pages_.size() &&
+         base_ + (n_free + 1) * kLogPagePayload <= keep) {
+    ++n_free;
+  }
+  std::vector<uint32_t> freed(pages_.begin(), pages_.begin() + n_free);
+  // Rewrite the anchor before releasing any page: once a freed page can
+  // be re-allocated (and overwritten), no crash image may exist in which
+  // the anchor still routes the scan through it. If the anchor write
+  // fails, the chain is simply not advanced — nothing was freed.
+  PRODB_RETURN_IF_ERROR(WriteAnchorLocked(
+      pages_[n_free], base_ + n_free * kLogPagePayload, keep, freed));
+  pages_.erase(pages_.begin(), pages_.begin() + n_free);
+  base_ += n_free * kLogPagePayload;
+  for (uint32_t pid : freed) {
+    disk_->FreePage(pid);
+  }
+  stats_.pages_recycled += n_free;
+  return Status::OK();
+}
+
+Status LogManager::WriteAnchorLocked(uint32_t first_page, Lsn base,
+                                     Lsn scan_start,
+                                     const std::vector<uint32_t>& extra_free) {
+  std::vector<uint32_t> free_pages = disk_->FreePages();
+  free_pages.insert(free_pages.end(), extra_free.begin(), extra_free.end());
+  return WriteWalAnchor(disk_, first_page, base, scan_start, checkpoint_lsn_,
+                        free_pages);
+}
+
+Status WriteWalAnchor(DiskManager* disk, uint32_t first_page, Lsn base,
+                      Lsn scan_start, Lsn checkpoint_lsn,
+                      const std::vector<uint32_t>& free_pages) {
+  char page[kPageSize] = {};
+  PutU32(page, kAnchorMagicOff, kWalAnchorMagic);
+  PutU32(page, kAnchorFirstPageOff, first_page);
+  PutU64(page, kAnchorBaseOff, base);
+  PutU64(page, kAnchorScanStartOff, scan_start);
+  PutU64(page, kAnchorCheckpointOff, checkpoint_lsn);
+  size_t n = free_pages.size();
+  if (n > kAnchorMaxFreePages) {
+    // Overflowing entries stay reusable this run but leak at the next
+    // restart (recovery only re-seeds what the anchor names). Harmless:
+    // ~1000 free pages queued is already a pathological backlog.
+    n = kAnchorMaxFreePages;
+  }
+  PutU32(page, kAnchorFreeCountOff, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    PutU32(page, kAnchorFreeListOff + i * 4, free_pages[i]);
+  }
+  return disk->WritePage(kWalAnchorPageId, page);
+}
+
 Lsn LogManager::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return end_;
@@ -219,6 +418,31 @@ Lsn LogManager::next_lsn() const {
 Lsn LogManager::flushed_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return flushed_;
+}
+
+Lsn LogManager::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_;
+}
+
+Lsn LogManager::checkpoint_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_lsn_;
+}
+
+size_t LogManager::live_log_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+std::vector<uint32_t> LogManager::PageChain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_;
+}
+
+std::map<uint64_t, Lsn> LogManager::ActiveTxns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_txns_;
 }
 
 uint64_t CurrentWalTxn() { return g_wal_txn; }

@@ -73,9 +73,14 @@ std::multiset<std::string> ModelTuples(
 // three tuples and sometimes deleting/updating earlier committed ones;
 // every fourth transaction aborts instead of committing. The shadow
 // model applies each transaction's changes() only at its commit, so
-// snapshots[] is exactly what a redo-committed-only restart must
-// reproduce. Any injected I/O failure ends the script (the "crash").
-void RunScript(Catalog* catalog, LockManager* locks, ScriptResult* out) {
+// snapshots[] is exactly what a restart must reproduce. With
+// `checkpoints` the script also takes two fuzzy checkpoints mid-stream,
+// putting every checkpoint write — the kCheckpoint record's flush and
+// the anchor rewrite — into the injectable I/O trace, and recycling log
+// pages into the allocator under the sweep. Any injected I/O failure
+// ends the script (the "crash").
+void RunScript(Catalog* catalog, LockManager* locks, ScriptResult* out,
+               bool checkpoints = false) {
   out->snapshots.push_back({});
   auto note = [&](const Status& st) {
     if (out->first_error.ok() && !st.ok()) out->first_error = st;
@@ -138,6 +143,9 @@ void RunScript(Catalog* catalog, LockManager* locks, ScriptResult* out) {
     }
     out->commit_ids.push_back(txn->id());
     out->snapshots.push_back(ModelTuples(model));
+    if (checkpoints && (t == 5 || t == 9)) {
+      if (!note(catalog->Checkpoint())) return;
+    }
   }
 }
 
@@ -165,33 +173,50 @@ std::unique_ptr<MemoryDiskManager> CrashImage(
   return img;
 }
 
-// Recovers `img` and checks it against the script's shadow model:
-// committed ids are a prefix of the commit sequence and the relation's
-// contents equal the snapshot at that prefix. Then recovers a second
-// time and demands byte-identical pages.
+// Recovers `img` and checks it against the script's shadow model.
+// Checkpoint truncation may have recycled log pages holding early commit
+// records, so the recovered commit list is a contiguous *window* of the
+// script's commit sequence ending at the durable prefix k; the
+// relation's contents must equal the snapshot at k. Then recovers a
+// second time and demands byte-identical pages.
 void VerifyCrashImage(MemoryDiskManager* img, const ScriptResult& script) {
   Catalog rcat(WalCatalogOptions(img, /*auto_flush=*/false));
   RecoveryResult rr;
-  ASSERT_TRUE(rcat.Recover(&rr).ok());
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
 
+  // Locate the recovered window inside the script's commit sequence.
   // Commit records are strictly ordered in the log and the log is
-  // truncated at a record boundary, so the recovered commit set must be
-  // a prefix of the script's commit sequence.
-  size_t k = rr.committed.size();
-  ASSERT_LE(k, script.commit_ids.size());
-  for (size_t i = 0; i < k; ++i) {
-    EXPECT_EQ(rr.committed[i], script.commit_ids[i]);
+  // truncated (front and back) at record boundaries, so the window must
+  // be contiguous; its end is the durable prefix length k.
+  size_t k = 0;
+  bool k_known = false;
+  if (!rr.committed.empty()) {
+    size_t j = 0;
+    while (j < script.commit_ids.size() &&
+           script.commit_ids[j] != rr.committed[0]) {
+      ++j;
+    }
+    ASSERT_LT(j, script.commit_ids.size())
+        << "recovered a commit id the script never committed";
+    ASSERT_LE(j + rr.committed.size(), script.commit_ids.size());
+    for (size_t i = 0; i < rr.committed.size(); ++i) {
+      EXPECT_EQ(rr.committed[i], script.commit_ids[j + i]);
+    }
+    k = j + rr.committed.size();
+    k_known = true;
   }
 
   // Relation contents must match the shadow model at commit k. If the
-  // head page never became durable the prefix must be empty.
+  // head page never became durable, nothing can have committed (the
+  // head's format record precedes every commit in the log).
   char head[kPageSize];
   bool head_ok = script.head_page != UINT32_MAX &&
                  script.head_page < img->PageCount() &&
                  img->ReadPage(script.head_page, head).ok() &&
                  HeapPageLooksFormatted(head);
   if (!head_ok) {
-    EXPECT_EQ(k, 0u) << "commits recovered but the relation head is gone";
+    EXPECT_TRUE(rr.committed.empty())
+        << "commits recovered but the relation head is gone";
     return;
   }
   std::unique_ptr<Relation> rel;
@@ -206,16 +231,32 @@ void VerifyCrashImage(MemoryDiskManager* img, const ScriptResult& script) {
                     return Status::OK();
                   })
                   .ok());
-  EXPECT_EQ(got, script.snapshots[k])
-      << "recovered state diverges from the committed prefix (k=" << k
-      << ")";
+  if (k_known) {
+    EXPECT_EQ(got, script.snapshots[k])
+        << "recovered state diverges from the committed prefix (k=" << k
+        << ")";
+  } else {
+    // No commit record survived truncation (crash right after a
+    // checkpoint recycled them all). The heap must still equal one of
+    // the script's committed snapshots — checkpointing never publishes
+    // a state the commit sequence didn't pass through.
+    bool matches_some = false;
+    for (const auto& snap : script.snapshots) {
+      if (got == snap) {
+        matches_some = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matches_some)
+        << "recovered state matches no committed snapshot";
+  }
 
   // Idempotence: recovering the already-recovered image changes nothing.
   std::vector<std::string> before = DumpPages(img);
   Catalog rcat2(WalCatalogOptions(img, /*auto_flush=*/false));
   RecoveryResult rr2;
   ASSERT_TRUE(rcat2.Recover(&rr2).ok());
-  EXPECT_EQ(rr2.committed.size(), k);
+  EXPECT_EQ(rr2.committed.size(), rr.committed.size());
   EXPECT_EQ(rr2.records_redone, 0u)
       << "second recovery re-applied records the first already flushed";
   EXPECT_FALSE(rr2.torn_tail);
@@ -233,7 +274,7 @@ uint64_t CountScriptOps(bool auto_flush) {
   Catalog catalog(WalCatalogOptions(&fault, auto_flush));
   LockManager locks;
   ScriptResult script;
-  RunScript(&catalog, &locks, &script);
+  RunScript(&catalog, &locks, &script, /*checkpoints=*/true);
   EXPECT_TRUE(script.first_error.ok()) << script.first_error.ToString();
   EXPECT_EQ(script.commit_ids.size(), 11u);  // 14 txns, 3 abort
   return fault.total_ops();
@@ -247,7 +288,7 @@ void RunCrashCase(uint64_t index, bool auto_flush) {
   Catalog catalog(WalCatalogOptions(&fault, auto_flush));
   LockManager locks;
   ScriptResult script;
-  RunScript(&catalog, &locks, &script);
+  RunScript(&catalog, &locks, &script, /*checkpoints=*/true);
   ASSERT_TRUE(fault.has_snapshot()) << "fault index never reached";
   // Locks may still be held here — they are in-memory state that dies
   // with the crashed process, so recovery owes them nothing.
@@ -264,7 +305,7 @@ TEST(CrashRecoveryTest, CleanImageRecoversToFullState) {
   {
     Catalog catalog(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
     LockManager locks;
-    RunScript(&catalog, &locks, &script);
+    RunScript(&catalog, &locks, &script, /*checkpoints=*/true);
     ASSERT_TRUE(script.first_error.ok()) << script.first_error.ToString();
   }
   VerifyCrashImage(mem.get(), script);
@@ -323,8 +364,9 @@ TEST(CrashRecoveryTest, CorruptedTailRecordRollsBackToLastIntactCommit) {
   ASSERT_EQ(last.rec.type, LogRecordType::kCommit);
 
   // Flip the last body byte of the final (commit) record on disk: its CRC
-  // fails, the commit is lost, and its transaction becomes a loser.
-  Lsn off = last.lsn - 1;
+  // fails, the commit is lost, and its transaction becomes a loser. LSNs
+  // are stream offsets; truncation makes the chain start at scan.base.
+  Lsn off = last.lsn - 1 - scan.base;
   size_t page_index = static_cast<size_t>(off / kLogPagePayload);
   ASSERT_LT(page_index, scan.pages.size());
   char page[kPageSize];
@@ -334,7 +376,7 @@ TEST(CrashRecoveryTest, CorruptedTailRecordRollsBackToLastIntactCommit) {
 
   Catalog rcat(WalCatalogOptions(run.disk.get(), /*auto_flush=*/false));
   RecoveryResult rr;
-  ASSERT_TRUE(rcat.Recover(&rr).ok());
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
   EXPECT_TRUE(rr.torn_tail);
   EXPECT_GT(rr.truncated_bytes, 0u);
   ASSERT_EQ(rr.committed.size(), run.script.commit_ids.size() - 1);
@@ -360,14 +402,14 @@ TEST(CrashRecoveryTest, RecordTruncatedMidWriteIsDiscarded) {
   ASSERT_TRUE(ScanLog(run.disk.get(), &scan).ok());
   ASSERT_FALSE(scan.records.empty());
   const ScannedRecord& last = scan.records.back();
-  size_t rec_len = kLogRecordHeader + kLogRecordBodyFixed +
-                   last.rec.data.size();
+  size_t rec_len = EncodedLogRecordSize(last.rec);
   Lsn rec_start = last.lsn - rec_len;
 
   // Shorten the tail page's used count so the stream ends mid-record —
   // the torn-write shape a crash during the final page write leaves.
   size_t tail_index = scan.pages.size() - 1;
-  Lsn tail_start = static_cast<Lsn>(tail_index) * kLogPagePayload;
+  Lsn tail_start =
+      scan.base + static_cast<Lsn>(tail_index) * kLogPagePayload;
   ASSERT_GE(last.lsn - 2, tail_start) << "final record not in tail page";
   Lsn cut = last.lsn - 2;
   if (cut < rec_start + kLogRecordHeader) cut = rec_start + 1;
@@ -378,9 +420,12 @@ TEST(CrashRecoveryTest, RecordTruncatedMidWriteIsDiscarded) {
 
   Catalog rcat(WalCatalogOptions(run.disk.get(), /*auto_flush=*/false));
   RecoveryResult rr;
-  ASSERT_TRUE(rcat.Recover(&rr).ok());
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
   EXPECT_TRUE(rr.torn_tail);
-  EXPECT_EQ(rr.log_end, rec_start);
+  EXPECT_GT(rr.truncated_bytes, 0u);
+  // The torn record is gone, but recovery appends CLRs for the commit
+  // that fell with it, so the log ends at or past the truncation point.
+  EXPECT_GE(rr.log_end, rec_start);
   ASSERT_EQ(rr.committed.size(), run.script.commit_ids.size() - 1);
 }
 
@@ -392,7 +437,7 @@ TEST(CrashRecoveryTest, ResumedLogAcceptsNewCommitsAfterRestart) {
   {
     Catalog rcat(WalCatalogOptions(run.disk.get(), /*auto_flush=*/false));
     RecoveryResult rr;
-    ASSERT_TRUE(rcat.Recover(&rr).ok());
+    { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
     ASSERT_EQ(rr.committed.size(), run.script.commit_ids.size());
     Relation* rel = nullptr;
     ASSERT_TRUE(
@@ -419,6 +464,219 @@ TEST(CrashRecoveryTest, ResumedLogAcceptsNewCommitsAfterRestart) {
                                   run.script.head_page, &rel)
                   .ok());
   EXPECT_EQ(rel->Count(), run.script.snapshots.back().size() + 1);
+}
+
+// --- Steal: write sets larger than the buffer pool -----------------------
+
+// One transaction inserts far more pages than the pool holds: eviction
+// must steal its dirty pages (forcing the undo records out first), the
+// commit must succeed, and a crash-restart must reproduce all of it.
+// A second big transaction left in flight at the crash exercises the
+// other half of steal: its stolen pages are on disk and restart undo
+// must roll every one of them back.
+TEST(CrashRecoveryTest, WriteSetBeyondPoolCapacityCommitsAndRecovers) {
+  auto mem = std::make_unique<MemoryDiskManager>();
+  uint32_t head = UINT32_MAX;
+  constexpr int kBig = 200;  // ~150 bytes each: dozens of pages, 4 frames
+  {
+    Catalog catalog(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
+    LockManager locks;
+    Relation* rel = nullptr;
+    ASSERT_TRUE(
+        catalog.CreateRelation(CrashSchema(), StorageKind::kPaged, &rel)
+            .ok());
+    head = rel->head_page_id();
+    TxnManager tm(&catalog, &locks);
+
+    auto txn = tm.Begin();
+    for (int i = 0; i < kBig; ++i) {
+      TupleId id;
+      ASSERT_TRUE(txn->Insert("WM",
+                              Tuple{Value(static_cast<int64_t>(i)),
+                                    Value("big" + std::to_string(i) +
+                                          std::string(120, 'b'))},
+                              &id)
+                      .ok());
+    }
+    ASSERT_TRUE(tm.Commit(txn.get()).ok());
+    EXPECT_GE(catalog.GetDurabilityStats().pages_stolen, 1u)
+        << "a write set this large must have been stolen";
+
+    // Second big transaction: still in flight when the catalog dies.
+    auto loser = tm.Begin();
+    for (int i = 0; i < kBig; ++i) {
+      TupleId id;
+      ASSERT_TRUE(loser->Insert("WM",
+                                Tuple{Value(static_cast<int64_t>(9000 + i)),
+                                      Value("loser" + std::string(120, 'l'))},
+                                &id)
+                      .ok());
+    }
+    // No commit, no abort: the crash. Many of its pages are on disk.
+  }
+
+  Catalog rcat(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
+  RecoveryResult rr;
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
+  ASSERT_EQ(rr.committed.size(), 1u);
+  EXPECT_EQ(rr.loser_txns, 1u);
+  EXPECT_GT(rr.records_undone, 0u)
+      << "the in-flight transaction's stolen pages were never rolled back";
+  std::unique_ptr<Relation> rel;
+  ASSERT_TRUE(
+      Relation::OpenPaged(CrashSchema(), rcat.buffer_pool(), head, &rel)
+          .ok());
+  size_t count = 0;
+  ASSERT_TRUE(rel->Scan([&](TupleId, const Tuple& t) {
+                    ++count;
+                    EXPECT_NE(t.values()[1].as_symbol().substr(0, 5),
+                              "loser");
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, static_cast<size_t>(kBig));
+}
+
+// --- Checkpointing bounds the log ----------------------------------------
+
+// Repeated update churn with periodic checkpoints: the live log footprint
+// and the restart redo work must stay bounded instead of growing with
+// total history, and recycled log pages must be reused by the allocator
+// (the disk stops growing).
+TEST(CrashRecoveryTest, CheckpointsBoundLogAndRestartWork) {
+  auto mem = std::make_unique<MemoryDiskManager>();
+  uint32_t head = UINT32_MAX;
+  uint64_t live_pages_after_round = 0;
+  uint64_t recycled = 0;
+  {
+    Catalog catalog(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
+    LockManager locks;
+    Relation* rel = nullptr;
+    ASSERT_TRUE(
+        catalog.CreateRelation(CrashSchema(), StorageKind::kPaged, &rel)
+            .ok());
+    head = rel->head_page_id();
+    TxnManager tm(&catalog, &locks);
+
+    // Seed a handful of rows, then churn them.
+    std::vector<TupleId> ids;
+    {
+      auto txn = tm.Begin();
+      for (int i = 0; i < 8; ++i) {
+        TupleId id;
+        ASSERT_TRUE(txn->Insert("WM",
+                                Tuple{Value(static_cast<int64_t>(i)),
+                                      Value("seed" + std::string(60, 's'))},
+                                &id)
+                        .ok());
+        ids.push_back(id);
+      }
+      ASSERT_TRUE(tm.Commit(txn.get()).ok());
+    }
+    for (int round = 0; round < 12; ++round) {
+      auto txn = tm.Begin();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        TupleId moved;
+        ASSERT_TRUE(txn->Update("WM", ids[i],
+                                Tuple{Value(static_cast<int64_t>(round)),
+                                      Value("r" + std::to_string(round) +
+                                            std::string(60, 'u'))},
+                                &moved)
+                        .ok());
+        ids[i] = moved;
+      }
+      ASSERT_TRUE(tm.Commit(txn.get()).ok());
+      ASSERT_TRUE(catalog.Checkpoint().ok());
+      DurabilityStats ds = catalog.GetDurabilityStats();
+      live_pages_after_round = ds.wal_live_pages;
+      recycled = ds.log_pages_recycled;
+      // Bounded: the live chain never accumulates the full history (12
+      // rounds of 8 updates would span far more pages than this).
+      EXPECT_LE(live_pages_after_round, 6u)
+          << "round " << round << ": log not truncated";
+    }
+    EXPECT_GT(recycled, 0u);
+    EXPECT_GT(catalog.GetDurabilityStats().disk_pages_reused, 0u)
+        << "recycled log pages never served an allocation";
+  }
+
+  // Restart: redo work is bounded by the checkpoint, not total history.
+  Catalog rcat(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
+  RecoveryResult rr;
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
+  EXPECT_LE(rr.log_pages.size(), 6u);
+  std::unique_ptr<Relation> rel;
+  ASSERT_TRUE(
+      Relation::OpenPaged(CrashSchema(), rcat.buffer_pool(), head, &rel)
+          .ok());
+  EXPECT_EQ(rel->Count(), 8u);
+}
+
+// --- Crash during recovery -----------------------------------------------
+
+std::unique_ptr<MemoryDiskManager> CopyDisk(MemoryDiskManager* src) {
+  auto dst = std::make_unique<MemoryDiskManager>();
+  char buf[kPageSize];
+  for (uint32_t p = 0; p < src->PageCount(); ++p) {
+    uint32_t pid;
+    EXPECT_TRUE(dst->AllocatePage(&pid).ok());
+    EXPECT_TRUE(src->ReadPage(p, buf).ok());
+    EXPECT_TRUE(dst->WritePage(p, buf).ok());
+  }
+  return dst;
+}
+
+// Crash mid-script, then crash again at every I/O index of the restart
+// recovery itself (its redo page writes, tail truncation, CLR appends
+// and undo page writes are all injectable). The third restart over each
+// doubly-crashed image must still satisfy the full contract, including
+// byte-level idempotence — CLRs make re-undo skip what a previous
+// recovery attempt already compensated.
+TEST(CrashRecoveryTest, CrashDuringRecoveryConvergesOnThirdRestart) {
+  uint64_t total = CountScriptOps(/*auto_flush=*/false);
+  ASSERT_GT(total, 0u);
+  // Mid-script: late enough for commits, checkpoints and in-flight work.
+  uint64_t first_idx = (total * 2) / 3;
+  FaultInjectingDiskManager fault(std::make_unique<MemoryDiskManager>());
+  fault.set_freeze_on_fault(true);
+  fault.FailAtOp(first_idx, /*sticky=*/true);
+  Catalog catalog(WalCatalogOptions(&fault, /*auto_flush=*/false));
+  LockManager locks;
+  ScriptResult script;
+  RunScript(&catalog, &locks, &script, /*checkpoints=*/true);
+  ASSERT_TRUE(fault.has_snapshot()) << "fault index never reached";
+  auto img = CrashImage(fault);
+
+  // The recovery of this image defines the second sweep's index space.
+  uint64_t rec_ops = 0;
+  {
+    FaultInjectingDiskManager rfault(CopyDisk(img.get()));
+    Catalog rcat(WalCatalogOptions(&rfault, /*auto_flush=*/false));
+    RecoveryResult rr;
+    { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
+    rec_ops = rfault.total_ops();
+  }
+  ASSERT_GT(rec_ops, 0u);
+  std::cout << "[ sweep    ] " << rec_ops
+            << " injectable crash points inside recovery\n";
+
+  for (uint64_t j = 0; j < rec_ops; ++j) {
+    SCOPED_TRACE("second crash at recovery I/O index " + std::to_string(j));
+    FaultInjectingDiskManager rfault(CopyDisk(img.get()));
+    rfault.set_freeze_on_fault(true);
+    rfault.FailAtOp(j, /*sticky=*/true);
+    {
+      Catalog rcat(WalCatalogOptions(&rfault, /*auto_flush=*/false));
+      RecoveryResult rr;
+      // The disk dies mid-recovery; the error itself is expected.
+      Status st = rcat.Recover(&rr);
+      (void)st;
+    }
+    ASSERT_TRUE(rfault.has_snapshot()) << "recovery never reached op " << j;
+    auto img2 = CrashImage(rfault);
+    VerifyCrashImage(img2.get(), script);
+    if (HasFailure()) return;
+  }
 }
 
 // --- Engine-level smoke test ---------------------------------------------
@@ -487,7 +745,7 @@ TEST(CrashRecoveryTest, EngineWorkloadSurvivesRestartFromLogAlone) {
 
   Catalog rcat(WalCatalogOptions(mem.get(), /*auto_flush=*/false));
   RecoveryResult rr;
-  ASSERT_TRUE(rcat.Recover(&rr).ok());
+  { Status rst = rcat.Recover(&rr); ASSERT_TRUE(rst.ok()) << rst.ToString(); }
   EXPECT_GT(rr.records_scanned, 0u);
   for (size_t c = 0; c < spec.num_classes; ++c) {
     std::vector<Attribute> attrs;

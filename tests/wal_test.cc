@@ -1,7 +1,8 @@
-// Unit tests for the write-ahead log: record encoding, the group-commit
-// buffer, page-spanning streams, resume-after-restart, the buffer pool's
-// WAL rule (log before page) and no-steal rule (in-flight transactions'
-// pages never reach disk), and physical redo onto raw pages.
+// Unit tests for the write-ahead log: record encoding (including inline
+// undo payloads), the group-commit buffer, page-spanning streams,
+// resume-after-restart, the buffer pool's WAL rule (log before page) and
+// steal (in-flight transactions' pages may reach disk once their undo
+// records are durable), and physical redo onto raw pages.
 
 #include <gtest/gtest.h>
 
@@ -45,6 +46,37 @@ TEST(WalRecordTest, EncodeDecodeRoundtrip) {
   EXPECT_EQ(out.page_id, rec.page_id);
   EXPECT_EQ(out.slot, rec.slot);
   EXPECT_EQ(out.data, rec.data);
+  EXPECT_EQ(out.undo_kind, UndoKind::kNone);
+  EXPECT_TRUE(out.undo.empty());
+}
+
+TEST(WalRecordTest, EncodeDecodeCarriesUndoPayload) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSlotPut;
+  rec.txn_id = 11;
+  rec.page_id = 4;
+  rec.slot = 2;
+  rec.data = "after-image";
+  rec.undo_kind = UndoKind::kRestore;
+  rec.undo = "before-image-bytes";
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+  EXPECT_EQ(buf.size(), kLogRecordHeader + kLogRecordBodyFixed +
+                            rec.data.size() + rec.undo.size());
+  EXPECT_EQ(EncodedLogRecordSize(rec), buf.size());
+
+  LogRecord out;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeLogRecord(buf.data(), buf.size(), &pos, &out));
+  EXPECT_EQ(out.undo_kind, UndoKind::kRestore);
+  EXPECT_EQ(out.undo, rec.undo);
+  EXPECT_EQ(out.data, rec.data);
+
+  // A garbage undo-kind byte is rejected by the decoder's validation.
+  std::string bad = buf;
+  bad[kLogRecordHeader + 21] = 0x7F;  // undo_kind byte in the fixed body
+  pos = 0;
+  EXPECT_FALSE(DecodeLogRecord(bad.data(), bad.size(), &pos, &out));
 }
 
 TEST(WalRecordTest, DecodeRejectsCorruptionAndTruncation) {
@@ -174,9 +206,9 @@ TEST(WalLogManagerTest, ResumeContinuesMidPage) {
 
   // Restart: resume at the intact end and keep appending.
   std::unique_ptr<LogManager> resumed;
-  ASSERT_TRUE(
-      LogManager::Resume(&disk, {}, scan.pages, scan.valid_end, &resumed)
-          .ok());
+  ASSERT_TRUE(LogManager::Resume(&disk, {}, scan.pages, scan.base,
+                                 scan.valid_end, &resumed)
+                  .ok());
   EXPECT_EQ(resumed->next_lsn(), scan.valid_end);
   rec.data = "after-restart";
   Lsn l2 = resumed->Append(rec);
@@ -217,42 +249,53 @@ TEST(WalBufferPoolTest, WalRuleForcesLogBeforeWriteback) {
   ASSERT_TRUE(pool.UnpinPage(p2, /*dirty=*/false).ok());
 }
 
-TEST(WalBufferPoolTest, NoStealKeepsTxnPagesOffDisk) {
-  BufferPool pool(2, std::make_unique<MemoryDiskManager>());
+TEST(WalBufferPoolTest, StealWritesTxnDirtyPagesAfterLogForce) {
+  auto owned = std::make_unique<MemoryDiskManager>();
+  MemoryDiskManager* disk = owned.get();
+  std::unique_ptr<LogManager> wal;
+  ASSERT_TRUE(LogManager::Create(disk, {}, &wal).ok());
+  BufferPool pool(1, std::move(owned));
+  pool.SetWal(wal.get());
+
+  // An in-flight transaction dirties a page; its undo information rides
+  // inline in the same logged record.
   uint32_t pa;
   Frame* f;
   ASSERT_TRUE(pool.NewPage(&pa, &f).ok());
+  InitHeapPage(f->data);
   f->data[100] = 't';
+  LogRecord rec;
+  rec.type = LogRecordType::kPageFormat;
+  rec.txn_id = 7;
+  rec.page_id = pa;
+  Lsn start = 0;
+  Lsn lsn = wal->Append(rec, &start);
+  SetPageLsn(f->data, lsn);
+  pool.NoteLoggedUpdate(f, start);
   ASSERT_TRUE(pool.UnpinPage(pa, /*dirty=*/true).ok());
   pool.MarkTxnPage(7, pa);
   pool.MarkTxnPage(7, pa);  // idempotent per transaction
-  EXPECT_EQ(pool.UnstealablePageCount(), 1u);
+  EXPECT_EQ(pool.TxnDirtyPageCount(), 1u);
+  // The first append of a fresh log starts at LSN 0 and must still count
+  // as a redo constraint (not read as "clean").
+  EXPECT_EQ(pool.MinDirtyRecLsn(), start);
 
-  // Explicit flushes skip the held page...
-  ASSERT_TRUE(pool.FlushAll().ok());
+  // Eviction pressure steals the page: with one frame and the log not
+  // yet flushed, NewPage must force the log and write the held page.
+  EXPECT_EQ(wal->flushed_lsn(), 0u);
+  uint32_t pb;
+  ASSERT_TRUE(pool.NewPage(&pb, &f).ok());
+  EXPECT_GE(wal->flushed_lsn(), lsn);
+  EXPECT_GE(pool.stats().pages_stolen, 1u);
+  EXPECT_EQ(pool.MinDirtyRecLsn(), UINT64_MAX);  // stolen page is clean now
   char buf[kPageSize];
   ASSERT_TRUE(pool.disk()->ReadPage(pa, buf).ok());
-  EXPECT_NE(buf[100], 't');
+  EXPECT_EQ(buf[100], 't');  // the uncommitted bytes reached disk
+  ASSERT_TRUE(pool.UnpinPage(pb, /*dirty=*/false).ok());
 
-  // ...and eviction steps past it: with both frames full, the victim is
-  // the *other* unpinned page even though the held one is older.
-  uint32_t pb, pc;
-  ASSERT_TRUE(pool.NewPage(&pb, &f).ok());
-  ASSERT_TRUE(pool.UnpinPage(pb, /*dirty=*/true).ok());
-  ASSERT_TRUE(pool.NewPage(&pc, &f).ok());
-  ASSERT_TRUE(pool.UnpinPage(pc, /*dirty=*/false).ok());
-  EXPECT_GE(pool.stats().unstealable_skips, 1u);
-  Frame* fa;
-  ASSERT_TRUE(pool.FetchPage(pa, &fa).ok());
-  EXPECT_EQ(fa->data[100], 't');  // survived resident, never written
-  ASSERT_TRUE(pool.UnpinPage(pa, /*dirty=*/false).ok());
-
-  // Commit: the hold drops and the page flushes normally.
+  // Commit releases the steal-accounting hold.
   pool.ReleaseTxnPages(7);
-  EXPECT_EQ(pool.UnstealablePageCount(), 0u);
-  ASSERT_TRUE(pool.FlushAll().ok());
-  ASSERT_TRUE(pool.disk()->ReadPage(pa, buf).ok());
-  EXPECT_EQ(buf[100], 't');
+  EXPECT_EQ(pool.TxnDirtyPageCount(), 0u);
 }
 
 TEST(WalRedoTest, PlaceRecordAtSlotGrowsDirectoryWithDeadSlots) {

@@ -13,7 +13,12 @@ the default threshold (+25%) is deliberately loose — this gate exists
 to catch algorithmic regressions, not scheduler jitter.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 1.25]
+                        [--summary-out FILE]
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+
+--summary-out writes the comparison as a GitHub-flavored markdown table;
+CI appends it to $GITHUB_STEP_SUMMARY so the delta is readable from the
+job page without digging through the log.
 """
 
 import argparse
@@ -56,6 +61,11 @@ def main(argv):
         default=1.25,
         help="fail when fresh/baseline real time exceeds this (default 1.25)",
     )
+    ap.add_argument(
+        "--summary-out",
+        metavar="FILE",
+        help="also write the comparison as a markdown table to FILE",
+    )
     args = ap.parse_args(argv)
 
     try:
@@ -67,6 +77,8 @@ def main(argv):
 
     regressions = []
     compared = 0
+    md = ["| benchmark | baseline | fresh | ratio | verdict |",
+          "|---|---:|---:|---:|---|"]
     for suite in sorted(set(base) | set(fresh)):
         b_rows = base.get(suite, {})
         f_rows = fresh.get(suite, {})
@@ -74,19 +86,40 @@ def main(argv):
         only_fresh = sorted(set(f_rows) - set(b_rows))
         for name in only_base:
             print(f"  [gone ] {suite}/{name} (baseline only, not gated)")
+            md.append(f"| {suite}/{name} | {b_rows[name]:.0f}ns | — | — | gone |")
         for name in only_fresh:
             print(f"  [new  ] {suite}/{name} (no baseline, not gated)")
+            md.append(f"| {suite}/{name} | — | {f_rows[name]:.0f}ns | — | new |")
         for name in sorted(set(b_rows) & set(f_rows)):
             b_ns, f_ns = b_rows[name], f_rows[name]
             compared += 1
             ratio = f_ns / b_ns if b_ns > 0 else float("inf")
-            verdict = "SLOWER" if ratio > args.threshold else "ok"
+            # FASTER is informational symmetry with SLOWER: a win beyond
+            # the same margin the gate allows for losses.
+            if ratio > args.threshold:
+                verdict = "SLOWER"
+            elif ratio < 1.0 / args.threshold:
+                verdict = "FASTER"
+            else:
+                verdict = "ok"
             print(
                 f"  [{verdict:>6}] {suite}/{name}: "
                 f"{b_ns:.0f}ns -> {f_ns:.0f}ns ({ratio:.2f}x baseline)"
             )
+            md.append(
+                f"| {suite}/{name} | {b_ns:.0f}ns | {f_ns:.0f}ns "
+                f"| {ratio:.2f}x | {verdict} |"
+            )
             if ratio > args.threshold:
                 regressions.append((suite, name, ratio))
+
+    if args.summary_out:
+        try:
+            with open(args.summary_out, "w") as f:
+                f.write("\n".join(md) + "\n")
+        except OSError as e:
+            print(f"bench_compare: {e}", file=sys.stderr)
+            return 2
 
     print(f"bench_compare: {compared} shared benchmarks compared")
     if regressions:
