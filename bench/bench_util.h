@@ -2,6 +2,7 @@
 #define PRODB_BENCH_BENCH_UTIL_H_
 
 #include <memory>
+#include <thread>
 
 #include "common/rng.h"
 #include "engine/working_memory.h"
@@ -49,12 +50,26 @@ std::unique_ptr<Setup> MakeSetup(WorkloadSpec spec,
   return setup;
 }
 
-/// The four architectures by name, plus two ablation families:
+/// Default sharding configuration for the "-shard" matcher family:
+/// 8 shards, pool sized to the hardware (`threads` overrides when > 0).
+inline ShardingOptions DefaultSharding(size_t threads = 0) {
+  ShardingOptions so;
+  so.num_shards = 8;
+  so.threads = threads != 0 ? threads
+                            : static_cast<size_t>(
+                                  std::thread::hardware_concurrency());
+  if (so.threads == 0) so.threads = so.num_shards;
+  return so;
+}
+
+/// The four architectures by name, plus three ablation families:
 ///  * "-scan": all indexing forced off — join-key token memories,
 ///    auto-declared WM hash indexes, AND constant-test discrimination —
 ///    the full linear-walk baseline for the indexing benchmarks.
 ///  * "-nodisc": only the constant-test discrimination index off (other
 ///    indexing at defaults), isolating the dispatch-tier contribution.
+///  * "-shard": partitioned multi-core match (DefaultSharding), the
+///    parallel OnBatch fan-out at defaults otherwise.
 inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
                                                   Catalog* catalog) {
   if (name == "query") return std::make_unique<QueryMatcher>(catalog);
@@ -111,6 +126,26 @@ inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
     opts.dbms_backed = true;
     opts.discriminate_alpha = false;
     return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "rete-shard") {
+    ReteOptions opts;
+    opts.sharding = DefaultSharding();
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "rete-dbms-shard") {
+    ReteOptions opts;
+    opts.dbms_backed = true;
+    opts.sharding = DefaultSharding();
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "query-shard") {
+    return std::make_unique<QueryMatcher>(catalog, ExecutorOptions{},
+                                          DefaultSharding());
+  }
+  if (name == "pattern-shard") {
+    PatternMatcherOptions po;
+    po.propagation_threads = DefaultSharding().threads;
+    return std::make_unique<PatternMatcher>(catalog, po);
   }
   std::fprintf(stderr, "unknown matcher %s\n", name.c_str());
   std::abort();

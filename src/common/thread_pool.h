@@ -69,6 +69,51 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  /// Runs fn(0), ..., fn(n-1) across the pool and blocks until every call
+  /// has finished — a reusable fork/join barrier, so callers stop hand-
+  /// rolling Submit loops with ad-hoc error plumbing. The barrier is a
+  /// private latch rather than the pool-wide Wait(), so concurrent
+  /// Submit()/ParallelFor() calls from other threads neither extend nor
+  /// truncate this join. Exception semantics match Wait(): the first
+  /// exception any index throws is rethrown here, on the calling thread,
+  /// after all n calls have completed. n <= 1 runs inline.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (n == 1) {
+      fn(0);
+      return;
+    }
+    struct Latch {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t remaining;
+      std::exception_ptr failure;
+    } latch;
+    latch.remaining = n;
+    for (size_t i = 0; i < n; ++i) {
+      Submit([&latch, &fn, i] {
+        std::exception_ptr failure;
+        try {
+          fn(i);
+        } catch (...) {
+          failure = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(latch.mu);
+        if (failure && latch.failure == nullptr) {
+          latch.failure = std::move(failure);
+        }
+        if (--latch.remaining == 0) latch.cv.notify_all();
+      });
+    }
+    std::exception_ptr failure;
+    {
+      std::unique_lock<std::mutex> lock(latch.mu);
+      latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+      failure = std::exchange(latch.failure, nullptr);
+    }
+    if (failure) std::rethrow_exception(failure);
+  }
+
  private:
   void Run() {
     for (;;) {

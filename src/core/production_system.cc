@@ -15,22 +15,35 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
   catalog_ = std::make_unique<Catalog>(copts);
 
   switch (options_.matcher) {
-    case MatcherKind::kRete:
-      matcher_ = std::make_unique<ReteNetwork>(catalog_.get());
+    case MatcherKind::kRete: {
+      ReteOptions ropts;
+      ropts.sharding = options_.sharding;
+      matcher_ = std::make_unique<ReteNetwork>(catalog_.get(), ropts);
       break;
+    }
     case MatcherKind::kReteDbms: {
       ReteOptions ropts;
       ropts.dbms_backed = true;
       ropts.memory_storage = options_.wm_storage;
+      ropts.sharding = options_.sharding;
       matcher_ = std::make_unique<ReteNetwork>(catalog_.get(), ropts);
       break;
     }
     case MatcherKind::kQuery:
-      matcher_ = std::make_unique<QueryMatcher>(catalog_.get());
+      matcher_ = std::make_unique<QueryMatcher>(catalog_.get(),
+                                                ExecutorOptions{},
+                                                options_.sharding);
       break;
     case MatcherKind::kPattern: {
       PatternMatcherOptions popts;
       popts.propagation_threads = options_.propagation_threads;
+      // The pattern matcher's per-class COND propagation is already the
+      // sharded fan-out (§4.2.3); the sharding option just sizes it.
+      if (options_.sharding.enabled() && popts.propagation_threads <= 1) {
+        popts.propagation_threads = options_.sharding.threads == 0
+                                        ? options_.sharding.num_shards
+                                        : options_.sharding.threads;
+      }
       popts.cond_storage = options_.wm_storage;
       matcher_ = std::make_unique<PatternMatcher>(catalog_.get(), popts);
       break;
@@ -43,6 +56,7 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
   sopts.max_firings = options_.max_firings;
   engine_ = std::make_unique<SequentialEngine>(catalog_.get(), matcher_.get(),
                                                sopts);
+  engine_->working_memory().ConfigureSharding(options_.sharding);
 
   locks_ = std::make_unique<LockManager>();
   ConcurrentEngineOptions ccopts;

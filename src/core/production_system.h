@@ -33,6 +33,15 @@ struct ProductionSystemOptions {
   std::string db_path;
   /// Threads for parallel pattern propagation (kPattern only).
   size_t propagation_threads = 0;
+  /// Partitioned multi-core match: shard working memory by class (and by
+  /// tuple hash within declared hot classes) and run delta propagation
+  /// across shards on a thread pool — the Rete sub-networks, the query
+  /// matcher's seeded re-evaluations, and WM batch apply all fan out,
+  /// merging deterministically (results are byte-identical to serial at
+  /// any thread count). Default-constructed = off, the serial path.
+  /// kPattern translates the option into propagation_threads (its §4.2.3
+  /// per-class fan-out is the paper's own sharding).
+  ShardingOptions sharding;
   /// Conflict-resolution strategy for Run().
   StrategyKind strategy = StrategyKind::kFifo;
   uint64_t seed = 42;

@@ -111,11 +111,45 @@ Status WorkingMemory::CommitBatch() {
   return ForceLog();
 }
 
+void WorkingMemory::ConfigureSharding(const ShardingOptions& options) {
+  shard_map_ = ShardMap(options);
+  pool_.reset();
+  if (options.enabled()) {
+    size_t threads =
+        options.threads == 0 ? options.num_shards : options.threads;
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
 Status WorkingMemory::Apply(ChangeSet* cs) {
   // Relations first — the matcher is entitled to see the post-batch WM
   // state (§5.2: maintenance runs on the transaction's whole ∆).
-  for (size_t i = 0; i < cs->size(); ++i) {
-    PRODB_RETURN_IF_ERROR(ApplyToRelation(&(*cs)[i]));
+  if (pool_ != nullptr && catalog_->wal() == nullptr && cs->size() > 1) {
+    // Class-sharded parallel apply: one relation lives in one shard, so
+    // within-relation delta order (which fixes insert-id assignment) is
+    // the serial order; cross-relation operations touch disjoint
+    // relations and commute.
+    std::vector<std::vector<size_t>> by_shard(shard_map_.num_shards());
+    for (size_t i = 0; i < cs->size(); ++i) {
+      by_shard[shard_map_.ShardOfClass((*cs)[i].relation)].push_back(i);
+    }
+    std::vector<Status> shard_status(by_shard.size());
+    pool_->ParallelFor(by_shard.size(), [&](size_t s) {
+      for (size_t i : by_shard[s]) {
+        Status st = ApplyToRelation(&(*cs)[i]);
+        if (!st.ok()) {
+          shard_status[s] = st;
+          return;
+        }
+      }
+    });
+    for (const Status& st : shard_status) {
+      PRODB_RETURN_IF_ERROR(st);
+    }
+  } else {
+    for (size_t i = 0; i < cs->size(); ++i) {
+      PRODB_RETURN_IF_ERROR(ApplyToRelation(&(*cs)[i]));
+    }
   }
   PRODB_RETURN_IF_ERROR(matcher_->OnBatch(*cs));
   return ForceLog();

@@ -1,12 +1,16 @@
 #ifndef PRODB_ENGINE_WORKING_MEMORY_H_
 #define PRODB_ENGINE_WORKING_MEMORY_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/change_set.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "db/catalog.h"
 #include "match/matcher.h"
+#include "match/sharding.h"
 
 namespace prodb {
 
@@ -51,6 +55,15 @@ class WorkingMemory {
   /// compensation (apply the inverse ChangeSet, §5).
   Status Apply(ChangeSet* cs);
 
+  /// Enables sharded batch application: Apply() partitions a multi-delta
+  /// ChangeSet by the class shard of each delta and applies the
+  /// partitions on a thread pool. Routing is by class only — one
+  /// relation maps to exactly one shard, so per-relation apply order
+  /// (and insert-id assignment) matches the serial walk. Parallel apply
+  /// engages only when no WAL is attached (log-record ordering stays a
+  /// serial concern) and is off by default.
+  void ConfigureSharding(const ShardingOptions& options);
+
   bool in_batch() const { return in_batch_; }
   /// Deltas buffered since BeginBatch (engines inspect this to build
   /// compensation sets).
@@ -72,6 +85,10 @@ class WorkingMemory {
   Matcher* matcher_;
   bool in_batch_ = false;
   ChangeSet pending_;
+  ShardMap shard_map_;
+  // Workers for sharded Apply (absent when sharding is off or
+  // single-threaded).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace prodb

@@ -37,6 +37,22 @@ bool ConflictSet::Remove(const Instantiation& inst) {
   return RemoveByKey(inst.Key());
 }
 
+void ConflictSet::ApplyOps(ConflictOpBuffer* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ConflictOpBuffer::Op& op : buf->ops_) {
+    if (op.add) {
+      std::string key = op.inst.Key();
+      if (items_.count(key)) continue;
+      op.inst.recency = next_recency_++;
+      items_.emplace(std::move(key), std::move(op.inst));
+      ++total_added_;
+    } else {
+      items_.erase(op.key);
+    }
+  }
+  buf->clear();
+}
+
 bool ConflictSet::RemoveByKey(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.erase(key) > 0;

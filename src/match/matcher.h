@@ -10,6 +10,7 @@
 #include "db/catalog.h"
 #include "lang/rule.h"
 #include "match/conflict_set.h"
+#include "match/sharding.h"
 
 namespace prodb {
 
@@ -86,6 +87,10 @@ class Matcher {
 
   virtual const MatcherStats& stats() const = 0;
   virtual std::string name() const = 0;
+
+  /// Per-shard counters for matchers running partitioned match (empty
+  /// for serial matchers / serial configurations). Index = shard.
+  virtual std::vector<ShardStats> ShardStatsSnapshot() const { return {}; }
 
   /// Registered rules (shared helper for engines).
   virtual const std::vector<Rule>& rules() const = 0;

@@ -299,32 +299,43 @@ bool PatternMatcher::Supported(int rule, int ce, const Binding& beta) const {
 Status PatternMatcher::FlushOps(std::vector<PropagationOp>* ops) {
   if (ops->empty()) return Status::OK();
   stats_.propagations += ops->size();
-  bool homogeneous = true;
-  for (const PropagationOp& op : *ops) {
-    if (op.delta != ops->front().delta) {
-      homogeneous = false;
-      break;
-    }
-  }
   Status result;
-  if (pool_ != nullptr && ops->size() > 1 && homogeneous) {
-    // Parallel propagation: per-class mutexes make ops targeting
-    // different COND relations fully independent, and same-sign bumps on
-    // the same class commute under its mutex.
-    std::mutex err_mu;
-    Status first_error;
-    for (PropagationOp& op : *ops) {
-      pool_->Submit([this, op = std::move(op), &err_mu, &first_error] {
-        Status st = BumpPattern(op.rule, op.target_ce, op.projected,
-                                op.contributor_ce, op.delta);
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (first_error.ok()) first_error = st;
-        }
-      });
+  if (pool_ != nullptr && ops->size() > 1) {
+    // Parallel propagation, one task per target class: ops against
+    // different COND relations touch disjoint CondStores, and within a
+    // class the task replays its ops in queue order, so mixed-sign
+    // queues (a -1 undoing an earlier +1 on the same pattern) stay
+    // correctly ordered — the restriction the old per-op fan-out needed
+    // a homogeneous-sign gate for.
+    std::vector<const std::string*> class_order;
+    std::unordered_map<std::string, std::vector<const PropagationOp*>>
+        by_class;
+    for (const PropagationOp& op : *ops) {
+      const std::string& cls =
+          rules_[static_cast<size_t>(op.rule)]
+              .lhs.conditions[static_cast<size_t>(op.target_ce)]
+              .relation;
+      auto [it, fresh] = by_class.try_emplace(cls);
+      if (fresh) class_order.push_back(&it->first);
+      it->second.push_back(&op);
     }
-    pool_->Wait();
-    result = first_error;
+    std::vector<Status> group_status(class_order.size());
+    pool_->ParallelFor(class_order.size(), [&](size_t g) {
+      for (const PropagationOp* op : by_class.at(*class_order[g])) {
+        Status st = BumpPattern(op->rule, op->target_ce, op->projected,
+                                op->contributor_ce, op->delta);
+        if (!st.ok()) {
+          group_status[g] = st;
+          return;
+        }
+      }
+    });
+    for (const Status& st : group_status) {
+      if (!st.ok()) {
+        result = st;
+        break;
+      }
+    }
   } else {
     for (const PropagationOp& op : *ops) {
       Status st = BumpPattern(op.rule, op.target_ce, op.projected,

@@ -1,5 +1,6 @@
 #include "match/query_matcher.h"
 
+#include <chrono>
 #include <set>
 #include <unordered_set>
 
@@ -68,12 +69,14 @@ void QueryMatcher::DispatchTargets(bool negated, const std::string& rel,
   stats_.alpha_tests_evaluated += out->size();
 }
 
-Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
-                                const Tuple& t) {
+Status QueryMatcher::SeedMatches(int rule_index, int ce, TupleId id,
+                                 const Tuple& t,
+                                 std::vector<Instantiation>* out) {
   const Rule& rule = rules_[static_cast<size_t>(rule_index)];
   std::vector<QueryMatch> matches;
   PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
       rule.lhs, static_cast<size_t>(ce), id, t, &matches));
+  out->reserve(out->size() + matches.size());
   for (QueryMatch& m : matches) {
     ++stats_.tuples_examined;
     Instantiation inst;
@@ -82,7 +85,33 @@ Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
     inst.tuple_ids = std::move(m.tuple_ids);
     inst.tuples = std::move(m.tuples);
     inst.binding = std::move(m.binding);
-    conflict_set_.Add(std::move(inst));
+    out->push_back(std::move(inst));
+  }
+  return Status::OK();
+}
+
+Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
+                                const Tuple& t) {
+  std::vector<Instantiation> insts;
+  PRODB_RETURN_IF_ERROR(SeedMatches(rule_index, ce, id, t, &insts));
+  for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
+  return Status::OK();
+}
+
+Status QueryMatcher::EvaluateRule(int rule_index,
+                                  std::vector<Instantiation>* out) {
+  const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+  std::vector<QueryMatch> matches;
+  PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
+  out->reserve(out->size() + matches.size());
+  for (QueryMatch& m : matches) {
+    Instantiation inst;
+    inst.rule_index = rule_index;
+    inst.rule_name = rule.name;
+    inst.tuple_ids = std::move(m.tuple_ids);
+    inst.tuples = std::move(m.tuples);
+    inst.binding = std::move(m.binding);
+    out->push_back(std::move(inst));
   }
   return Status::OK();
 }
@@ -145,19 +174,10 @@ Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
     DispatchTargets(true, rel, nit->second.size(), t, &cands);
     for (uint32_t pos : cands) {
       const CeRef& ref = nit->second[pos];
-      const Rule& rule = rules_[static_cast<size_t>(ref.rule)];
-      std::vector<QueryMatch> matches;
-      PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
+      std::vector<Instantiation> insts;
+      PRODB_RETURN_IF_ERROR(EvaluateRule(ref.rule, &insts));
       ++stats_.propagations;
-      for (QueryMatch& m : matches) {
-        Instantiation inst;
-        inst.rule_index = ref.rule;
-        inst.rule_name = rule.name;
-        inst.tuple_ids = std::move(m.tuple_ids);
-        inst.tuples = std::move(m.tuples);
-        inst.binding = std::move(m.binding);
-        conflict_set_.Add(std::move(inst));
-      }
+      for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
     }
   }
   return Status::OK();
@@ -170,6 +190,9 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     return d.is_insert() ? OnInsert(d.relation, d.id, d.tuple)
                          : OnDelete(d.relation, d.id, d.tuple);
   }
+  const bool sharded = sharding_.enabled();
+  std::unique_lock<std::mutex> lock(batch_mu_, std::defer_lock);
+  if (sharded) lock.lock();
   std::vector<uint32_t> cands;
 
   // 1. One conflict-set pass retiring every instantiation that references
@@ -233,6 +256,21 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     auto it = deleted.find(d.relation);
     return it != deleted.end() && it->second.count(d.id) > 0;
   };
+  // One seeded evaluation per (insert, candidate CE). Sharded, the pairs
+  // are collected first (dispatch accounting stays serial), partitioned
+  // by the seed tuple's shard, evaluated concurrently into per-pair
+  // buffers — evaluation is read-only against post-batch WM — and
+  // committed in collection order, so conflict-set contents and recency
+  // stamps are byte-identical to the serial path.
+  struct SeedItem {
+    const Delta* d;
+    int rule;
+    int ce;
+    size_t shard;
+    std::vector<Instantiation> insts;
+    Status st;
+  };
+  std::vector<SeedItem> seeds;
   std::set<std::pair<const std::string*, uint32_t>> counted;
   for (const Delta& d : batch) {
     if (!d.is_insert() || dead(d)) continue;
@@ -242,7 +280,50 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     for (uint32_t pos : cands) {
       const CeRef& ref = pit->second[pos];
       if (counted.insert({&pit->first, pos}).second) ++stats_.propagations;
-      PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, d.id, d.tuple));
+      if (sharded) {
+        seeds.push_back(
+            SeedItem{&d, ref.rule, ref.ce, shard_map_.Route(d), {}, {}});
+      } else {
+        PRODB_RETURN_IF_ERROR(SeedAndAdd(ref.rule, ref.ce, d.id, d.tuple));
+      }
+    }
+  }
+  if (!seeds.empty()) {
+    std::vector<std::vector<size_t>> by_shard(shard_map_.num_shards());
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      by_shard[seeds[i].shard].push_back(i);
+    }
+    std::vector<std::chrono::steady_clock::time_point> done_at(
+        by_shard.size());
+    auto run_shard = [&](size_t s) {
+      for (size_t i : by_shard[s]) {
+        SeedItem& item = seeds[i];
+        ++shard_stats_[s].deltas_routed;
+        item.st =
+            SeedMatches(item.rule, item.ce, item.d->id, item.d->tuple,
+                        &item.insts);
+        shard_stats_[s].conflict_ops += item.insts.size();
+        if (!item.st.ok()) break;
+      }
+      done_at[s] = std::chrono::steady_clock::now();
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(by_shard.size(), run_shard);
+    } else {
+      for (size_t s = 0; s < by_shard.size(); ++s) run_shard(s);
+    }
+    const auto barrier = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < by_shard.size(); ++s) {
+      shard_stats_[s].merge_wait_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(barrier -
+                                                               done_at[s])
+              .count());
+    }
+    for (SeedItem& item : seeds) {
+      PRODB_RETURN_IF_ERROR(item.st);
+      for (Instantiation& inst : item.insts) {
+        conflict_set_.Add(std::move(inst));
+      }
     }
   }
 
@@ -257,22 +338,57 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     DispatchTargets(true, d.relation, nit->second.size(), d.tuple, &cands);
     for (uint32_t pos : cands) reeval.insert(nit->second[pos].rule);
   }
-  for (int rule_index : reeval) {
-    const Rule& rule = rules_[static_cast<size_t>(rule_index)];
-    std::vector<QueryMatch> matches;
-    PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
-    ++stats_.propagations;
-    for (QueryMatch& m : matches) {
-      Instantiation inst;
-      inst.rule_index = rule_index;
-      inst.rule_name = rule.name;
-      inst.tuple_ids = std::move(m.tuple_ids);
-      inst.tuples = std::move(m.tuples);
-      inst.binding = std::move(m.binding);
-      conflict_set_.Add(std::move(inst));
+  if (!sharded) {
+    for (int rule_index : reeval) {
+      std::vector<Instantiation> insts;
+      PRODB_RETURN_IF_ERROR(EvaluateRule(rule_index, &insts));
+      ++stats_.propagations;
+      for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
+    }
+    return Status::OK();
+  }
+  // Sharded step 4: full re-evaluations fan out one rule per task,
+  // grouped by `rule % num_shards` (rules have no home shard here — the
+  // partition only balances work and keeps per-shard counters
+  // single-writer); commits run in ascending rule order, matching the
+  // serial std::set walk.
+  if (!reeval.empty()) {
+    std::vector<int> reeval_rules(reeval.begin(), reeval.end());
+    std::vector<std::vector<Instantiation>> results(reeval_rules.size());
+    std::vector<Status> sts(reeval_rules.size());
+    std::vector<std::vector<size_t>> by_shard(shard_map_.num_shards());
+    for (size_t i = 0; i < reeval_rules.size(); ++i) {
+      by_shard[static_cast<size_t>(reeval_rules[i]) % by_shard.size()]
+          .push_back(i);
+    }
+    auto run_shard = [&](size_t s) {
+      for (size_t i : by_shard[s]) {
+        ++shard_stats_[s].deltas_routed;
+        sts[i] = EvaluateRule(reeval_rules[i], &results[i]);
+        shard_stats_[s].conflict_ops += results[i].size();
+        if (!sts[i].ok()) break;
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(by_shard.size(), run_shard);
+    } else {
+      for (size_t s = 0; s < by_shard.size(); ++s) run_shard(s);
+    }
+    for (size_t i = 0; i < reeval_rules.size(); ++i) {
+      PRODB_RETURN_IF_ERROR(sts[i]);
+      ++stats_.propagations;
+      for (Instantiation& inst : results[i]) {
+        conflict_set_.Add(std::move(inst));
+      }
     }
   }
   return Status::OK();
+}
+
+std::vector<ShardStats> QueryMatcher::ShardStatsSnapshot() const {
+  if (!sharding_.enabled()) return {};
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return shard_stats_;
 }
 
 size_t QueryMatcher::AuxiliaryFootprintBytes() const {

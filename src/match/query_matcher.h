@@ -2,10 +2,13 @@
 #define PRODB_MATCH_QUERY_MATCHER_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "db/executor.h"
 #include "match/discrimination.h"
 #include "match/matcher.h"
@@ -23,9 +26,24 @@ namespace prodb {
 /// joins are re-computed — exactly the cost §4.2 sets out to remove.
 class QueryMatcher : public Matcher {
  public:
-  explicit QueryMatcher(Catalog* catalog, ExecutorOptions exec_options = {})
-      : catalog_(catalog), executor_(catalog, exec_options) {
+  /// `sharding` (when enabled) partitions a batch's seeded re-evaluations
+  /// across WM shards and runs them on a thread pool; conflict-set
+  /// commits stay in delta order, so results and recency stamps are
+  /// byte-identical to the serial path. Evaluation is read-only against
+  /// post-batch WM, which is what makes the fan-out safe.
+  explicit QueryMatcher(Catalog* catalog, ExecutorOptions exec_options = {},
+                        ShardingOptions sharding = {})
+      : catalog_(catalog),
+        executor_(catalog, exec_options),
+        sharding_(sharding),
+        shard_map_(sharding) {
     executor_.set_stats(&stats_);
+    if (sharding_.enabled()) {
+      shard_stats_.resize(shard_map_.num_shards());
+      size_t threads = sharding_.threads == 0 ? shard_map_.num_shards()
+                                              : sharding_.threads;
+      if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+    }
   }
 
   Status AddRule(const Rule& rule) override;
@@ -41,8 +59,11 @@ class QueryMatcher : public Matcher {
   ConflictSet& conflict_set() override { return conflict_set_; }
   size_t AuxiliaryFootprintBytes() const override;
   const MatcherStats& stats() const override { return stats_; }
-  std::string name() const override { return "query"; }
+  std::string name() const override {
+    return sharding_.enabled() ? "query-shard" : "query";
+  }
   const std::vector<Rule>& rules() const override { return rules_; }
+  std::vector<ShardStats> ShardStatsSnapshot() const override;
 
  protected:
   MatcherStats* mutable_stats() override { return &stats_; }
@@ -53,9 +74,16 @@ class QueryMatcher : public Matcher {
     int ce;
   };
 
-  /// Seeded evaluation of (rule, ce) with tuple (id, t); conflict-set
-  /// additions shared by the per-tuple and batched paths.
+  /// Seeded evaluation of (rule, ce) with tuple (id, t) into *out —
+  /// read-only against WM, so shards may run it concurrently; the caller
+  /// commits the instantiations.
+  Status SeedMatches(int rule_index, int ce, TupleId id, const Tuple& t,
+                     std::vector<Instantiation>* out);
+  /// Seeded evaluation + immediate conflict-set commit (the serial
+  /// per-tuple path).
   Status SeedAndAdd(int rule_index, int ce, TupleId id, const Tuple& t);
+  /// Full re-evaluation of `rule_index` into *out (step-4 helper).
+  Status EvaluateRule(int rule_index, std::vector<Instantiation>* out);
 
   /// Fills *out with the positions (into the class's CeRef bucket) to
   /// dispatch for `t`: the discrimination-index candidates when enabled
@@ -78,6 +106,15 @@ class QueryMatcher : public Matcher {
   // reserve() hint: previous delta's candidate count (atomic — the
   // concurrent engine dispatches from worker threads).
   std::atomic<uint32_t> last_candidates_{0};
+  ShardingOptions sharding_;
+  ShardMap shard_map_;
+  // Workers for the sharded OnBatch fan-out (absent when serial).
+  std::unique_ptr<ThreadPool> pool_;
+  // Guards shard_stats_ and the fan-out scratch; taken only when
+  // sharding is enabled (the serial matcher is lock-free by design —
+  // ConflictSet and the atomic counters carry their own safety).
+  mutable std::mutex batch_mu_;
+  std::vector<ShardStats> shard_stats_;
   ConflictSet conflict_set_;
   MatcherStats stats_;
 };

@@ -1,0 +1,18 @@
+#include "match/sharding.h"
+
+namespace prodb {
+
+double ShardImbalance(const std::vector<ShardStats>& stats) {
+  if (stats.empty()) return 1.0;
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (const ShardStats& s : stats) {
+    total += s.deltas_routed;
+    if (s.deltas_routed > max) max = s.deltas_routed;
+  }
+  if (total == 0) return 1.0;
+  double mean = static_cast<double>(total) / static_cast<double>(stats.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace prodb

@@ -67,6 +67,11 @@ class TokenStore {
   /// not a scan).
   virtual bool keyed() const = 0;
 
+  /// Hint that ~n more tokens are about to be added (one per right
+  /// activation of a batch). Stores may pre-size; correctness never
+  /// depends on it.
+  virtual void ReserveAdditional(size_t n) { (void)n; }
+
   virtual size_t size() const = 0;
   virtual size_t FootprintBytes() const = 0;
 };
@@ -90,6 +95,15 @@ class MemoryTokenStore : public TokenStore {
       const std::vector<Value>& key,
       const std::function<Status(const ReteToken&)>& fn) const override;
   bool keyed() const override { return !key_cols_.empty(); }
+  void ReserveAdditional(size_t n) override {
+    const size_t want = tokens_.size() + n;
+    if (want <= tokens_.capacity()) return;
+    // Never reserve below double the current capacity: an exact
+    // `reserve(size + 1)` per one-element batch would defeat the
+    // vector's geometric growth and turn token adds quadratic.
+    const size_t doubled = tokens_.capacity() * 2;
+    tokens_.reserve(want > doubled ? want : doubled);
+  }
   size_t size() const override { return tokens_.size(); }
   size_t FootprintBytes() const override;
 

@@ -22,6 +22,21 @@ struct MatcherCase {
   std::function<std::unique_ptr<Matcher>(Catalog*)> factory;
 };
 
+// 4 shards on 2 worker threads — small enough to keep the suite quick,
+// uneven enough (threads != shards) to exercise work stealing of whole
+// shards. With `hot`, every class name the test programs use is
+// hash-partitioned by tuple id.
+ShardingOptions TestSharding(bool hot = false) {
+  ShardingOptions so;
+  so.num_shards = 4;
+  so.threads = 2;
+  if (hot) {
+    so.hot_classes = {"A",    "B",    "C",          "Emp", "Dept",
+                      "Order", "Assignment", "C0",  "C1",  "C2"};
+  }
+  return so;
+}
+
 std::vector<MatcherCase> AllMatchers() {
   return {
       {"query",
@@ -98,6 +113,42 @@ std::vector<MatcherCase> AllMatchers() {
          ReteOptions opts;
          opts.dbms_backed = true;
          opts.discriminate_alpha = false;
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      // Sharded ablation: partitioned multi-core match must agree with
+      // the serial oracle on every trace — per-tuple (the serial
+      // multi-shard walk) and batched (the parallel fan-out + ordered
+      // merge) alike. The "-hot" variant hash-partitions every class the
+      // test programs use, exercising replicated rules behind head-tuple
+      // partition filters; unknown names in the hot list are inert.
+      {"query-shard",
+       [](Catalog* c) {
+         return std::make_unique<QueryMatcher>(c, ExecutorOptions{},
+                                               TestSharding());
+       }},
+      {"pattern-shard",
+       [](Catalog* c) {
+         PatternMatcherOptions po;
+         po.propagation_threads = 2;
+         return std::make_unique<PatternMatcher>(c, po);
+       }},
+      {"rete-shard",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.sharding = TestSharding();
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"rete-shard-hot",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.sharding = TestSharding(/*hot=*/true);
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"rete-dbms-shard",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.dbms_backed = true;
+         opts.sharding = TestSharding();
          return std::make_unique<ReteNetwork>(c, opts);
        }},
   };

@@ -61,5 +61,61 @@ TEST(ThreadPoolTest, WaitWithNothingPendingReturnsImmediately) {
   EXPECT_NO_THROW(pool.Wait());
 }
 
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(97);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // n == 0 and n == 1 (inline fast path) degenerate cleanly.
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "n=0 must not invoke fn"; });
+  std::atomic<int> once{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++once;
+  });
+  EXPECT_EQ(once.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAfterDrainingAllIndices) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(16, [&](size_t i) {
+      ++ran;
+      if (i == 3) throw std::runtime_error("index boom");
+    });
+    FAIL() << "ParallelFor should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "index boom");
+  }
+  // The barrier waits for every index before rethrowing — no task is
+  // abandoned mid-flight.
+  EXPECT_EQ(ran.load(), 16);
+  // The pool remains usable for both ParallelFor and plain Submit.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) { ++count; });
+  pool.Submit([&count] { ++count; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPoolTest, ParallelForComposesWithConcurrentSubmit) {
+  // A ParallelFor barrier must only cover its own indices: plain tasks
+  // submitted around it still run, and the barrier does not wait on
+  // them (it returns while the slow Submit task may still be pending).
+  ThreadPool pool(4);
+  std::atomic<int> plain{0};
+  std::atomic<int> indexed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&plain] { ++plain; });
+  }
+  pool.ParallelFor(32, [&](size_t) { ++indexed; });
+  EXPECT_EQ(indexed.load(), 32);
+  pool.Wait();
+  EXPECT_EQ(plain.load(), 8);
+}
+
 }  // namespace
 }  // namespace prodb
