@@ -1,0 +1,268 @@
+// E17 — Cost-based join planning from incremental catalog statistics
+// (src/plan; [SELL88]'s access-planning premise: a production system in
+// a DBMS should plan its joins like any other query).
+//
+// Workload: a three-way star whose *textual* CE order is pessimal. The
+// fat class leads the rule, so the syntactic Rete chain materializes
+// fan-out × bridge tokens at level 1 and every bridge-class delta walks
+// a fat token memory; the planned order leads with the selective class
+// and touches almost nothing. The uniform control keeps all classes the
+// same size — there the planner must not cost measurable wall time
+// (its order is no better, just not worse).
+//
+//   A (fat):    N tuples, 32 distinct join keys  -> fan-out N/32
+//   B (bridge): 256 tuples, keyed into A and C
+//   C (thin):   8 tuples over a 4096-value domain -> B⋈C nearly empty
+//   rule:       (A ^k <x>) (B ^k <x> ^m <y>) (C ^m <y>)
+//
+// Reported per variant: probe_tokens_visited per churn delta, plans
+// built, drift-triggered replans, and the estimator's mean log-ratio
+// error. BM_SkewedProbeRatio runs the same trace through syntactic and
+// planned Rete side by side and reports the probe reduction directly —
+// the ≥5x acceptance number for this PR.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "lang/analyzer.h"
+
+namespace prodb {
+namespace {
+
+constexpr char kStarProgram[] = R"(
+(literalize A k v)
+(literalize B k m)
+(literalize C m)
+(p star
+  (A ^k <x>)
+  (B ^k <x> ^m <y>)
+  (C ^m <y>)
+  -->
+  (remove 1))
+)";
+
+constexpr uint64_t kFatKeys = 32;
+constexpr uint64_t kThinDomain = 4096;
+
+/// Catalog + matcher + WM loaded from an OPS5 program (the generator in
+/// bench_util drives synthetic rule sets; this experiment needs exact
+/// control of the skew).
+struct ProgramSetup {
+  std::unique_ptr<Catalog> catalog;
+  std::vector<Rule> rules;
+  std::unique_ptr<Matcher> matcher;
+  std::unique_ptr<WorkingMemory> wm;
+
+  ProgramSetup(const char* program, const std::string& matcher_name) {
+    catalog = std::make_unique<Catalog>();
+    bench::Abort(LoadProgram(program, catalog.get(), &rules), "program");
+    matcher = bench::MakeMatcherByName(matcher_name, catalog.get());
+    for (const Rule& r : rules) bench::Abort(matcher->AddRule(r), "rule");
+    wm = std::make_unique<WorkingMemory>(catalog.get(), matcher.get());
+  }
+};
+
+Tuple FatRow(Rng* rng) {
+  return Tuple{Value(static_cast<int64_t>(rng->Uniform(kFatKeys))),
+               Value(static_cast<int64_t>(rng->Uniform(1u << 20)))};
+}
+Tuple BridgeRow(Rng* rng) {
+  return Tuple{Value(static_cast<int64_t>(rng->Uniform(kFatKeys))),
+               Value(static_cast<int64_t>(rng->Uniform(kThinDomain)))};
+}
+Tuple ThinRow(Rng* rng) {
+  return Tuple{Value(static_cast<int64_t>(rng->Uniform(kThinDomain)))};
+}
+
+/// Loads the skewed star: thin and bridge classes first, then the fat
+/// class in chunks so the drift check sees the cardinality grow and a
+/// planning matcher converges onto the good order *during* the load
+/// instead of paying the syntactic token explosion for the whole of it.
+void PreloadSkewed(ProgramSetup& s, size_t fat_n, uint64_t seed = 17) {
+  Rng rng(seed);
+  TupleId id;
+  for (int i = 0; i < 8; ++i) {
+    bench::Abort(s.wm->Insert("C", ThinRow(&rng), &id), "C");
+  }
+  for (int i = 0; i < 256; ++i) {
+    bench::Abort(s.wm->Insert("B", BridgeRow(&rng), &id), "B");
+  }
+  size_t loaded = 0;
+  while (loaded < fat_n) {
+    const size_t chunk = std::min<size_t>(4096, fat_n - loaded);
+    s.wm->BeginBatch();
+    for (size_t i = 0; i < chunk; ++i) {
+      bench::Abort(s.wm->Insert("A", FatRow(&rng), &id), "A");
+    }
+    bench::Abort(s.wm->CommitBatch(), "commit");
+    loaded += chunk;
+  }
+}
+
+/// One churn step: insert + delete, cycling through the classes with the
+/// bridge class hit most often — the delta that is pessimal under the
+/// textual order (it probes the fat side's token memory).
+void ChurnStep(ProgramSetup& s, Rng* rng, uint64_t step) {
+  const char* cls;
+  Tuple t;
+  switch (step % 4) {
+    case 0:
+    case 1:
+      cls = "B";
+      t = BridgeRow(rng);
+      break;
+    case 2:
+      cls = "A";
+      t = FatRow(rng);
+      break;
+    default:
+      cls = "C";
+      t = ThinRow(rng);
+      break;
+  }
+  TupleId id;
+  bench::Abort(s.wm->Insert(cls, t, &id), "churn insert");
+  bench::Abort(s.wm->Delete(cls, id), "churn delete");
+}
+
+void ReportPlanCounters(benchmark::State& state, const Matcher& m,
+                        uint64_t probes, uint64_t deltas) {
+  const MatcherStats& st = m.stats();
+  state.counters["probe_visits_per_delta"] =
+      deltas == 0 ? 0.0
+                  : static_cast<double>(probes) / static_cast<double>(deltas);
+  state.counters["plans_built"] =
+      static_cast<double>(st.plans_built.load(std::memory_order_relaxed));
+  state.counters["replans"] =
+      static_cast<double>(st.replans.load(std::memory_order_relaxed));
+  const uint64_t samples =
+      st.est_card_samples.load(std::memory_order_relaxed);
+  state.counters["est_err_nats"] =
+      samples == 0
+          ? 0.0
+          : static_cast<double>(
+                st.est_card_err_millinats.load(std::memory_order_relaxed)) /
+                1000.0 / static_cast<double>(samples);
+}
+
+void RunSkewedChurn(benchmark::State& state,
+                    const std::string& matcher_name) {
+  const size_t fat_n = static_cast<size_t>(state.range(0));
+  ProgramSetup setup(kStarProgram, matcher_name);
+  PreloadSkewed(setup, fat_n);
+  const uint64_t probes_before =
+      setup.matcher->stats().probe_tokens_visited.load();
+  Rng rng(5);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    ChurnStep(setup, &rng, steps++);
+  }
+  ReportPlanCounters(
+      state, *setup.matcher,
+      setup.matcher->stats().probe_tokens_visited.load() - probes_before,
+      2 * steps);
+  state.counters["fat_n"] = static_cast<double>(fat_n);
+}
+
+void BM_SkewedChurn_Rete(benchmark::State& state) {
+  RunSkewedChurn(state, "rete");
+}
+void BM_SkewedChurn_RetePlan(benchmark::State& state) {
+  RunSkewedChurn(state, "rete-plan");
+}
+void BM_SkewedChurn_Query(benchmark::State& state) {
+  RunSkewedChurn(state, "query");
+}
+void BM_SkewedChurn_QueryPlan(benchmark::State& state) {
+  RunSkewedChurn(state, "query-plan");
+}
+
+// The syntactic Rete chain materializes fan-out x bridge tokens (8N at
+// N fat tuples), so its sweep stops at 1e5; the planned variant carries
+// the thin-first memories and extends to the 1e6 top of the range.
+BENCHMARK(BM_SkewedChurn_Rete)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SkewedChurn_RetePlan)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SkewedChurn_Query)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SkewedChurn_QueryPlan)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Planned and syntactic Rete driven through the identical preload +
+// churn trace; the counter is the probe reduction the planner buys
+// (acceptance: >= 5x on this workload).
+void BM_SkewedProbeRatio(benchmark::State& state) {
+  const size_t fat_n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ProgramSetup syntactic(kStarProgram, "rete");
+    ProgramSetup planned(kStarProgram, "rete-plan");
+    PreloadSkewed(syntactic, fat_n);
+    PreloadSkewed(planned, fat_n);
+    const uint64_t syn0 =
+        syntactic.matcher->stats().probe_tokens_visited.load();
+    const uint64_t pln0 = planned.matcher->stats().probe_tokens_visited.load();
+    Rng rng_a(5), rng_b(5);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      ChurnStep(syntactic, &rng_a, i);
+      ChurnStep(planned, &rng_b, i);
+    }
+    const double syn =
+        static_cast<double>(
+            syntactic.matcher->stats().probe_tokens_visited.load() - syn0);
+    const double pln = static_cast<double>(
+        planned.matcher->stats().probe_tokens_visited.load() - pln0);
+    state.counters["syntactic_probe_visits"] = syn;
+    state.counters["planned_probe_visits"] = pln;
+    state.counters["probe_reduction"] = pln == 0.0 ? syn : syn / pln;
+  }
+}
+
+BENCHMARK(BM_SkewedProbeRatio)->Arg(10000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Uniform control: equal class sizes, uniform keys — no order is better
+// than another, so planning must be within noise of syntactic (<5%).
+// Same generator-driven workload family the other experiments use.
+void RunUniformChurn(benchmark::State& state,
+                     const std::string& matcher_name) {
+  WorkloadSpec spec;
+  spec.num_classes = 3;
+  spec.attrs_per_class = 3;
+  spec.num_rules = 8;
+  spec.ces_per_rule = 3;
+  spec.domain = 64;
+  spec.chain_join = true;
+  spec.seed = 23;
+  auto setup = bench::MakeSetup(spec, [&](Catalog* c) {
+    return bench::MakeMatcherByName(matcher_name, c);
+  });
+  bench::Preload(*setup, static_cast<size_t>(state.range(0)), 3);
+  Rng rng(42);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    size_t cls = rng.Uniform(setup->gen.spec().num_classes);
+    Tuple t = setup->gen.RandomTuple(&rng);
+    TupleId id;
+    bench::Abort(setup->wm->Insert(setup->gen.ClassName(cls), t, &id),
+                 "insert");
+    bench::Abort(setup->wm->Delete(setup->gen.ClassName(cls), id), "delete");
+    ++steps;
+  }
+  ReportPlanCounters(state, *setup->matcher, 0, 2 * steps);
+}
+
+void BM_UniformChurn_Rete(benchmark::State& state) {
+  RunUniformChurn(state, "rete");
+}
+void BM_UniformChurn_RetePlan(benchmark::State& state) {
+  RunUniformChurn(state, "rete-plan");
+}
+
+BENCHMARK(BM_UniformChurn_Rete)->Arg(2000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UniformChurn_RetePlan)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace prodb
+
+BENCHMARK_MAIN();

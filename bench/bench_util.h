@@ -70,6 +70,9 @@ inline ShardingOptions DefaultSharding(size_t threads = 0) {
 ///    indexing at defaults), isolating the dispatch-tier contribution.
 ///  * "-shard": partitioned multi-core match (DefaultSharding), the
 ///    parallel OnBatch fan-out at defaults otherwise.
+///  * "-plan": cost-based join planning on (src/plan) — beta chains /
+///    evaluation orders chosen from catalog statistics, drift-triggered
+///    re-plans at defaults otherwise.
 inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
                                                   Catalog* catalog) {
   if (name == "query") return std::make_unique<QueryMatcher>(catalog);
@@ -146,6 +149,23 @@ inline std::unique_ptr<Matcher> MakeMatcherByName(const std::string& name,
     PatternMatcherOptions po;
     po.propagation_threads = DefaultSharding().threads;
     return std::make_unique<PatternMatcher>(catalog, po);
+  }
+  if (name == "rete-plan") {
+    ReteOptions opts;
+    opts.planner.enable = true;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "rete-dbms-plan") {
+    ReteOptions opts;
+    opts.dbms_backed = true;
+    opts.planner.enable = true;
+    return std::make_unique<ReteNetwork>(catalog, opts);
+  }
+  if (name == "query-plan") {
+    PlannerOptions po;
+    po.enable = true;
+    return std::make_unique<QueryMatcher>(catalog, ExecutorOptions{},
+                                          ShardingOptions{}, po);
   }
   std::fprintf(stderr, "unknown matcher %s\n", name.c_str());
   std::abort();

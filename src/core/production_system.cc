@@ -18,6 +18,7 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
     case MatcherKind::kRete: {
       ReteOptions ropts;
       ropts.sharding = options_.sharding;
+      ropts.planner = options_.planner;
       matcher_ = std::make_unique<ReteNetwork>(catalog_.get(), ropts);
       break;
     }
@@ -26,13 +27,15 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
       ropts.dbms_backed = true;
       ropts.memory_storage = options_.wm_storage;
       ropts.sharding = options_.sharding;
+      ropts.planner = options_.planner;
       matcher_ = std::make_unique<ReteNetwork>(catalog_.get(), ropts);
       break;
     }
     case MatcherKind::kQuery:
       matcher_ = std::make_unique<QueryMatcher>(catalog_.get(),
                                                 ExecutorOptions{},
-                                                options_.sharding);
+                                                options_.sharding,
+                                                options_.planner);
       break;
     case MatcherKind::kPattern: {
       PatternMatcherOptions popts;

@@ -9,6 +9,7 @@
 #include "engine/sequential_engine.h"
 #include "lang/analyzer.h"
 #include "match/matcher.h"
+#include "plan/planner.h"
 #include "ruleindex/rulebase_query.h"
 #include "txn/lock_manager.h"
 
@@ -42,6 +43,11 @@ struct ProductionSystemOptions {
   /// kPattern translates the option into propagation_threads (its §4.2.3
   /// per-class fan-out is the paper's own sharding).
   ShardingOptions sharding;
+  /// Cost-based join planning from incremental catalog statistics
+  /// (kRete/kReteDbms: beta-chain order + drift-triggered rebuilds;
+  /// kQuery: seeded-evaluation order + lock-free re-plans). Off keeps
+  /// the syntactic textual order — the equivalence baseline.
+  PlannerOptions planner;
   /// Conflict-resolution strategy for Run().
   StrategyKind strategy = StrategyKind::kFifo;
   uint64_t seed = 42;

@@ -153,26 +153,53 @@ Status Executor::ExtendPositive(const ConditionSpec& cond, size_t cond_idx,
     std::vector<TupleId> candidate_ids;
     bool have_candidates = false;
     if (options_.use_indexes) {
+      // With catalog statistics attached, pick the most selective probe
+      // (highest distinct count) among all indexed candidates; without
+      // them, the historical first-found choice. Bound-variable probes
+      // still outrank constant probes — a constant test also filtered
+      // the statistics the distinct counts were built over.
+      const RelationStats* rstats = planner_stats_ == nullptr
+                                        ? nullptr
+                                        : planner_stats_->Get(cond.relation);
+      int best_attr = -1;
+      const Value* best_value = nullptr;
+      double best_distinct = 0.0;
       for (const VarUse& u : cond.var_uses) {
         if (u.op != CompareOp::kEq) continue;
         const auto& slot = p.binding[static_cast<size_t>(u.var)];
         if (!slot.has_value()) continue;
-        if (rel->HasHashIndex(u.attr) || rel->HasBTreeIndex(u.attr)) {
-          PRODB_RETURN_IF_ERROR(rel->LookupEq(u.attr, *slot, &candidate_ids));
-          have_candidates = true;
-          break;
+        if (!rel->HasHashIndex(u.attr) && !rel->HasBTreeIndex(u.attr)) {
+          continue;
         }
+        const double d =
+            rstats == nullptr ? 1.0 : rstats->DistinctEstimate(u.attr);
+        if (best_attr < 0 || d > best_distinct) {
+          best_attr = u.attr;
+          best_value = &*slot;
+          best_distinct = d;
+        }
+        if (rstats == nullptr) break;  // first found, as before
       }
-      if (!have_candidates) {
+      if (best_attr < 0) {
         for (const ConstantTest& c : cond.constant_tests) {
           if (c.op != CompareOp::kEq) continue;
-          if (rel->HasHashIndex(c.attr) || rel->HasBTreeIndex(c.attr)) {
-            PRODB_RETURN_IF_ERROR(
-                rel->LookupEq(c.attr, c.constant, &candidate_ids));
-            have_candidates = true;
-            break;
+          if (!rel->HasHashIndex(c.attr) && !rel->HasBTreeIndex(c.attr)) {
+            continue;
           }
+          const double d =
+              rstats == nullptr ? 1.0 : rstats->DistinctEstimate(c.attr);
+          if (best_attr < 0 || d > best_distinct) {
+            best_attr = c.attr;
+            best_value = &c.constant;
+            best_distinct = d;
+          }
+          if (rstats == nullptr) break;
         }
+      }
+      if (best_attr >= 0) {
+        PRODB_RETURN_IF_ERROR(
+            rel->LookupEq(best_attr, *best_value, &candidate_ids));
+        have_candidates = true;
       }
     }
     auto try_tuple = [&](TupleId id, const Tuple& t) {
@@ -266,8 +293,10 @@ Status Executor::FilterNegative(const ConditionSpec& cond,
 }
 
 Status Executor::Evaluate(const ConjunctiveQuery& query,
-                          std::vector<QueryMatch>* out) const {
-  return EvaluateSeeded(query, SIZE_MAX, QueryMatch::kNoTuple, Tuple(), out);
+                          std::vector<QueryMatch>* out,
+                          const std::vector<size_t>* forced_order) const {
+  return EvaluateSeeded(query, SIZE_MAX, QueryMatch::kNoTuple, Tuple(), out,
+                        forced_order);
 }
 
 Status Executor::EvaluateBound(const ConjunctiveQuery& query,
@@ -306,7 +335,9 @@ Status Executor::EvaluateBound(const ConjunctiveQuery& query,
 Status Executor::EvaluateSeeded(const ConjunctiveQuery& query,
                                 size_t seed_idx, TupleId seed_id,
                                 const Tuple& seed,
-                                std::vector<QueryMatch>* out) const {
+                                std::vector<QueryMatch>* out,
+                                const std::vector<size_t>* forced_order)
+    const {
   out->clear();
   const size_t n = query.conditions.size();
   Partial init;
@@ -331,8 +362,24 @@ Status Executor::EvaluateSeeded(const ConjunctiveQuery& query,
     skip = static_cast<int>(seed_idx);
   }
 
+  // A planner-supplied order overrides PlanOrder; deferred tests settle
+  // ordered comparisons whose binder the plan placed later, so any
+  // positive-CE permutation evaluates to the same match set.
+  std::vector<size_t> order;
+  if (forced_order != nullptr) {
+    order.reserve(forced_order->size());
+    for (size_t idx : *forced_order) {
+      if (static_cast<int>(idx) != skip && idx < n &&
+          !query.conditions[idx].negated) {
+        order.push_back(idx);
+      }
+    }
+  } else {
+    order = PlanOrder(query, skip);
+  }
+
   std::vector<Partial> partials{std::move(init)};
-  for (size_t idx : PlanOrder(query, skip)) {
+  for (size_t idx : order) {
     PRODB_RETURN_IF_ERROR(
         ExtendPositive(query.conditions[idx], idx, &partials));
     if (partials.empty()) return Status::OK();
@@ -372,16 +419,31 @@ Status Executor::HashJoin(Relation* left, Relation* right,
   if (test.op != CompareOp::kEq) {
     return Status::NotSupported("hash join requires an equality predicate");
   }
-  // Build on the left, probe with the right.
+  // Build-side selection: hash the smaller input, probe with the larger
+  // — the planner's build-side rule grounded in the live cardinalities
+  // (the memory-resident table should be the small one). Output pairs
+  // stay (left, right) regardless of which side built.
+  const bool build_left = left->Count() <= right->Count();
+  Relation* build = build_left ? left : right;
+  Relation* probe = build_left ? right : left;
+  const size_t build_attr =
+      static_cast<size_t>(build_left ? test.left_attr : test.right_attr);
+  const size_t probe_attr =
+      static_cast<size_t>(build_left ? test.right_attr : test.left_attr);
   std::unordered_map<Value, std::vector<Tuple>, ValueHash> table;
-  PRODB_RETURN_IF_ERROR(left->Scan([&](TupleId, const Tuple& l) {
-    table[l[static_cast<size_t>(test.left_attr)]].push_back(l);
+  PRODB_RETURN_IF_ERROR(build->Scan([&](TupleId, const Tuple& b) {
+    table[b[build_attr]].push_back(b);
     return Status::OK();
   }));
-  return right->Scan([&](TupleId, const Tuple& r) {
-    auto it = table.find(r[static_cast<size_t>(test.right_attr)]);
-    if (it != table.end()) {
-      for (const Tuple& l : it->second) out->emplace_back(l, r);
+  return probe->Scan([&](TupleId, const Tuple& p) {
+    auto it = table.find(p[probe_attr]);
+    if (it == table.end()) return Status::OK();
+    for (const Tuple& b : it->second) {
+      if (build_left) {
+        out->emplace_back(b, p);
+      } else {
+        out->emplace_back(p, b);
+      }
     }
     return Status::OK();
   });

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "db/catalog.h"
 #include "db/predicate.h"
+#include "db/stats.h"
 
 namespace prodb {
 
@@ -57,15 +58,21 @@ class Executor {
   explicit Executor(Catalog* catalog, ExecutorOptions options = {})
       : catalog_(catalog), options_(options) {}
 
-  /// All matches of `query` against current WM contents.
-  Status Evaluate(const ConjunctiveQuery& query,
-                  std::vector<QueryMatch>* out) const;
+  /// All matches of `query` against current WM contents. When
+  /// `forced_order` is non-null it fixes the positive-condition
+  /// evaluation order (a planner-chosen sequence of positive CE indices;
+  /// must cover every positive CE exactly once) instead of PlanOrder.
+  Status Evaluate(const ConjunctiveQuery& query, std::vector<QueryMatch>* out,
+                  const std::vector<size_t>* forced_order = nullptr) const;
 
   /// Matches of `query` in which positive condition `seed_idx` is bound
   /// to the given tuple. Returns InvalidArgument if `seed_idx` is negated.
+  /// `forced_order` as in Evaluate; the seed's own CE is skipped.
   Status EvaluateSeeded(const ConjunctiveQuery& query, size_t seed_idx,
                         TupleId seed_id, const Tuple& seed,
-                        std::vector<QueryMatch>* out) const;
+                        std::vector<QueryMatch>* out,
+                        const std::vector<size_t>* forced_order = nullptr)
+      const;
 
   /// Matches of `query` consistent with a partial variable binding
   /// (smaller than `query.num_vars` slots are treated as unbound). This
@@ -90,6 +97,16 @@ class Executor {
   /// driving this executor surface whether the index path was taken.
   void set_stats(MatcherStats* stats) { stats_ = stats; }
 
+  /// Attaches catalog statistics for access-path selection: with stats,
+  /// ExtendPositive probes the *most selective* indexed equality
+  /// attribute (highest distinct count) instead of the first one found —
+  /// the planner's hash-conversion rule applied at the WM index tier.
+  /// Callers must guarantee the pointee outlives the executor and is
+  /// safely published (see CatalogStats).
+  void set_planner_stats(const CatalogStats* stats) {
+    planner_stats_ = stats;
+  }
+
  private:
   struct Partial;
 
@@ -110,6 +127,7 @@ class Executor {
   Catalog* catalog_;
   ExecutorOptions options_;
   MatcherStats* stats_ = nullptr;
+  const CatalogStats* planner_stats_ = nullptr;
 };
 
 /// A test that could not be evaluated yet because its variable is bound

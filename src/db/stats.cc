@@ -1,0 +1,245 @@
+#include "db/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodb {
+
+RelationStats::RelationStats(size_t arity) : attrs_(arity) {}
+
+void RelationStats::Observe(AttrStats* a, const Value& v, int sign) {
+  if (sign > 0 && !v.is_null()) {
+    const size_t bit = v.Hash() % kSketchBits;
+    a->sketch[bit / 64].fetch_or(uint64_t{1} << (bit % 64),
+                                 std::memory_order_relaxed);
+  }
+  if (!v.is_numeric()) {
+    a->non_numeric.fetch_add(sign, std::memory_order_relaxed);
+    return;
+  }
+  const double x = v.numeric();
+  if (!a->bounded.load(std::memory_order_relaxed)) {
+    a->out_of_range.fetch_add(sign, std::memory_order_relaxed);
+    return;
+  }
+  const double lo = a->lo.load(std::memory_order_relaxed);
+  const double hi = a->hi.load(std::memory_order_relaxed);
+  if (x < lo || x > hi) {
+    a->out_of_range.fetch_add(sign, std::memory_order_relaxed);
+    return;
+  }
+  const double width = hi - lo;
+  size_t b = width <= 0.0
+                 ? 0
+                 : static_cast<size_t>((x - lo) / width * kHistBuckets);
+  if (b >= kHistBuckets) b = kHistBuckets - 1;
+  a->buckets[b].fetch_add(sign, std::memory_order_relaxed);
+}
+
+void RelationStats::OnDelta(const Tuple& t, int sign) {
+  const int64_t card = cardinality_.fetch_add(sign, std::memory_order_relaxed);
+  const int64_t churn =
+      churn_since_sketch_.fetch_add(1, std::memory_order_relaxed);
+  // The counters above are exact (drift detection depends on them); the
+  // sketches and histograms are statistical, so once the relation is past
+  // sketch-resolution size, observing 1-in-4 deltas estimates the same
+  // distributions at a quarter of the per-delta cost. Small relations
+  // stay exact — there the planner's estimates ride on few tuples and
+  // sampling error would be visible. Resketch rebuilds from a full scan
+  // either way.
+  if (card > kSampleAbove && (churn & 3) != 0) return;
+  const size_t n = std::min(attrs_.size(), t.arity());
+  for (size_t i = 0; i < n; ++i) Observe(&attrs_[i], t[i], sign);
+}
+
+Status RelationStats::Resketch(Relation* rel) {
+  // Pass 1: numeric ranges per attribute (histogram bounds).
+  std::vector<double> lo(attrs_.size(), 0.0), hi(attrs_.size(), 0.0);
+  std::vector<bool> seen(attrs_.size(), false);
+  PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId, const Tuple& t) {
+    const size_t n = std::min(attrs_.size(), t.arity());
+    for (size_t i = 0; i < n; ++i) {
+      if (!t[i].is_numeric()) continue;
+      const double x = t[i].numeric();
+      if (!seen[i]) {
+        lo[i] = hi[i] = x;
+        seen[i] = true;
+      } else {
+        lo[i] = std::min(lo[i], x);
+        hi[i] = std::max(hi[i], x);
+      }
+    }
+    return Status::OK();
+  }));
+  // Publish fresh (empty) sketches with the new bounds, then fill them
+  // with pass 2. Concurrent OnDelta writers interleave harmlessly: they
+  // add to the new counters using the new bounds.
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttrStats& a = attrs_[i];
+    for (auto& w : a.sketch) w.store(0, std::memory_order_relaxed);
+    for (auto& b : a.buckets) b.store(0, std::memory_order_relaxed);
+    a.out_of_range.store(0, std::memory_order_relaxed);
+    a.non_numeric.store(0, std::memory_order_relaxed);
+    a.lo.store(seen[i] ? lo[i] : 0.0, std::memory_order_relaxed);
+    a.hi.store(seen[i] ? hi[i] : 0.0, std::memory_order_relaxed);
+    a.bounded.store(seen[i], std::memory_order_relaxed);
+  }
+  int64_t scanned = 0;
+  PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId, const Tuple& t) {
+    ++scanned;
+    const size_t n = std::min(attrs_.size(), t.arity());
+    for (size_t i = 0; i < n; ++i) Observe(&attrs_[i], t[i], +1);
+    return Status::OK();
+  }));
+  cardinality_.store(scanned, std::memory_order_relaxed);
+  card_at_sketch_.store(scanned, std::memory_order_relaxed);
+  churn_since_sketch_.store(0, std::memory_order_relaxed);
+  resketches_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool RelationStats::SketchStale() const {
+  const int64_t churn = churn_since_sketch_.load(std::memory_order_relaxed);
+  const int64_t base = card_at_sketch_.load(std::memory_order_relaxed);
+  // Stale once churn exceeds the population the sketch was built over
+  // (plus a floor so tiny relations re-sketch only after real movement).
+  return churn > 64 + base;
+}
+
+double RelationStats::DistinctEstimate(int attr) const {
+  const int64_t card = cardinality();
+  if (card <= 0) return 1.0;
+  if (attr < 0 || static_cast<size_t>(attr) >= attrs_.size()) {
+    return static_cast<double>(card);
+  }
+  const AttrStats& a = attrs_[static_cast<size_t>(attr)];
+  size_t set = 0;
+  for (const auto& w : a.sketch) {
+    set += static_cast<size_t>(
+        __builtin_popcountll(w.load(std::memory_order_relaxed)));
+  }
+  if (set == 0) return 1.0;
+  double est;
+  if (set >= kSketchBits) {
+    est = static_cast<double>(card);
+  } else {
+    // Linear counting: d ≈ -m ln(unset/m).
+    const double m = static_cast<double>(kSketchBits);
+    est = -m * std::log((m - static_cast<double>(set)) / m);
+  }
+  return std::clamp(est, 1.0, static_cast<double>(card));
+}
+
+double RelationStats::SelectivityEq(int attr, const Value& v) const {
+  const int64_t card = cardinality();
+  if (card <= 0) return 0.0;
+  if (attr >= 0 && static_cast<size_t>(attr) < attrs_.size() &&
+      !v.is_null()) {
+    // A value whose sketch bit is clear was never inserted since the
+    // last re-sketch — selectivity (near) zero.
+    const AttrStats& a = attrs_[static_cast<size_t>(attr)];
+    const size_t bit = v.Hash() % kSketchBits;
+    const uint64_t word = a.sketch[bit / 64].load(std::memory_order_relaxed);
+    if ((word & (uint64_t{1} << (bit % 64))) == 0) {
+      return 0.1 / static_cast<double>(card);
+    }
+  }
+  return 1.0 / DistinctEstimate(attr);
+}
+
+double RelationStats::SelectivityCmp(int attr, CompareOp op,
+                                     const Value& v) const {
+  const int64_t card = cardinality();
+  if (card <= 0) return 0.0;
+  if (op == CompareOp::kEq) return SelectivityEq(attr, v);
+  if (op == CompareOp::kNe) return 1.0 - SelectivityEq(attr, v);
+  if (attr < 0 || static_cast<size_t>(attr) >= attrs_.size() ||
+      !v.is_numeric()) {
+    return 1.0 / 3.0;
+  }
+  const AttrStats& a = attrs_[static_cast<size_t>(attr)];
+  if (!a.bounded.load(std::memory_order_relaxed)) return 1.0 / 3.0;
+  const double lo = a.lo.load(std::memory_order_relaxed);
+  const double hi = a.hi.load(std::memory_order_relaxed);
+  const double x = v.numeric();
+  int64_t in_range = 0;
+  for (const auto& b : a.buckets) {
+    in_range += b.load(std::memory_order_relaxed);
+  }
+  if (in_range <= 0) return 1.0 / 3.0;
+  // Fraction of histogram mass strictly below x, interpolating within
+  // the bucket x falls in (equi-width, uniform-within-bucket).
+  double below;
+  if (x <= lo) {
+    below = 0.0;
+  } else if (x >= hi) {
+    below = static_cast<double>(in_range);
+  } else {
+    const double width = (hi - lo) / kHistBuckets;
+    const size_t b = std::min(
+        kHistBuckets - 1, static_cast<size_t>((x - lo) / (hi - lo) *
+                                              kHistBuckets));
+    below = 0.0;
+    for (size_t i = 0; i < b; ++i) {
+      below += static_cast<double>(
+          a.buckets[i].load(std::memory_order_relaxed));
+    }
+    const double frac = width <= 0.0 ? 0.5 : (x - (lo + b * width)) / width;
+    below += frac * static_cast<double>(
+                        a.buckets[b].load(std::memory_order_relaxed));
+  }
+  double sel = below / static_cast<double>(in_range);
+  if (op == CompareOp::kGt || op == CompareOp::kGe) sel = 1.0 - sel;
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+void CatalogStats::Register(const std::string& rel, size_t arity) {
+  auto it = stats_.find(rel);
+  if (it != stats_.end()) return;
+  stats_.emplace(rel, std::make_unique<RelationStats>(arity));
+}
+
+void CatalogStats::Register(const std::string& name, Relation* rel) {
+  if (stats_.count(name) != 0) return;
+  auto s = std::make_unique<RelationStats>(rel->schema().arity());
+  if (rel->Count() > 0) (void)s->Resketch(rel);
+  stats_.emplace(name, std::move(s));
+}
+
+RelationStats* CatalogStats::Get(const std::string& rel) const {
+  auto it = stats_.find(rel);
+  return it == stats_.end() ? nullptr : it->second.get();
+}
+
+void CatalogStats::OnBatch(const ChangeSet& batch) {
+  // Batches arrive grouped by relation in practice; resolve the map
+  // entry once per run of equal names instead of per delta.
+  RelationStats* s = nullptr;
+  const std::string* last = nullptr;
+  for (const Delta& d : batch) {
+    if (last == nullptr || d.relation != *last) {
+      s = Get(d.relation);
+      last = &d.relation;
+    }
+    if (s != nullptr) s->OnDelta(d.tuple, d.is_insert() ? +1 : -1);
+  }
+}
+
+void CatalogStats::OnDelta(const std::string& rel, const Tuple& t,
+                           int sign) {
+  RelationStats* s = Get(rel);
+  if (s != nullptr) s->OnDelta(t, sign);
+}
+
+size_t CatalogStats::RefreshStale(Catalog* catalog) {
+  size_t refreshed = 0;
+  for (auto& [name, s] : stats_) {
+    if (!s->SketchStale()) continue;
+    Relation* rel = catalog->Get(name);
+    if (rel == nullptr) continue;
+    if (s->Resketch(rel).ok()) ++refreshed;
+  }
+  return refreshed;
+}
+
+}  // namespace prodb

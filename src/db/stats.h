@@ -1,0 +1,152 @@
+#ifndef PRODB_DB_STATS_H_
+#define PRODB_DB_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/change_set.h"
+#include "common/status.h"
+#include "db/catalog.h"
+#include "db/predicate.h"
+
+namespace prodb {
+
+/// Incrementally maintained statistics for one WM relation: cardinality,
+/// per-attribute distinct-count sketches, and small equi-width histograms
+/// — the catalog statistics a cost-based planner reads (§3.2/[SELL88]:
+/// access planning over the rule base needs what any DBMS optimizer
+/// needs).
+///
+/// The batch path pays only relaxed atomic counter updates (OnDelta);
+/// everything that needs a pass over the data — histogram bounds, the
+/// distinct-count bitmaps after deletions — is rebuilt off that path by
+/// Resketch, which the planner triggers lazily when the counters say the
+/// sketch has drifted. All fields are written with atomics, so concurrent
+/// readers (plan-time estimation from one engine thread while another
+/// commits a batch) are race-free without a lock; estimates read mid-
+/// update are approximate, which is all an estimator ever promises.
+class RelationStats {
+ public:
+  static constexpr size_t kHistBuckets = 16;
+  /// Linear-counting bitmap size in bits (per attribute). 1024 bits
+  /// estimate distinct counts accurately to a few percent up to ~1000
+  /// and saturate above — beyond that the estimate is capped by the
+  /// cardinality, which is the regime where "many distinct values" is
+  /// the only fact the planner needs.
+  static constexpr size_t kSketchBits = 1024;
+  static constexpr size_t kSketchWords = kSketchBits / 64;
+  /// Above this cardinality OnDelta samples sketch/histogram updates
+  /// 1-in-4 (counters stay exact); below it every delta is observed.
+  static constexpr int64_t kSampleAbove = 256;
+
+  explicit RelationStats(size_t arity);
+
+  /// One tuple entered (+1) or left (-1) the relation. Cheap: a handful
+  /// of relaxed atomic ops per attribute.
+  void OnDelta(const Tuple& t, int sign);
+
+  /// Rebuilds the per-attribute sketches (distinct bitmaps, histogram
+  /// bounds and buckets) from a full scan of `rel`. Called off the batch
+  /// path; concurrent OnDelta updates during the scan smear the result
+  /// by at most the in-flight deltas.
+  Status Resketch(Relation* rel);
+
+  /// True when enough churn has accumulated since the last Resketch that
+  /// the sketches may mislead the estimator (deletions age the distinct
+  /// bitmaps; out-of-range values age the histogram bounds).
+  bool SketchStale() const;
+
+  int64_t cardinality() const {
+    int64_t c = cardinality_.load(std::memory_order_relaxed);
+    return c < 0 ? 0 : c;
+  }
+
+  /// Estimated number of distinct values of attribute `attr` (>= 1 when
+  /// the relation is non-empty).
+  double DistinctEstimate(int attr) const;
+
+  /// Estimated fraction of tuples whose `attr` value equals `v`.
+  double SelectivityEq(int attr, const Value& v) const;
+
+  /// Estimated fraction of tuples whose `attr` satisfies `attr op v` for
+  /// an ordered comparison (kLt/kLe/kGt/kGe). Falls back to 1/3 when the
+  /// histogram has no signal.
+  double SelectivityCmp(int attr, CompareOp op, const Value& v) const;
+
+  size_t arity() const { return attrs_.size(); }
+  uint64_t resketches() const {
+    return resketches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct AttrStats {
+    // Distinct-count sketch: bit Hash(v) % kSketchBits set for every
+    // value ever inserted since the last Resketch (deletions do not
+    // clear — the periodic re-sketch does).
+    std::array<std::atomic<uint64_t>, kSketchWords> sketch;
+    // Equi-width histogram over [lo, hi] (numeric values only). Bounds
+    // are fixed at Resketch time; values outside land in out_of_range.
+    std::atomic<double> lo{0.0};
+    std::atomic<double> hi{0.0};
+    std::atomic<bool> bounded{false};
+    std::array<std::atomic<int64_t>, kHistBuckets> buckets;
+    std::atomic<int64_t> out_of_range{0};
+    std::atomic<int64_t> non_numeric{0};
+
+    AttrStats() {
+      for (auto& w : sketch) w.store(0, std::memory_order_relaxed);
+      for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  void Observe(AttrStats* a, const Value& v, int sign);
+
+  std::atomic<int64_t> cardinality_{0};
+  // Deltas applied since the last Resketch; drives SketchStale.
+  std::atomic<int64_t> churn_since_sketch_{0};
+  std::atomic<int64_t> card_at_sketch_{0};
+  std::atomic<uint64_t> resketches_{0};
+  std::vector<AttrStats> attrs_;
+};
+
+/// Registry of RelationStats, one per WM relation a matcher's rules
+/// reference. Registration happens at AddRule time (single-threaded by
+/// the Matcher contract: "rules must be added before WM activity");
+/// after that the map is read-only and OnBatch may update stats from
+/// concurrent engine threads without a lock — the same Seal()-style
+/// publication discipline the discrimination index uses.
+class CatalogStats {
+ public:
+  /// Registers `rel` (idempotent). Must not race OnBatch/Get.
+  void Register(const std::string& rel, size_t arity);
+
+  /// Registers `rel` and, on first registration of a non-empty relation,
+  /// seeds the stats from its current contents (one Resketch scan) — so
+  /// rules added after a WM preload plan against real cardinalities, not
+  /// zeros. Idempotent; must not race OnBatch/Get.
+  void Register(const std::string& name, Relation* rel);
+
+  /// Per-relation stats, or nullptr when `rel` was never registered.
+  RelationStats* Get(const std::string& rel) const;
+
+  /// Folds one batch into the counters (insert = +1, delete = -1).
+  void OnBatch(const ChangeSet& batch);
+  void OnDelta(const std::string& rel, const Tuple& t, int sign);
+
+  /// Re-sketches every registered relation whose sketch is stale.
+  /// Returns the number re-sketched.
+  size_t RefreshStale(Catalog* catalog);
+
+  size_t size() const { return stats_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<RelationStats>> stats_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_DB_STATS_H_

@@ -1,8 +1,17 @@
 #include "match/matcher.h"
 
+#include <cmath>
+
 #include "db/executor.h"
 
 namespace prodb {
+
+void MatcherStats::ObserveCardEstimate(double estimated, double actual) {
+  const double err = std::fabs(std::log((1.0 + actual) / (1.0 + estimated)));
+  est_card_err_millinats.fetch_add(static_cast<uint64_t>(err * 1000.0),
+                                   std::memory_order_relaxed);
+  est_card_samples.fetch_add(1, std::memory_order_relaxed);
+}
 
 Status Matcher::OnBatch(const ChangeSet& batch) {
   if (MatcherStats* s = mutable_stats()) ++s->batches;

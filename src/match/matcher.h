@@ -38,6 +38,22 @@ struct MatcherStats {
   // on the linear-scan path — the ratio is the index's win).
   std::atomic<uint64_t> alpha_tests_evaluated{0};
   std::atomic<uint64_t> candidates_visited{0};
+  // Join-planning accounting (src/plan): plans_built counts orders
+  // chosen at rule registration, replans counts drift-triggered
+  // re-plans. est_card_err_millinats accumulates the estimator's
+  // running log-ratio error |ln((1+actual)/(1+estimated))| in
+  // milli-nats over est_card_samples observations, so estimator
+  // quality is observable rather than guessed (mean error =
+  // err_millinats / 1000 / samples; 0 = perfect, ln 2 ≈ 0.69 = off by
+  // 2x on average).
+  std::atomic<uint64_t> plans_built{0};
+  std::atomic<uint64_t> replans{0};
+  std::atomic<uint64_t> est_card_err_millinats{0};
+  std::atomic<uint64_t> est_card_samples{0};
+
+  /// Folds one (estimated, actual) cardinality observation into the
+  /// running log-ratio error.
+  void ObserveCardEstimate(double estimated, double actual);
 
   MatcherStats() = default;
   MatcherStats(const MatcherStats& o)
@@ -49,7 +65,11 @@ struct MatcherStats {
         probe_tokens_visited(o.probe_tokens_visited.load()),
         scan_tokens_visited(o.scan_tokens_visited.load()),
         alpha_tests_evaluated(o.alpha_tests_evaluated.load()),
-        candidates_visited(o.candidates_visited.load()) {}
+        candidates_visited(o.candidates_visited.load()),
+        plans_built(o.plans_built.load()),
+        replans(o.replans.load()),
+        est_card_err_millinats(o.est_card_err_millinats.load()),
+        est_card_samples(o.est_card_samples.load()) {}
 };
 
 /// Interface shared by the four matching architectures the paper

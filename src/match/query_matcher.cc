@@ -17,6 +17,11 @@ Status QueryMatcher::AddRule(const Rule& rule) {
       return Status::NotFound("rule " + rule.name + ": relation " +
                               c.relation);
     }
+    // Register statistics for every LHS relation while registration is
+    // still single-threaded (seeding from current contents, so rules
+    // added after a preload see real cardinalities); the map is then
+    // frozen and OnBatch updates it lock-free from engine threads.
+    cat_stats_.Register(c.relation, rel);
     if (declare) {
       // Hash indexes on every attribute the executor can probe with a
       // bound equality (§4.1.2): seeded re-evaluation then touches only
@@ -45,7 +50,46 @@ Status QueryMatcher::AddRule(const Rule& rule) {
     bucket.push_back(CeRef{rule_index, static_cast<int>(ce)});
   }
   rules_.push_back(rule);
+  // Plan the rule's join sequence (syntactic when stats are empty — the
+  // usual case at registration time; the drift check upgrades it once
+  // data arrives). Copy-on-write republication keeps readers lock-free.
+  auto cur = plans_.load();
+  auto next = std::make_shared<std::vector<JoinPlan>>(*cur);
+  next->push_back(planner_.Plan(rule.lhs));
+  ++stats_.plans_built;
+  plans_.store(std::shared_ptr<const std::vector<JoinPlan>>(std::move(next)));
   return Status::OK();
+}
+
+void QueryMatcher::MaybeReplan(size_t deltas) {
+  if (!planner_.options().enable || rules_.empty()) return;
+  const uint64_t pending =
+      deltas_since_plan_check_.fetch_add(deltas, std::memory_order_relaxed) +
+      deltas;
+  if (pending < 64) return;  // rate-limit the drift scan
+  std::unique_lock<std::mutex> lock(replan_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another thread is already checking
+  deltas_since_plan_check_.store(0, std::memory_order_relaxed);
+  auto cur = plans_.load();
+  bool drift = false;
+  for (const JoinPlan& p : *cur) {
+    if (planner_.NeedsReplan(p)) {
+      drift = true;
+      break;
+    }
+  }
+  if (!drift) return;
+  // Off the batch counter path: re-sketch aged histograms/distinct
+  // bitmaps, then recompute every plan against the fresh statistics.
+  cat_stats_.RefreshStale(catalog_);
+  auto next = std::make_shared<std::vector<JoinPlan>>();
+  next->reserve(rules_.size());
+  for (const Rule& r : rules_) {
+    next->push_back(planner_.Plan(r.lhs));
+    ++stats_.plans_built;
+  }
+  ++stats_.replans;
+  plans_.store(std::shared_ptr<const std::vector<JoinPlan>>(std::move(next)));
 }
 
 void QueryMatcher::DispatchTargets(bool negated, const std::string& rel,
@@ -73,9 +117,31 @@ Status QueryMatcher::SeedMatches(int rule_index, int ce, TupleId id,
                                  const Tuple& t,
                                  std::vector<Instantiation>* out) {
   const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+  // Planned evaluation order (snapshot — replans swap the whole vector).
+  std::shared_ptr<const std::vector<JoinPlan>> plans;
+  const JoinPlan* plan = nullptr;
+  if (planner_.options().enable) {
+    plans = plans_.load();
+    if (static_cast<size_t>(rule_index) < plans->size()) {
+      plan = &(*plans)[static_cast<size_t>(rule_index)];
+    }
+  }
   std::vector<QueryMatch> matches;
   PRODB_RETURN_IF_ERROR(executor_.EvaluateSeeded(
-      rule.lhs, static_cast<size_t>(ce), id, t, &matches));
+      rule.lhs, static_cast<size_t>(ce), id, t, &matches,
+      plan == nullptr ? nullptr : &plan->order));
+  if (plan != nullptr) {
+    // Estimator quality: a seed pins one tuple of its relation, so the
+    // expected match count is est_final / |seed relation|.
+    const RelationStats* rs =
+        cat_stats_.Get(rule.lhs.conditions[static_cast<size_t>(ce)].relation);
+    const double card =
+        rs == nullptr ? 1.0
+                      : static_cast<double>(std::max<int64_t>(
+                            1, rs->cardinality()));
+    stats_.ObserveCardEstimate(plan->est_final / card,
+                               static_cast<double>(matches.size()));
+  }
   out->reserve(out->size() + matches.size());
   for (QueryMatch& m : matches) {
     ++stats_.tuples_examined;
@@ -101,8 +167,21 @@ Status QueryMatcher::SeedAndAdd(int rule_index, int ce, TupleId id,
 Status QueryMatcher::EvaluateRule(int rule_index,
                                   std::vector<Instantiation>* out) {
   const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+  std::shared_ptr<const std::vector<JoinPlan>> plans;
+  const JoinPlan* plan = nullptr;
+  if (planner_.options().enable) {
+    plans = plans_.load();
+    if (static_cast<size_t>(rule_index) < plans->size()) {
+      plan = &(*plans)[static_cast<size_t>(rule_index)];
+    }
+  }
   std::vector<QueryMatch> matches;
-  PRODB_RETURN_IF_ERROR(executor_.Evaluate(rule.lhs, &matches));
+  PRODB_RETURN_IF_ERROR(executor_.Evaluate(
+      rule.lhs, &matches, plan == nullptr ? nullptr : &plan->order));
+  if (plan != nullptr) {
+    stats_.ObserveCardEstimate(plan->est_final,
+                               static_cast<double>(matches.size()));
+  }
   out->reserve(out->size() + matches.size());
   for (QueryMatch& m : matches) {
     Instantiation inst;
@@ -118,6 +197,7 @@ Status QueryMatcher::EvaluateRule(int rule_index,
 
 Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
                               const Tuple& t) {
+  if (planner_.options().enable) cat_stats_.OnDelta(rel, t, +1);
   std::vector<uint32_t> cands;
   // Positive CEs over this class whose constant tests can accept the new
   // tuple: re-evaluate the LHS seeded with it (§4.1.2's re-computation
@@ -148,11 +228,13 @@ Status QueryMatcher::OnInsert(const std::string& rel, TupleId id,
       });
     }
   }
+  MaybeReplan(1);
   return Status::OK();
 }
 
 Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
                               const Tuple& t) {
+  if (planner_.options().enable) cat_stats_.OnDelta(rel, t, -1);
   // Drop instantiations that referenced the deleted tuple at a CE over
   // this relation.
   conflict_set_.RemoveIf([&](const Instantiation& inst) {
@@ -180,6 +262,7 @@ Status QueryMatcher::OnDelete(const std::string& rel, TupleId id,
       for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
     }
   }
+  MaybeReplan(1);
   return Status::OK();
 }
 
@@ -190,6 +273,7 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
     return d.is_insert() ? OnInsert(d.relation, d.id, d.tuple)
                          : OnDelete(d.relation, d.id, d.tuple);
   }
+  if (planner_.options().enable) cat_stats_.OnBatch(batch);
   const bool sharded = sharding_.enabled();
   std::unique_lock<std::mutex> lock(batch_mu_, std::defer_lock);
   if (sharded) lock.lock();
@@ -345,6 +429,7 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
       ++stats_.propagations;
       for (Instantiation& inst : insts) conflict_set_.Add(std::move(inst));
     }
+    MaybeReplan(batch.size());
     return Status::OK();
   }
   // Sharded step 4: full re-evaluations fan out one rule per task,
@@ -382,6 +467,7 @@ Status QueryMatcher::OnBatch(const ChangeSet& batch) {
       }
     }
   }
+  MaybeReplan(batch.size());
   return Status::OK();
 }
 

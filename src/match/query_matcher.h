@@ -10,8 +10,10 @@
 
 #include "common/thread_pool.h"
 #include "db/executor.h"
+#include "db/stats.h"
 #include "match/discrimination.h"
 #include "match/matcher.h"
+#include "plan/planner.h"
 
 namespace prodb {
 
@@ -31,13 +33,21 @@ class QueryMatcher : public Matcher {
   /// commits stay in delta order, so results and recency stamps are
   /// byte-identical to the serial path. Evaluation is read-only against
   /// post-batch WM, which is what makes the fan-out safe.
+  /// `planner` (when enabled) plans each rule's join sequence from
+  /// catalog statistics at AddRule time and re-plans when cardinalities
+  /// drift past planner.replan_drift; off, evaluation order is exactly
+  /// the historical PlanOrder path.
   explicit QueryMatcher(Catalog* catalog, ExecutorOptions exec_options = {},
-                        ShardingOptions sharding = {})
+                        ShardingOptions sharding = {},
+                        PlannerOptions planner = {})
       : catalog_(catalog),
         executor_(catalog, exec_options),
+        planner_(&cat_stats_, planner),
         sharding_(sharding),
         shard_map_(sharding) {
     executor_.set_stats(&stats_);
+    if (planner.enable) executor_.set_planner_stats(&cat_stats_);
+    plans_.store(std::make_shared<const std::vector<JoinPlan>>());
     if (sharding_.enabled()) {
       shard_stats_.resize(shard_map_.num_shards());
       size_t threads = sharding_.threads == 0 ? shard_map_.num_shards()
@@ -60,8 +70,15 @@ class QueryMatcher : public Matcher {
   size_t AuxiliaryFootprintBytes() const override;
   const MatcherStats& stats() const override { return stats_; }
   std::string name() const override {
-    return sharding_.enabled() ? "query-shard" : "query";
+    std::string base = sharding_.enabled() ? "query-shard" : "query";
+    return planner_.options().enable ? base + "-plan" : base;
   }
+
+  /// Current per-rule plans (read-only snapshot; tests/benchmarks).
+  std::shared_ptr<const std::vector<JoinPlan>> plans() const {
+    return plans_.load();
+  }
+  const CatalogStats& catalog_stats() const { return cat_stats_; }
   const std::vector<Rule>& rules() const override { return rules_; }
   std::vector<ShardStats> ShardStatsSnapshot() const override;
 
@@ -93,8 +110,26 @@ class QueryMatcher : public Matcher {
   void DispatchTargets(bool negated, const std::string& rel, size_t n,
                        const Tuple& t, std::vector<uint32_t>* out);
 
+  /// Drift check + re-plan, rate-limited and serialized by replan_mu_
+  /// (try_lock: concurrent callers skip rather than queue). New plans
+  /// publish through the atomic shared_ptr, so readers mid-evaluation
+  /// keep a consistent snapshot.
+  void MaybeReplan(size_t deltas);
+
   Catalog* catalog_;
   Executor executor_;
+  // Incremental catalog statistics over the rules' LHS relations,
+  // registered at AddRule (single-threaded) and updated lock-free from
+  // OnInsert/OnDelete/OnBatch — the Seal()-style publication contract
+  // documented on CatalogStats.
+  CatalogStats cat_stats_;
+  JoinPlanner planner_;
+  // Per-rule plans (index = rule). Copy-on-write: replans build a fresh
+  // vector and swap; the concurrent engine's worker threads load
+  // without a lock.
+  std::atomic<std::shared_ptr<const std::vector<JoinPlan>>> plans_;
+  std::mutex replan_mu_;
+  std::atomic<uint64_t> deltas_since_plan_check_{0};
   std::vector<Rule> rules_;
   // Class name -> positive / negated condition elements over it.
   std::unordered_map<std::string, std::vector<CeRef>> positive_by_class_;

@@ -1,0 +1,54 @@
+#include "plan/card_est.h"
+
+#include <algorithm>
+#include <map>
+
+namespace prodb {
+
+double CardinalityEstimator::RelationCard(const ConditionSpec& cond) const {
+  const RelationStats* r = Rel(cond);
+  return r == nullptr ? 0.0 : static_cast<double>(r->cardinality());
+}
+
+double CardinalityEstimator::SelectionCard(const ConditionSpec& cond) const {
+  const RelationStats* r = Rel(cond);
+  if (r == nullptr) return 0.0;
+  double card = static_cast<double>(r->cardinality());
+  for (const ConstantTest& t : cond.constant_tests) {
+    card *= r->SelectivityCmp(t.attr, t.op, t.constant);
+  }
+  return card;
+}
+
+double CardinalityEstimator::JoinFanout(const ConditionSpec& cond,
+                                        const std::vector<bool>& bound) const {
+  const RelationStats* r = Rel(cond);
+  double fanout = SelectionCard(cond);
+  if (r == nullptr) return fanout;
+  // Per variable, the most selective join factor among its occurrences
+  // (several occurrences of one variable are not independent filters).
+  std::map<int, double> per_var;
+  for (const VarUse& u : cond.var_uses) {
+    if (static_cast<size_t>(u.var) >= bound.size() ||
+        !bound[static_cast<size_t>(u.var)]) {
+      continue;
+    }
+    double factor;
+    if (u.op == CompareOp::kEq || u.op == CompareOp::kNe) {
+      factor = u.op == CompareOp::kEq
+                   ? 1.0 / std::max(1.0, r->DistinctEstimate(u.attr))
+                   : 1.0;
+    } else {
+      factor = 1.0 / 3.0;  // ordered comparison against a bound value
+    }
+    auto [it, fresh] = per_var.emplace(u.var, factor);
+    if (!fresh) it->second = std::min(it->second, factor);
+  }
+  for (const auto& [var, factor] : per_var) {
+    (void)var;
+    fanout *= factor;
+  }
+  return fanout;
+}
+
+}  // namespace prodb

@@ -1,0 +1,47 @@
+#ifndef PRODB_PLAN_CARD_EST_H_
+#define PRODB_PLAN_CARD_EST_H_
+
+#include <vector>
+
+#include "db/predicate.h"
+#include "db/stats.h"
+
+namespace prodb {
+
+/// Cardinality estimation over the incrementally maintained catalog
+/// statistics (src/db/stats.h) — System-R style independence assumptions
+/// over per-attribute distinct counts and equi-width histograms.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const CatalogStats* stats)
+      : stats_(stats) {}
+
+  /// Estimated tuples of `cond`'s relation passing its constant tests
+  /// (filter pushdown: the selection is applied before the CE joins).
+  double SelectionCard(const ConditionSpec& cond) const;
+
+  /// Expected matches of `cond` per intermediate row whose eq-bound
+  /// variables are marked in `bound` (size >= the rule's num_vars):
+  ///   SelectionCard(cond) x prod over joining vars of their most
+  ///   selective factor (1/distinct for an equality occurrence, 1/3 for
+  ///   an ordered comparison against a bound variable).
+  /// A CE sharing no bound variable degenerates to a cross product.
+  double JoinFanout(const ConditionSpec& cond,
+                    const std::vector<bool>& bound) const;
+
+  /// Raw cardinality of `cond`'s relation (0 when unregistered).
+  double RelationCard(const ConditionSpec& cond) const;
+
+  const CatalogStats* stats() const { return stats_; }
+
+ private:
+  const RelationStats* Rel(const ConditionSpec& cond) const {
+    return stats_ == nullptr ? nullptr : stats_->Get(cond.relation);
+  }
+
+  const CatalogStats* stats_;
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_PLAN_CARD_EST_H_

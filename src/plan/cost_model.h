@@ -1,0 +1,43 @@
+#ifndef PRODB_PLAN_COST_MODEL_H_
+#define PRODB_PLAN_COST_MODEL_H_
+
+#include <vector>
+
+namespace prodb {
+
+/// Token-visits cost model for a left-deep join chain.
+///
+/// The unit is "tokens visited", the quantity the matchers already count
+/// (`probe_tokens_visited` for keyed lookups, `scan_tokens_visited` /
+/// `candidates_visited` for the unkeyed paths): maintaining a chain whose
+/// intermediate result after level k holds C_k rows costs, per unit of
+/// input churn, work proportional to the C_k that the deltas flow
+/// through. A keyed probe at level k visits the joining tokens — in
+/// expectation C_k per left arrival over the chain's lifetime — and each
+/// surviving intermediate token is materialized into a memory
+/// (`patterns_stored`). Both are linear in C_k, so the chain cost
+/// collapses to a weighted sum of the intermediate cardinalities; the
+/// weights below were calibrated by regressing the counters from
+/// `bench_join_planning` against the estimates (probe visits and token
+/// builds cost within ~2x of each other on the memory store, so 1:1 is
+/// the honest default — the *ordering* of plans is insensitive to the
+/// exact ratio).
+struct CostModel {
+  double probe_visit_weight = 1.0;
+  double token_build_weight = 1.0;
+
+  /// `level_cards[k]` = estimated rows after joining the first k+1
+  /// positive CEs. level 0 feeds the chain (alpha output — paid under
+  /// any order), levels >= 1 are the planner's to minimize.
+  double ChainCost(const std::vector<double>& level_cards) const {
+    double cost = 0.0;
+    for (size_t k = 1; k < level_cards.size(); ++k) {
+      cost += (probe_visit_weight + token_build_weight) * level_cards[k];
+    }
+    return cost;
+  }
+};
+
+}  // namespace prodb
+
+#endif  // PRODB_PLAN_COST_MODEL_H_

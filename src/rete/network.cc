@@ -78,7 +78,8 @@ struct ReteNetwork::JoinNode {
   int rule = -1;  // rule whose compilation created the node (structure
                   // is identical for every rule sharing it)
   size_t level = 0;
-  size_t ce = 0;  // CE slot this node's right input covers
+  size_t ce = 0;  // textual CE slot (of `rule`) this node's right input
+                  // covers; tokens are indexed by `level`, not by this
   bool negated = false;
   // Head-tuple partition filter (hot-rule replicas only): a level-0
   // activation enters this chain iff HashId(id) % part_mod == part_idx,
@@ -93,7 +94,7 @@ struct ReteNetwork::JoinNode {
   // at right_key[i].attr for a pair to join. Empty when the node has no
   // equality join test (or indexing is off) — memories are scanned.
   std::vector<TokenKeyCol> left_key;
-  std::vector<TokenKeyCol> right_key;  // pos == ce for every entry
+  std::vector<TokenKeyCol> right_key;  // pos == level for every entry
   std::unordered_map<std::string, int> neg_counts;
   std::vector<JoinNode*> children;
   std::vector<int> productions;  // rule indices satisfied at this node
@@ -129,8 +130,17 @@ struct ReteNetwork::Shard {
   ShardStats sstats;
 };
 
+namespace {
+/// Deltas between drift checks: cheap enough to keep replans timely,
+/// coarse enough that the check never shows on the per-delta path.
+constexpr uint64_t kReplanCheckInterval = 64;
+}  // namespace
+
 ReteNetwork::ReteNetwork(Catalog* catalog, ReteOptions options)
-    : catalog_(catalog), options_(options), shard_map_(options.sharding) {
+    : catalog_(catalog),
+      options_(options),
+      shard_map_(options.sharding),
+      planner_(&cat_stats_, options.planner) {
   const size_t n = shard_map_.num_shards();
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -153,10 +163,24 @@ ReteNetwork::~ReteNetwork() = default;
 
 Status ReteNetwork::AddRule(const Rule& rule) {
   int rule_index = static_cast<int>(rules_.size());
+  // Register LHS relations with the stats catalog (seeding from current
+  // contents) before planning, so an AddRule after a WM preload already
+  // plans against real cardinalities.
+  for (const ConditionSpec& c : rule.lhs.conditions) {
+    Relation* rel = catalog_->Get(c.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("rule " + rule.name + ": relation " +
+                              c.relation);
+    }
+    cat_stats_.Register(c.relation, rel);
+  }
   rules_.push_back(rule);
+  plans_.push_back(planner_.Plan(rule.lhs));
+  ++stats_.plans_built;
   Status st = BuildRule(rule, rule_index);
   if (!st.ok()) {
     rules_.pop_back();
+    plans_.pop_back();
     if (join_order_.size() > rules_.size()) join_order_.pop_back();
   }
   return st;
@@ -165,16 +189,12 @@ Status ReteNetwork::AddRule(const Rule& rule) {
 Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
   const size_t n = rule.lhs.conditions.size();
 
-  // Join order: positive CEs in LHS order (the paper's fixed left-deep
-  // plan), then negated CEs.
-  std::vector<size_t> order;
-  for (size_t i = 0; i < n; ++i) {
-    if (!rule.lhs.conditions[i].negated) order.push_back(i);
-  }
-  size_t num_positive = order.size();
-  for (size_t i = 0; i < n; ++i) {
-    if (rule.lhs.conditions[i].negated) order.push_back(i);
-  }
+  // Join order from the rule's current plan: the planner's cost-based
+  // positive order when enabled (§3.2's "fixed access plan" lifted), the
+  // syntactic positive-then-negated order otherwise.
+  const std::vector<size_t>& order = plans_[static_cast<size_t>(rule_index)].order;
+  const size_t num_positive =
+      plans_[static_cast<size_t>(rule_index)].num_positive;
 
   // Per-CE class arities (for relation-backed token rows).
   std::vector<size_t> class_arity(n, 0);
@@ -190,7 +210,10 @@ Status ReteNetwork::BuildRule(const Rule& rule, int rule_index) {
     return Status::InvalidArgument("rule " + rule.name +
                                    ": no positive condition element");
   }
-  join_order_.push_back(order);
+  if (join_order_.size() <= static_cast<size_t>(rule_index)) {
+    join_order_.resize(static_cast<size_t>(rule_index) + 1);
+  }
+  join_order_[static_cast<size_t>(rule_index)] = order;
 
   // Shard placement: a rule compiles into the shard owning its head
   // class (the first positive CE — the chain's level-0 input). A *hot*
@@ -249,20 +272,21 @@ Status ReteNetwork::BuildRuleInShard(const Rule& rule, int rule_index,
 
   // Equality-join key schema of the node at join-order level `k` covering
   // CE `ce`: one column pair per variable that has an equality occurrence
-  // in `ce` and is bound by an earlier positive CE of the chain. The
-  // probe is a necessary condition — TupleConsistent still runs on every
-  // visited pair — so extra non-equality tests only make the probe
+  // in `ce` and is bound by an earlier positive CE of the chain. Key
+  // positions are join-order *levels* (tokens are level-indexed), so the
+  // schema — like the whole chain — is independent of textual CE slots.
+  // The probe is a necessary condition — TupleConsistent still runs on
+  // every visited pair — so extra non-equality tests only make the probe
   // conservative, never wrong.
   auto compute_keys = [&](size_t k, size_t ce, JoinNode* node) {
     if (!options_.index_memories) return;
     for (const auto& [var, attr] : binder[ce]) {
-      for (size_t j = 0; j < k; ++j) {
+      for (size_t j = 0; j < k && j < num_positive; ++j) {
         size_t p = order[j];
-        if (rule.lhs.conditions[p].negated) continue;
         auto it = binder[p].find(var);
         if (it == binder[p].end()) continue;
-        node->left_key.push_back(TokenKeyCol{p, it->second});
-        node->right_key.push_back(TokenKeyCol{ce, attr});
+        node->left_key.push_back(TokenKeyCol{j, it->second});
+        node->right_key.push_back(TokenKeyCol{k, attr});
         break;
       }
     }
@@ -313,17 +337,20 @@ Status ReteNetwork::BuildRuleInShard(const Rule& rule, int rule_index,
   };
 
   // Build the positive chain front to back, reusing shared prefixes.
-  // A prefix is shareable when every leading (CE slot, spec) pair is
-  // textually identical — the analyzer's first-occurrence variable
-  // numbering makes structurally identical prefixes compile identically.
-  // Hot (partition-filtered) chains carry a distinct sig prefix so they
-  // can never share a level-0 node with an unfiltered cold chain.
+  // A prefix is shareable when the leading condition specs are textually
+  // identical *in join order* — the analyzer's first-occurrence variable
+  // numbering makes structurally identical prefixes compile identically,
+  // and level-indexed tokens make the compiled chain independent of the
+  // CEs' textual slots (two rules whose planned prefixes agree share
+  // even when the shared CEs sit at different LHS positions; Produce
+  // remaps levels to each rule's own slots). Hot (partition-filtered)
+  // chains carry a distinct sig prefix so they can never share a level-0
+  // node with an unfiltered cold chain.
   JoinNode* tail = nullptr;
   std::string prefix_sig = hot ? "H|" : "";
   for (size_t k = 0; k < num_positive; ++k) {
     size_t ce = order[k];
-    prefix_sig += "@" + std::to_string(ce) +
-                  rule.lhs.conditions[ce].ToString() + "|";
+    prefix_sig += "@" + rule.lhs.conditions[ce].ToString() + "|";
     if (options_.share_beta) {
       auto it = shard->beta_index.find(prefix_sig);
       if (it != shard->beta_index.end()) {
@@ -342,14 +369,14 @@ Status ReteNetwork::BuildRuleInShard(const Rule& rule, int rule_index,
     }
     if (k > 0) {
       compute_keys(k, ce, node.get());
-      std::vector<size_t> arities(n, 0);
-      for (size_t p = 0; p < k; ++p) {
-        arities[order[p]] = class_arity[order[p]];
-      }
+      // LEFT tokens carry one tuple per positive level [0, k); RIGHT
+      // singles carry width k+1 with only slot k filled.
+      std::vector<size_t> arities(k, 0);
+      for (size_t p = 0; p < k; ++p) arities[p] = class_arity[order[p]];
       PRODB_RETURN_IF_ERROR(
           make_store("LEFT", k, arities, node->left_key, &node->left));
-      std::vector<size_t> right_arities(n, 0);
-      right_arities[ce] = class_arity[ce];
+      std::vector<size_t> right_arities(k + 1, 0);
+      right_arities[k] = class_arity[ce];
       PRODB_RETURN_IF_ERROR(make_store("RIGHT", k, right_arities,
                                        node->right_key, &node->right));
       tail->children.push_back(node.get());
@@ -360,7 +387,9 @@ Status ReteNetwork::BuildRuleInShard(const Rule& rule, int rule_index,
     shard->join_nodes.push_back(std::move(node));
   }
 
-  // Negated suffix: never shared (per-rule match counts).
+  // Negated suffix: never shared (per-rule match counts). Left tokens
+  // pass through negated nodes unwidened, so they stay at the positive
+  // chain's width.
   for (size_t k = num_positive; k < order.size(); ++k) {
     size_t ce = order[k];
     auto node = std::make_unique<JoinNode>();
@@ -369,16 +398,14 @@ Status ReteNetwork::BuildRuleInShard(const Rule& rule, int rule_index,
     node->ce = ce;
     node->negated = true;
     compute_keys(k, ce, node.get());
-    std::vector<size_t> arities(n, 0);
-    for (size_t p = 0; p < k; ++p) {
-      if (!rule.lhs.conditions[order[p]].negated) {
-        arities[order[p]] = class_arity[order[p]];
-      }
+    std::vector<size_t> arities(num_positive, 0);
+    for (size_t p = 0; p < num_positive; ++p) {
+      arities[p] = class_arity[order[p]];
     }
     PRODB_RETURN_IF_ERROR(
         make_store("LEFT", k, arities, node->left_key, &node->left));
-    std::vector<size_t> right_arities(n, 0);
-    right_arities[ce] = class_arity[ce];
+    std::vector<size_t> right_arities(k + 1, 0);
+    right_arities[k] = class_arity[ce];
     PRODB_RETURN_IF_ERROR(make_store("RIGHT", k, right_arities,
                                      node->right_key, &node->right));
     hook_alpha(ce, node.get());
@@ -403,11 +430,10 @@ bool ReteNetwork::RecomputeBinding(int rule, ReteToken* token,
   const auto& order = join_order_[static_cast<size_t>(rule)];
   token->binding.assign(static_cast<size_t>(r.lhs.num_vars), std::nullopt);
   for (size_t k = 0; k < upto && k < order.size(); ++k) {
-    size_t ce = order[k];
-    if (ce >= token->ids.size() || token->ids[ce] == ReteToken::kNoTuple) {
+    if (k >= token->ids.size() || token->ids[k] == ReteToken::kNoTuple) {
       continue;
     }
-    if (!TupleConsistent(r.lhs.conditions[ce], token->tuples[ce],
+    if (!TupleConsistent(r.lhs.conditions[order[k]], token->tuples[k],
                          &token->binding)) {
       return false;
     }
@@ -417,15 +443,25 @@ bool ReteNetwork::RecomputeBinding(int rule, ReteToken* token,
 
 Status ReteNetwork::Produce(Shard* shard, int rule, const ReteToken& token,
                             bool positive) {
+  // Reseed replays rebuild the token memories only; the conflict set was
+  // never torn down and is already correct.
+  if (reseeding_) return Status::OK();
   const Rule& r = rules_[static_cast<size_t>(rule)];
+  const auto& order = join_order_[static_cast<size_t>(rule)];
   const size_t n = r.lhs.conditions.size();
   Instantiation inst;
   inst.rule_index = rule;
   inst.rule_name = r.name;
-  inst.tuple_ids = token.ids;
-  inst.tuples = token.tuples;
-  inst.tuple_ids.resize(n, Instantiation::kNoTuple);
-  inst.tuples.resize(n, Tuple());
+  // Tokens are level-indexed in join order; instantiations are slotted
+  // by textual CE position — remap through the rule's order.
+  inst.tuple_ids.assign(n, Instantiation::kNoTuple);
+  inst.tuples.assign(n, Tuple());
+  const size_t width = std::min(order.size(), token.ids.size());
+  for (size_t k = 0; k < width; ++k) {
+    if (token.ids[k] == ReteToken::kNoTuple) continue;
+    inst.tuple_ids[order[k]] = token.ids[k];
+    inst.tuples[order[k]] = token.tuples[k];
+  }
   inst.binding = token.binding;
   inst.binding.resize(static_cast<size_t>(r.lhs.num_vars), std::nullopt);
   ++shard->sstats.conflict_ops;
@@ -519,7 +555,7 @@ Status ReteNetwork::ActivateLeft(Shard* shard, JoinNode* node,
         ++stats_.tuples_examined;
         Binding b = token.binding;
         if (b.size() < want_vars) b.resize(want_vars, std::nullopt);
-        if (TupleConsistent(cond, r.tuples[node->ce], &b)) ++count;
+        if (TupleConsistent(cond, r.tuples[node->level], &b)) ++count;
         return Status::OK();
       }));
       node->neg_counts[token.Key()] = count;
@@ -532,12 +568,12 @@ Status ReteNetwork::ActivateLeft(Shard* shard, JoinNode* node,
       if (merged.binding.size() < want_vars) {
         merged.binding.resize(want_vars, std::nullopt);
       }
-      if (!TupleConsistent(cond, r.tuples[node->ce], &merged.binding)) {
+      if (!TupleConsistent(cond, r.tuples[node->level], &merged.binding)) {
         return Status::OK();
       }
-      EnsureWidth(&merged, node->ce);
-      merged.ids[node->ce] = r.ids[node->ce];
-      merged.tuples[node->ce] = r.tuples[node->ce];
+      EnsureWidth(&merged, node->level);
+      merged.ids[node->level] = r.ids[node->level];
+      merged.tuples[node->level] = r.tuples[node->level];
       return Descend(shard, node, merged, true);
     });
   }
@@ -560,12 +596,12 @@ Status ReteNetwork::ActivateLeft(Shard* shard, JoinNode* node,
     if (merged.binding.size() < want_vars) {
       merged.binding.resize(want_vars, std::nullopt);
     }
-    if (!TupleConsistent(cond, r.tuples[node->ce], &merged.binding)) {
+    if (!TupleConsistent(cond, r.tuples[node->level], &merged.binding)) {
       return Status::OK();
     }
-    EnsureWidth(&merged, node->ce);
-    merged.ids[node->ce] = r.ids[node->ce];
-    merged.tuples[node->ce] = r.tuples[node->ce];
+    EnsureWidth(&merged, node->level);
+    merged.ids[node->level] = r.ids[node->level];
+    merged.tuples[node->level] = r.tuples[node->level];
     return Descend(shard, node, merged, false);
   });
 }
@@ -574,12 +610,12 @@ Status ReteNetwork::ActivateRightBatch(
     Shard* shard, JoinNode* node, const std::vector<RightActivation>& acts) {
   ++stats_.propagations;
   const Rule& rule = rules_[static_cast<size_t>(node->rule)];
-  const size_t n = rule.lhs.conditions.size();
   const ConditionSpec& cond = rule.lhs.conditions[node->ce];
 
-  // Head node: no LEFT memory; each tuple becomes a token on its own.
-  // Hot-rule replicas accept only their head-tuple partition here — the
-  // single filter that keeps replicated chains disjoint across shards.
+  // Head node: no LEFT memory; each tuple becomes a width-1 token (slot
+  // = level 0 of the chain) on its own. Hot-rule replicas accept only
+  // their head-tuple partition here — the single filter that keeps
+  // replicated chains disjoint across shards.
   if (node->level == 0) {
     for (const RightActivation& a : acts) {
       if (node->part_mod > 1 &&
@@ -587,13 +623,11 @@ Status ReteNetwork::ActivateRightBatch(
         continue;
       }
       ReteToken token;
-      token.ids.assign(n, ReteToken::kNoTuple);
-      token.tuples.assign(n, Tuple());
       token.binding.assign(static_cast<size_t>(rule.lhs.num_vars),
                            std::nullopt);
       if (!TupleConsistent(cond, *a.tuple, &token.binding)) continue;
-      token.ids[node->ce] = a.id;
-      token.tuples[node->ce] = *a.tuple;
+      token.ids.assign(1, a.id);
+      token.tuples.assign(1, *a.tuple);
       PRODB_RETURN_IF_ERROR(Descend(shard, node, token, a.positive));
     }
     return Status::OK();
@@ -615,10 +649,10 @@ Status ReteNetwork::ActivateRightBatch(
       if (!TupleConsistent(cond, *a.tuple, &b, &deferred)) continue;
     }
     ReteToken single;
-    single.ids.assign(n, ReteToken::kNoTuple);
-    single.tuples.assign(n, Tuple());
-    single.ids[node->ce] = a.id;
-    single.tuples[node->ce] = *a.tuple;
+    single.ids.assign(node->level + 1, ReteToken::kNoTuple);
+    single.tuples.assign(node->level + 1, Tuple());
+    single.ids[node->level] = a.id;
+    single.tuples[node->level] = *a.tuple;
     if (a.positive) {
       PRODB_RETURN_IF_ERROR(node->right->Add(single));
       ++stats_.patterns_stored;
@@ -652,9 +686,9 @@ Status ReteNetwork::ActivateRightBatch(
     }
     ReteToken merged = l;
     merged.binding = std::move(b);
-    EnsureWidth(&merged, node->ce);
-    merged.ids[node->ce] = a.id;
-    merged.tuples[node->ce] = *a.tuple;
+    EnsureWidth(&merged, node->level);
+    merged.ids[node->level] = a.id;
+    merged.tuples[node->level] = *a.tuple;
     return Descend(shard, node, merged, a.positive);
   };
 
@@ -790,26 +824,29 @@ Status ReteNetwork::PropagateGroup(Shard* shard, const std::string& rel,
 Status ReteNetwork::OnInsert(const std::string& rel, TupleId id,
                              const Tuple& t) {
   std::lock_guard<std::mutex> lock(batch_mu_);
+  if (options_.planner.enable) cat_stats_.OnDelta(rel, t, +1);
   one_act_.assign(1, RightActivation{id, &t, /*positive=*/true});
   for (auto& shard : shards_) {
     PRODB_RETURN_IF_ERROR(PropagateGroup(shard.get(), rel, one_act_));
   }
-  return Status::OK();
+  return MaybeReplan(1);
 }
 
 Status ReteNetwork::OnDelete(const std::string& rel, TupleId id,
                              const Tuple& t) {
   std::lock_guard<std::mutex> lock(batch_mu_);
+  if (options_.planner.enable) cat_stats_.OnDelta(rel, t, -1);
   one_act_.assign(1, RightActivation{id, &t, /*positive=*/false});
   for (auto& shard : shards_) {
     PRODB_RETURN_IF_ERROR(PropagateGroup(shard.get(), rel, one_act_));
   }
-  return Status::OK();
+  return MaybeReplan(1);
 }
 
 Status ReteNetwork::OnBatch(const ChangeSet& batch) {
   std::lock_guard<std::mutex> lock(batch_mu_);
   ++stats_.batches;
+  if (options_.planner.enable) cat_stats_.OnBatch(batch);
   // Group same-relation deltas, preserving their relative order (ids are
   // never reused, so cross-relation reordering cannot invert an
   // insert/delete pair of the same tuple). Groups run in first-appearance
@@ -828,7 +865,7 @@ Status ReteNetwork::OnBatch(const ChangeSet& batch) {
       PRODB_RETURN_IF_ERROR(
           PropagateGroup(shards_[0].get(), *rel, groups.at(*rel)));
     }
-    return Status::OK();
+    return MaybeReplan(batch.size());
   }
 
   // Sharded propagation: every shard walks the grouped deltas (its
@@ -875,7 +912,128 @@ Status ReteNetwork::OnBatch(const ChangeSet& batch) {
       shard->ops.clear();
     }
   }
-  return first;
+  if (!first.ok()) return first;
+  return MaybeReplan(batch.size());
+}
+
+Status ReteNetwork::MaybeReplan(size_t deltas) {
+  if (!options_.planner.enable || rules_.empty()) return Status::OK();
+  deltas_since_plan_check_ += deltas;
+  if (deltas_since_plan_check_ < kReplanCheckInterval) return Status::OK();
+  deltas_since_plan_check_ = 0;
+  bool drift = false;
+  for (const JoinPlan& p : plans_) {
+    if (planner_.NeedsReplan(p)) {
+      drift = true;
+      break;
+    }
+  }
+  if (!drift) return Status::OK();
+  return ReplanAll();
+}
+
+Status ReteNetwork::ForceReplan() {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  if (rules_.empty()) return Status::OK();
+  return ReplanAll();
+}
+
+Status ReteNetwork::ReplanAll() {
+  // Off the per-delta counter path: re-sketch aged histograms / distinct
+  // bitmaps, then recompute every plan against the fresh statistics.
+  cat_stats_.RefreshStale(catalog_);
+  // Estimator accounting: compare each rule's live instantiation count
+  // against the fresh estimate (same stats either way, so the sample
+  // measures the estimator, not plan staleness).
+  std::vector<uint64_t> actual(rules_.size(), 0);
+  for (const Instantiation& inst : conflict_set_.Snapshot()) {
+    if (inst.rule_index >= 0 &&
+        static_cast<size_t>(inst.rule_index) < actual.size()) {
+      ++actual[static_cast<size_t>(inst.rule_index)];
+    }
+  }
+  bool changed = false;
+  std::vector<JoinPlan> next;
+  next.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    next.push_back(planner_.Plan(rules_[i].lhs));
+    ++stats_.plans_built;
+    stats_.ObserveCardEstimate(next[i].est_final,
+                               static_cast<double>(actual[i]));
+    if (next[i].order != plans_[i].order) changed = true;
+  }
+  plans_ = std::move(next);
+  ++stats_.replans;
+  // Unchanged orders only refresh the drift snapshots — the compiled
+  // network is still the cheapest known, keep its token memories.
+  if (!changed) return Status::OK();
+  return RebuildAndReseed();
+}
+
+Status ReteNetwork::RebuildAndReseed() {
+  // Tear down the compiled network, keeping per-shard counters. The
+  // DBMS-backed token relations must be dropped from the catalog before
+  // the stores that own them go away.
+  for (auto& shard : shards_) {
+    if (options_.dbms_backed) {
+      for (const auto& node : shard->join_nodes) {
+        for (TokenStore* s : {node->left.get(), node->right.get()}) {
+          auto* rs = dynamic_cast<RelationTokenStore*>(s);
+          if (rs != nullptr) {
+            PRODB_RETURN_IF_ERROR(
+                catalog_->Drop(rs->relation()->schema().name()));
+          }
+        }
+      }
+    }
+    auto fresh = std::make_unique<Shard>();
+    fresh->index = shard->index;
+    fresh->sstats = shard->sstats;
+    shard = std::move(fresh);
+  }
+  // Recompile every rule under its new plan.
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    PRODB_RETURN_IF_ERROR(BuildRule(rules_[i], static_cast<int>(i)));
+  }
+  // Reseed token memories by replaying WM through the fresh network with
+  // Produce suppressed (the conflict set was never torn down). Replay
+  // order across classes is irrelevant: all activations are inserts, and
+  // negated-node bookkeeping nets out the same whichever side arrives
+  // first.
+  reseeding_ = true;
+  Status st = ReseedFromRelations();
+  reseeding_ = false;
+  // patterns_stored is a resident-token gauge; the rebuild dropped the
+  // old stores without decrementing it, so recompute from the survivors.
+  stats_.patterns_stored.store(TokenCount(), std::memory_order_relaxed);
+  return st;
+}
+
+Status ReteNetwork::ReseedFromRelations() {
+  // Sorted class set: deterministic replay regardless of rule order.
+  std::set<std::string> classes;
+  for (const Rule& r : rules_) {
+    for (const ConditionSpec& c : r.lhs.conditions) classes.insert(c.relation);
+  }
+  for (const std::string& cls : classes) {
+    Relation* rel = catalog_->Get(cls);
+    if (rel == nullptr) continue;
+    std::vector<std::pair<TupleId, Tuple>> rows;
+    rows.reserve(rel->Count());
+    PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId id, const Tuple& t) {
+      rows.emplace_back(id, t);
+      return Status::OK();
+    }));
+    std::vector<RightActivation> group;
+    group.reserve(rows.size());
+    for (const auto& [id, t] : rows) {
+      group.push_back(RightActivation{id, &t, /*positive=*/true});
+    }
+    for (auto& shard : shards_) {
+      PRODB_RETURN_IF_ERROR(PropagateGroup(shard.get(), cls, group));
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<ShardStats> ReteNetwork::ShardStatsSnapshot() const {

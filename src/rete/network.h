@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "db/stats.h"
 #include "match/discrimination.h"
 #include "match/matcher.h"
 #include "match/sharding.h"
+#include "plan/planner.h"
 #include "rete/token_store.h"
 
 namespace prodb {
@@ -34,6 +36,14 @@ struct ReteOptions {
   bool share_beta = true;
   /// Storage backend for LEFT/RIGHT relations when dbms_backed.
   StorageKind memory_storage = StorageKind::kMemory;
+  /// Cost-based beta-chain ordering from incremental catalog statistics:
+  /// each rule's positive CEs compile in the planner's order instead of
+  /// LHS order — lifting the "fixed access plan" limitation the paper
+  /// pins on Rete (§3.2). Cardinality drift past planner.replan_drift
+  /// triggers a rebuild of the join network under fresh plans, with token
+  /// memories reseeded from WM (conflict set untouched). Off preserves
+  /// the syntactic textual order exactly.
+  PlannerOptions planner;
   /// Maintain equality-join-key indexes on LEFT/RIGHT memories and probe
   /// them instead of scanning — §4.1.2's indexing idea applied to the
   /// token memories. Off reproduces the "access of the opposite memory"
@@ -105,6 +115,7 @@ class ReteNetwork : public Matcher {
   const MatcherStats& stats() const override { return stats_; }
   std::string name() const override {
     std::string base = options_.dbms_backed ? "rete-dbms" : "rete";
+    if (options_.planner.enable) base += "-plan";
     return options_.sharding.enabled() ? base + "-shard" : base;
   }
   const std::vector<Rule>& rules() const override { return rules_; }
@@ -113,6 +124,15 @@ class ReteNetwork : public Matcher {
   ReteTopology Topology() const;
   /// Total tokens resident in LEFT+RIGHT memories (summed over shards).
   size_t TokenCount() const;
+
+  /// Current per-rule plans (index = rule; tests/benchmarks).
+  const std::vector<JoinPlan>& plans() const { return plans_; }
+  const CatalogStats& catalog_stats() const { return cat_stats_; }
+  /// Re-plans every rule against refreshed statistics immediately and
+  /// rebuilds + reseeds the join network if any order changed
+  /// (tests/benchmarks; the production trigger is cardinality drift,
+  /// checked after each batch).
+  Status ForceReplan();
 
  protected:
   MatcherStats* mutable_stats() override { return &stats_; }
@@ -173,16 +193,41 @@ class ReteNetwork : public Matcher {
                         const std::vector<RightActivation>& group);
   /// Token passed all joins of a rule: update the conflict set (directly
   /// on the serial path, via the shard's op buffer inside a parallel
-  /// batch).
+  /// batch; suppressed during reseeds — the set is already correct).
   Status Produce(Shard* shard, int rule, const ReteToken& token,
                  bool positive);
+
+  /// Drift check + re-plan, rate-limited to every kReplanCheckInterval
+  /// deltas. Called at the end of OnInsert/OnDelete/OnBatch under
+  /// batch_mu_, when WM relations and token memories agree.
+  Status MaybeReplan(size_t deltas);
+  /// Re-plans all rules against fresh stats; rebuilds when an order
+  /// changed. Observes est-vs-actual accuracy of the outgoing plans.
+  Status ReplanAll();
+  /// Tears down the compiled network (dropping DBMS-backed token
+  /// relations), recompiles every rule under plans_, and replays WM
+  /// through the fresh network with Produce suppressed.
+  Status RebuildAndReseed();
+  Status ReseedFromRelations();
 
   Catalog* catalog_;
   ReteOptions options_;
   ShardMap shard_map_;
+  // Incremental catalog statistics over the rules' LHS relations,
+  // registered at AddRule (single-threaded per the Matcher contract) and
+  // updated from the propagation entry points under batch_mu_.
+  CatalogStats cat_stats_;
+  JoinPlanner planner_;
   std::vector<Rule> rules_;
-  // Per rule, the positive-then-negated CE order the join chain uses.
+  // Per rule, the current JoinPlan (order + estimates + drift snapshot).
+  std::vector<JoinPlan> plans_;
+  // Per rule, the positive-then-negated CE order the join chain uses
+  // (== plans_[i].order; kept separate for hot-path access).
   std::vector<std::vector<size_t>> join_order_;
+  // Deltas since the last drift check (guarded by batch_mu_).
+  uint64_t deltas_since_plan_check_ = 0;
+  // True while ReseedFromRelations replays WM: Produce becomes a no-op.
+  bool reseeding_ = false;
   // Sub-networks; exactly one when sharding is off.
   std::vector<std::unique_ptr<Shard>> shards_;
   // Workers for the sharded OnBatch fan-out (absent when serial or

@@ -14,8 +14,15 @@ namespace prodb {
 /// Tuples are tagged "+" or "−" when flowing through the network (§3.1);
 /// the sign travels alongside the token rather than inside it.
 ///
-/// Vectors are full-width (one slot per CE of the rule); positions not
-/// yet joined — and negated positions — hold kNoTuple / empty tuples.
+/// Vectors are indexed by join-order *level* (slot k = the CE the chain
+/// joins k-th), not by textual CE position — so a chain compiled under a
+/// planner-chosen order stores the same tokens as the identically-ordered
+/// prefix of any other rule, which is what makes beta-prefix sharing
+/// independent of LHS slot numbering. Width grows with depth: a token
+/// that has joined k positive CEs has width k (negated levels never
+/// widen it); unfilled slots of right-input singles hold kNoTuple /
+/// empty tuples. The production node remaps levels back to textual CE
+/// slots when instantiations are emitted.
 struct ReteToken {
   std::vector<TupleId> ids;
   std::vector<Tuple> tuples;

@@ -37,6 +37,25 @@ ShardingOptions TestSharding(bool hot = false) {
   return so;
 }
 
+// 8 shards on 8 threads: the wide end of the planner x sharding matrix
+// (the serial -plan variants are the 1-thread end).
+ShardingOptions WideSharding() {
+  ShardingOptions so;
+  so.num_shards = 8;
+  so.threads = 8;
+  return so;
+}
+
+// Aggressive drift threshold so the short test traces cross it and the
+// replan machinery (Rete rebuild + reseed, query-matcher plan swap) runs
+// mid-trace instead of only at registration.
+PlannerOptions TestPlanner() {
+  PlannerOptions po;
+  po.enable = true;
+  po.replan_drift = 2.0;
+  return po;
+}
+
 std::vector<MatcherCase> AllMatchers() {
   return {
       {"query",
@@ -149,6 +168,45 @@ std::vector<MatcherCase> AllMatchers() {
          ReteOptions opts;
          opts.dbms_backed = true;
          opts.sharding = TestSharding();
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      // Cost-based join planning ablation: a planned order changes only
+      // the join *sequence*, so the conflict set must stay byte-identical
+      // to the syntactic baseline — including across the drift-triggered
+      // replans the aggressive threshold forces mid-trace (Rete rebuilds
+      // and reseeds its join network; the query matcher swaps plan
+      // snapshots). Serial (1-thread) and 8-shard/8-thread variants
+      // cover both commit paths.
+      {"query-plan",
+       [](Catalog* c) {
+         return std::make_unique<QueryMatcher>(c, ExecutorOptions{},
+                                               ShardingOptions{},
+                                               TestPlanner());
+       }},
+      {"rete-plan",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.planner = TestPlanner();
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"rete-dbms-plan",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.dbms_backed = true;
+         opts.planner = TestPlanner();
+         return std::make_unique<ReteNetwork>(c, opts);
+       }},
+      {"query-plan-shard8",
+       [](Catalog* c) {
+         return std::make_unique<QueryMatcher>(c, ExecutorOptions{},
+                                               WideSharding(),
+                                               TestPlanner());
+       }},
+      {"rete-plan-shard8",
+       [](Catalog* c) {
+         ReteOptions opts;
+         opts.sharding = WideSharding();
+         opts.planner = TestPlanner();
          return std::make_unique<ReteNetwork>(c, opts);
        }},
   };
