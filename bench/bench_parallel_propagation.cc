@@ -164,10 +164,11 @@ void RunSweep(benchmark::State& state, const std::string& matcher_kind,
     po.propagation_threads = threads;
     return std::make_unique<PatternMatcher>(c, po);
   });
-  setup->wm->ConfigureSharding(
+  Status sharding_st = setup->wm->ConfigureSharding(
       matcher_kind == "rete-shard" || matcher_kind == "query-shard"
           ? Sharding(threads)
           : ShardingOptions{});
+  (void)sharding_st;
   PreloadBatched(*setup, wmes, 3);
   Churn(state, *setup,
         skew ? 0 : setup->gen.spec().num_classes /* no skew */);

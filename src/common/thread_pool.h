@@ -22,6 +22,13 @@ namespace prodb {
 /// A task that throws does not take the process down: the first exception
 /// is captured and rethrown from the next Wait(), and `pending_` stays
 /// balanced so Wait() cannot hang on the lost decrement.
+///
+/// Re-entrancy: ParallelFor() called from one of this pool's own worker
+/// threads (a task that fans out again, or a server session handler that
+/// is itself pool-hosted) runs the loop inline instead of enqueueing.
+/// Enqueueing would let every worker block inside the latch wait on tasks
+/// queued behind the very tasks doing the waiting — with one worker that
+/// is a guaranteed deadlock, with several it is starvation under load.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t threads) {
@@ -79,8 +86,19 @@ class ThreadPool {
   /// after all n calls have completed. n <= 1 runs inline.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     if (n == 0) return;
-    if (n == 1) {
-      fn(0);
+    if (n == 1 || current_pool_ == this) {
+      // Inline path: trivial fan-out, or a re-entrant call from one of
+      // our own workers (see class comment) — blocking on the latch from
+      // inside the pool could wait on tasks this thread must itself run.
+      std::exception_ptr failure;
+      for (size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (failure == nullptr) failure = std::current_exception();
+        }
+      }
+      if (failure) std::rethrow_exception(failure);
       return;
     }
     struct Latch {
@@ -116,6 +134,7 @@ class ThreadPool {
 
  private:
   void Run() {
+    current_pool_ = this;
     for (;;) {
       std::function<void()> task;
       {
@@ -142,6 +161,11 @@ class ThreadPool {
       }
     }
   }
+
+  // Which pool, if any, the current thread is a worker of. Lets
+  // ParallelFor detect re-entrant calls; a C++17 inline variable so the
+  // header stays self-contained.
+  static inline thread_local const ThreadPool* current_pool_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;

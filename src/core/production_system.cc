@@ -12,6 +12,10 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
   copts.default_storage = options_.wm_storage;
   copts.buffer_pool_frames = options_.buffer_pool_frames;
   copts.db_path = options_.db_path;
+  copts.open_existing = options_.open_existing;
+  copts.enable_wal = options_.enable_wal;
+  copts.wal_auto_flush = options_.wal_auto_flush;
+  copts.durable_directory = options_.durable_directory;
   catalog_ = std::make_unique<Catalog>(copts);
 
   switch (options_.matcher) {
@@ -59,7 +63,11 @@ ProductionSystem::ProductionSystem(ProductionSystemOptions options)
   sopts.max_firings = options_.max_firings;
   engine_ = std::make_unique<SequentialEngine>(catalog_.get(), matcher_.get(),
                                                sopts);
-  engine_->working_memory().ConfigureSharding(options_.sharding);
+  // Pre-load by construction — nothing has flowed through this WM yet,
+  // so the mid-stream guard cannot fire.
+  Status sharding_st =
+      engine_->working_memory().ConfigureSharding(options_.sharding);
+  (void)sharding_st;
 
   locks_ = std::make_unique<LockManager>();
   ConcurrentEngineOptions ccopts;
@@ -88,7 +96,24 @@ Status ProductionSystem::LoadString(const std::string& source) {
 
 Status ProductionSystem::DeclareClass(const Schema& schema) {
   Relation* rel;
-  return catalog_->CreateRelation(schema, &rel);
+  return catalog_->CreateDurableRelation(schema, &rel);
+}
+
+Status ProductionSystem::ReseedMatcher() {
+  // One batch over every durable class, classes in name order, tuples in
+  // scan (= id) order — deterministic, so two processes recovering the
+  // same image reseed to identical matcher state.
+  ChangeSet batch;
+  for (const std::string& cls : catalog_->DurableClasses()) {
+    Relation* rel = catalog_->Get(cls);
+    if (rel == nullptr) continue;  // declared by a rules file not yet loaded
+    PRODB_RETURN_IF_ERROR(rel->Scan([&](TupleId id, const Tuple& t) {
+      batch.AddInsert(cls, t, id);
+      return Status::OK();
+    }));
+  }
+  if (batch.empty()) return Status::OK();
+  return matcher_->OnBatch(batch);
 }
 
 Status ProductionSystem::AddRule(const Rule& rule) {

@@ -32,6 +32,20 @@ struct ProductionSystemOptions {
   /// Buffer-pool frames and optional database file (paged storage only).
   size_t buffer_pool_frames = 256;
   std::string db_path;
+  /// Reopen `db_path` without truncating (restart over a surviving
+  /// image). Ignored when `db_path` is empty.
+  bool open_existing = false;
+  /// Write-ahead logging for the paged store (see CatalogOptions): with
+  /// this on, a positively acknowledged/committed mutation survives a
+  /// crash, and reopening with `open_existing` runs restart recovery.
+  bool enable_wal = false;
+  bool wal_auto_flush = false;
+  /// Durable class directory (requires enable_wal): WM classes declared
+  /// via `literalize`/DeclareClass are recorded by name and re-adopted on
+  /// reopen, so a restarted process recovers its working memory by
+  /// re-loading the same rules file and calling ReseedMatcher(). The
+  /// serving layer's restart story.
+  bool durable_directory = false;
   /// Threads for parallel pattern propagation (kPattern only).
   size_t propagation_threads = 0;
   /// Partitioned multi-core match: shard working memory by class (and by
@@ -99,11 +113,28 @@ class ProductionSystem {
   /// Host functions callable from `(call name args...)` actions.
   void RegisterFunction(const std::string& name, ExternalFn fn);
 
+  /// --- Restart -----------------------------------------------------------
+  /// Replays the recovered working memory into the matcher: scans every
+  /// class in the catalog's durable directory (in name order) into one
+  /// ChangeSet and hands it to the matcher as a single batch, rebuilding
+  /// token memories and the conflict set to exactly the state an
+  /// in-process run with the same WM contents would have. Call after
+  /// rules are installed (matchers require rules before WM activity) on a
+  /// reopened database; a no-op when the directory is empty or disabled.
+  Status ReseedMatcher();
+
   /// --- Introspection ------------------------------------------------------
   Catalog& catalog() { return *catalog_; }
   Matcher& matcher() { return *matcher_; }
   ConflictSet& conflict_set() { return matcher_->conflict_set(); }
   const std::vector<Rule>& rules() const { return matcher_->rules(); }
+  /// The concurrent engine (serving layer: session transactions run on
+  /// its TxnManager so they serialize with RunConcurrent firings).
+  ConcurrentEngine& concurrent_engine() { return *concurrent_engine_; }
+  /// The sequential engine's WM facade (firing log, bulk Apply).
+  WorkingMemory& working_memory() { return engine_->working_memory(); }
+  SequentialEngine& sequential_engine() { return *engine_; }
+  const ProductionSystemOptions& options() const { return options_; }
 
   /// Rule names whose numeric condition envelopes admit this tuple
   /// (§4.2.3's rule-base queries; empty when disabled).

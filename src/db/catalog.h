@@ -42,6 +42,15 @@ struct CatalogOptions {
   /// (the crash sweep's knob: every record boundary becomes a disk-write
   /// boundary).
   bool wal_auto_flush = false;
+  /// Maintain a durable class directory: a hidden paged relation mapping
+  /// relation name -> heap-file head page + schema signature, created at
+  /// a fixed page right after the log head so a restarted process can
+  /// find it without out-of-band metadata. Relations registered through
+  /// CreateDurableRelation() are recorded in it, and on reopen the same
+  /// call re-adopts the surviving heap file instead of creating a fresh
+  /// one. Requires enable_wal (the directory is only trustworthy when
+  /// the WAL makes its entries recoverable).
+  bool durable_directory = false;
 };
 
 /// Durability counters rolled up across the WAL, buffer pool and disk
@@ -57,7 +66,14 @@ struct DurabilityStats {
   uint64_t pages_stolen = 0;        // in-flight txn pages written back
   uint64_t log_forces = 0;          // WAL-rule flushes forced by writeback
   uint64_t disk_pages_reused = 0;   // allocations served from the free list
+  uint64_t durable_forces = 0;      // ForceDurable calls that hit the WAL
 };
+
+/// The durable class directory's fixed home. A WAL-enabled catalog
+/// allocates the anchor page (0) and the first log-chain page (1) before
+/// anything else, so the directory's heap file deterministically roots at
+/// page 2 — the one page id a restarted process can assume.
+inline constexpr uint32_t kDirectoryHeadPageId = 2;
 
 /// Name -> Relation registry; the database.
 ///
@@ -74,6 +90,23 @@ class Catalog {
   /// Creates a relation with an explicit storage kind.
   Status CreateRelation(const Schema& schema, StorageKind kind,
                         Relation** out);
+
+  /// Creates a relation that survives restart by name. Without
+  /// `durable_directory` this is exactly CreateRelation (default
+  /// storage). With it, the relation is paged and registered in the
+  /// directory; when the directory already has the name (a reopened
+  /// database), the surviving heap file is adopted instead — after the
+  /// stored schema signature is checked against `schema` (mismatch is
+  /// InvalidArgument: schema drift across restart is an error, not a
+  /// silent reinterpretation). Working-memory classes go through here;
+  /// matcher bookkeeping (token memories, COND relations) must NOT —
+  /// matchers rebuild that state from scratch after restart.
+  Status CreateDurableRelation(const Schema& schema, Relation** out);
+
+  /// Names recorded in the durable directory, sorted (empty when the
+  /// directory is disabled or nothing durable was created). After
+  /// restart this is the list of WM classes that can be re-adopted.
+  std::vector<std::string> DurableClasses();
 
   /// Registers a paged relation over an existing heap file (restart after
   /// recovery: heap pages survived, the registry did not). Secondary
@@ -109,6 +142,15 @@ class Catalog {
   /// Snapshot of the durability counters.
   DurabilityStats GetDurabilityStats();
 
+  /// The durable-ack hook: forces every buffered WAL byte to disk and
+  /// (optionally) reports the durable LSN. After an OK return, all state
+  /// whose log records were appended before the call — auto-commit WM
+  /// mutations, matcher bookkeeping, directory entries — survives a
+  /// crash. Group commit applies: one force covers every record buffered
+  /// by concurrently acking sessions since the last one. No-op (LSN 0)
+  /// when WAL is disabled or the pool does not exist yet.
+  Status ForceDurable(Lsn* durable_lsn = nullptr);
+
   /// Forces pool (and, with enable_wal on a non-empty disk, restart
   /// recovery) to run now, and reports what recovery did. On a fresh
   /// disk *out is all-zero. Recovery otherwise happens implicitly the
@@ -123,6 +165,17 @@ class Catalog {
 
  private:
   Status EnsurePool();
+  Status CreateRelationLocked(const Schema& schema, StorageKind kind,
+                              Relation** out);
+  /// Creates (fresh disk) or reopens (restart) the directory relation;
+  /// loads surviving entries into directory_entries_. Called from
+  /// EnsurePool with mu_ held.
+  Status OpenDirectoryLocked(bool fresh_log);
+
+  struct DirectoryEntry {
+    uint32_t head_page = 0;
+    std::string signature;  // "name:T,name:T,..." (T = ValueType digit)
+  };
 
   CatalogOptions options_;
   mutable std::mutex mu_;
@@ -130,6 +183,11 @@ class Catalog {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<LogManager> wal_;
   RecoveryResult recovery_;
+  // The durable class directory (hidden: not in relations_, so it never
+  // appears in RelationNames/FootprintBytes).
+  std::unique_ptr<Relation> directory_;
+  std::unordered_map<std::string, DirectoryEntry> directory_entries_;
+  uint64_t durable_forces_ = 0;
 };
 
 }  // namespace prodb

@@ -73,6 +73,12 @@ class ConcurrentEngine {
   FunctionRegistry& functions() { return functions_; }
   WorkingMemory& working_memory() { return wm_; }
 
+  /// The transaction manager the engine's instantiations run under.
+  /// Exposed so the serving layer can map client sessions onto the same
+  /// transaction machinery (2PL locks + WAL commit records) the engine
+  /// uses — server batches and engine firings interleave serializably.
+  TxnManager& txn_manager() { return txn_manager_; }
+
   /// Rule names in commit order (the equivalent serial schedule).
   std::vector<std::string> commit_log() const;
 

@@ -33,6 +33,7 @@ Status WorkingMemory::ApplyToRelation(Delta* d) {
 
 Status WorkingMemory::Insert(const std::string& cls, const Tuple& t,
                              TupleId* id) {
+  mutated_ = true;
   Delta d;
   d.kind = DeltaKind::kInsert;
   d.relation = cls;
@@ -50,6 +51,7 @@ Status WorkingMemory::Insert(const std::string& cls, const Tuple& t,
 }
 
 Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
+  mutated_ = true;
   Delta d;
   d.kind = DeltaKind::kDelete;
   d.relation = cls;
@@ -67,6 +69,7 @@ Status WorkingMemory::Delete(const std::string& cls, TupleId id) {
 
 Status WorkingMemory::Modify(const std::string& cls, TupleId id,
                              const Tuple& t, TupleId* new_id) {
+  mutated_ = true;
   // Delete-then-insert, per §3.1 ("modifications are treated as
   // deletions followed by insertions"). The pair is tagged as one logical
   // modify, and it propagates even when the new tuple equals the old one:
@@ -111,7 +114,15 @@ Status WorkingMemory::CommitBatch() {
   return ForceLog();
 }
 
-void WorkingMemory::ConfigureSharding(const ShardingOptions& options) {
+Status WorkingMemory::ConfigureSharding(const ShardingOptions& options) {
+  if (mutated_) {
+    // The shard map fixes delta routing, and the matcher partitioned its
+    // own state under the options it was built with; re-routing after
+    // mutations have flowed would silently diverge the two halves.
+    return Status::InvalidArgument(
+        "ConfigureSharding must be called before any WM mutation, "
+        "not mid-stream");
+  }
   shard_map_ = ShardMap(options);
   pool_.reset();
   if (options.enabled()) {
@@ -119,11 +130,19 @@ void WorkingMemory::ConfigureSharding(const ShardingOptions& options) {
         options.threads == 0 ? options.num_shards : options.threads;
     if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   }
+  return Status::OK();
 }
 
 Status WorkingMemory::Apply(ChangeSet* cs) {
+  mutated_ = true;
   // Relations first — the matcher is entitled to see the post-batch WM
   // state (§5.2: maintenance runs on the transaction's whole ∆).
+  if (pool_ != nullptr && catalog_->wal() != nullptr && cs->size() > 1) {
+    // Sharding is configured but a WAL is attached: the parallel path is
+    // gated off (log-record ordering is a serial concern), and that must
+    // be observable rather than silent.
+    matcher_->NoteShardedApplySerialized();
+  }
   if (pool_ != nullptr && catalog_->wal() == nullptr && cs->size() > 1) {
     // Class-sharded parallel apply: one relation lives in one shard, so
     // within-relation delta order (which fixes insert-id assignment) is

@@ -61,8 +61,15 @@ class WorkingMemory {
   /// relation maps to exactly one shard, so per-relation apply order
   /// (and insert-id assignment) matches the serial walk. Parallel apply
   /// engages only when no WAL is attached (log-record ordering stays a
-  /// serial concern) and is off by default.
-  void ConfigureSharding(const ShardingOptions& options);
+  /// serial concern; each such fallback is counted in
+  /// MatcherStats::sharded_apply_serialized) and is off by default.
+  ///
+  /// Must be called before any WM mutation flows through this object:
+  /// the shard map fixes how deltas route, and matchers configured with
+  /// the same options partition their own state to match — re-routing
+  /// mid-stream would silently diverge the two. A call after the first
+  /// mutation returns InvalidArgument and changes nothing.
+  Status ConfigureSharding(const ShardingOptions& options);
 
   bool in_batch() const { return in_batch_; }
   /// Deltas buffered since BeginBatch (engines inspect this to build
@@ -84,6 +91,8 @@ class WorkingMemory {
   Catalog* catalog_;
   Matcher* matcher_;
   bool in_batch_ = false;
+  // Any mutation has flowed through — ConfigureSharding is now an error.
+  bool mutated_ = false;
   ChangeSet pending_;
   ShardMap shard_map_;
   // Workers for sharded Apply (absent when sharding is off or

@@ -213,7 +213,10 @@ Status LoadProgram(const std::string& source, Catalog* catalog,
           existing->schema().ToString());
     }
     Relation* rel;
-    PRODB_RETURN_IF_ERROR(catalog->CreateRelation(schema, &rel));
+    // Durable path: with a class directory enabled this registers the
+    // class for restart re-adoption (and adopts it on reopen); without
+    // one it is a plain CreateRelation.
+    PRODB_RETURN_IF_ERROR(catalog->CreateDurableRelation(schema, &rel));
   }
   Analyzer analyzer(catalog);
   for (const RuleAst& ast : program.rules) {

@@ -23,13 +23,19 @@ std::string Instantiation::ToString() const {
   return out + "]";
 }
 
+void ConflictSet::SetDeltaListener(DeltaListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
+}
+
 bool ConflictSet::Add(Instantiation inst) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string key = inst.Key();
   if (items_.count(key)) return false;
   inst.recency = next_recency_++;
-  items_.emplace(std::move(key), std::move(inst));
+  auto [it, inserted] = items_.emplace(std::move(key), std::move(inst));
   ++total_added_;
+  NotifyLocked(/*added=*/true, it->first, &it->second);
   return true;
 }
 
@@ -44,10 +50,13 @@ void ConflictSet::ApplyOps(ConflictOpBuffer* buf) {
       std::string key = op.inst.Key();
       if (items_.count(key)) continue;
       op.inst.recency = next_recency_++;
-      items_.emplace(std::move(key), std::move(op.inst));
+      auto [it, inserted] = items_.emplace(std::move(key), std::move(op.inst));
       ++total_added_;
+      NotifyLocked(/*added=*/true, it->first, &it->second);
     } else {
-      items_.erase(op.key);
+      if (items_.erase(op.key) > 0) {
+        NotifyLocked(/*added=*/false, op.key, nullptr);
+      }
     }
   }
   buf->clear();
@@ -55,7 +64,9 @@ void ConflictSet::ApplyOps(ConflictOpBuffer* buf) {
 
 bool ConflictSet::RemoveByKey(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  return items_.erase(key) > 0;
+  if (items_.erase(key) == 0) return false;
+  NotifyLocked(/*added=*/false, key, nullptr);
+  return true;
 }
 
 size_t ConflictSet::RemoveReferencing(TupleId id,
@@ -81,6 +92,7 @@ size_t ConflictSet::RemoveReferencing(TupleId id,
       }
     }
     if (hit) {
+      NotifyLocked(/*added=*/false, it->first, nullptr);
       it = items_.erase(it);
       ++removed;
     } else {
@@ -96,6 +108,7 @@ size_t ConflictSet::RemoveIf(
   size_t removed = 0;
   for (auto it = items_.begin(); it != items_.end();) {
     if (pred(it->second)) {
+      NotifyLocked(/*added=*/false, it->first, nullptr);
       it = items_.erase(it);
       ++removed;
     } else {

@@ -66,6 +66,21 @@ class ConflictOpBuffer {
 /// threads during maintenance).
 class ConflictSet {
  public:
+  /// Observes conflict-set maintenance: called once per effective add
+  /// (`inst` non-null) and per effective remove (`inst` null; removes are
+  /// identified by key). Invoked with the set's mutex held — the listener
+  /// must not call back into the ConflictSet. The serving layer installs
+  /// one around a batch's OnBatch to capture the batch's conflict-set
+  /// delta for the wire; Take() (engine consumption) is deliberately not
+  /// reported — it is execution, not maintenance.
+  using DeltaListener =
+      std::function<void(bool added, const std::string& key,
+                         const Instantiation* inst)>;
+
+  /// Installs (or, with nullptr, removes) the delta listener. At most one
+  /// listener at a time; callers serialize install/OnBatch/remove.
+  void SetDeltaListener(DeltaListener listener);
+
   /// Inserts if not already present; stamps recency. Returns true when
   /// the instantiation is new.
   bool Add(Instantiation inst);
@@ -111,10 +126,17 @@ class ConflictSet {
   uint64_t total_added() const;
 
  private:
+  /// Notifies the listener, if any. Caller holds mu_.
+  void NotifyLocked(bool added, const std::string& key,
+                    const Instantiation* inst) {
+    if (listener_) listener_(added, key, inst);
+  }
+
   mutable std::mutex mu_;
   std::map<std::string, Instantiation> items_;
   uint64_t next_recency_ = 1;
   uint64_t total_added_ = 0;
+  DeltaListener listener_;
 };
 
 }  // namespace prodb

@@ -1,0 +1,102 @@
+#include "net/client.h"
+
+namespace prodb {
+namespace net {
+
+Status RuleClient::ConnectTcp(const std::string& host, int port) {
+  PRODB_RETURN_IF_ERROR(prodb::net::ConnectTcp(host, port, &sock_));
+  return Handshake();
+}
+
+Status RuleClient::ConnectUnix(const std::string& path) {
+  PRODB_RETURN_IF_ERROR(prodb::net::ConnectUnix(path, &sock_));
+  return Handshake();
+}
+
+Status RuleClient::Handshake() {
+  std::string hello;
+  PutU32(&hello, kHelloMagic);
+  std::string reply;
+  Status st = Call(MsgType::kHello, hello, MsgType::kHelloOk, &reply);
+  if (!st.ok()) {
+    sock_.Close();
+    return st;
+  }
+  size_t off = 0;
+  uint8_t durable = 0;
+  if (!GetU8(reply.data(), reply.size(), &off, &durable)) {
+    sock_.Close();
+    return Status::Corruption("malformed hello ack");
+  }
+  server_durable_ = durable != 0;
+  return Status::OK();
+}
+
+Status RuleClient::Call(MsgType type, const std::string& payload,
+                        MsgType expect, std::string* reply) {
+  PRODB_RETURN_IF_ERROR(sock_.SendFrame(type, payload));
+  MsgType got;
+  PRODB_RETURN_IF_ERROR(sock_.RecvFrame(&got, reply));
+  if (got == MsgType::kError) return DecodeError(*reply);
+  if (got != expect) {
+    return Status::Corruption("unexpected reply type " +
+                              std::to_string(static_cast<int>(got)));
+  }
+  return Status::OK();
+}
+
+Status RuleClient::RoundTrip(MsgType type, const std::string& payload,
+                             MsgType* reply_type,
+                             std::string* reply_payload) {
+  PRODB_RETURN_IF_ERROR(sock_.SendFrame(type, payload));
+  return sock_.RecvFrame(reply_type, reply_payload);
+}
+
+Status RuleClient::Load(const std::string& source) {
+  std::string payload;
+  PutString(&payload, source);
+  std::string reply;
+  return Call(MsgType::kLoad, payload, MsgType::kOk, &reply);
+}
+
+Status RuleClient::Apply(const WireBatch& batch, WireBatchAck* ack) {
+  std::string payload;
+  EncodeBatch(batch, &payload);
+  std::string reply;
+  PRODB_RETURN_IF_ERROR(
+      Call(MsgType::kBatch, payload, MsgType::kBatchAck, &reply));
+  return DecodeBatchAck(reply, ack);
+}
+
+Status RuleClient::Run(bool concurrent, WireRunResult* result) {
+  std::string payload;
+  PutU8(&payload, concurrent ? 1 : 0);
+  std::string reply;
+  PRODB_RETURN_IF_ERROR(
+      Call(MsgType::kRun, payload, MsgType::kRunResult, &reply));
+  return DecodeRunResult(reply, result);
+}
+
+Status RuleClient::DumpClass(const std::string& cls, WireDumpReply* reply) {
+  std::string payload;
+  PutString(&payload, cls);
+  std::string raw;
+  PRODB_RETURN_IF_ERROR(
+      Call(MsgType::kDump, payload, MsgType::kDumpReply, &raw));
+  return DecodeDumpReply(raw, reply);
+}
+
+Status RuleClient::GetStats(WireStatsReply* reply) {
+  std::string raw;
+  PRODB_RETURN_IF_ERROR(
+      Call(MsgType::kStats, "", MsgType::kStatsReply, &raw));
+  return DecodeStatsReply(raw, reply);
+}
+
+Status RuleClient::Ping() {
+  std::string reply;
+  return Call(MsgType::kPing, "", MsgType::kPong, &reply);
+}
+
+}  // namespace net
+}  // namespace prodb

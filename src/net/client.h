@@ -1,0 +1,70 @@
+#ifndef PRODB_NET_CLIENT_H_
+#define PRODB_NET_CLIENT_H_
+
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace prodb {
+namespace net {
+
+/// Blocking client for the rule-engine wire protocol: one persistent
+/// connection, strict request/reply. Not thread-safe — one RuleClient
+/// per client thread (the server handles any number of them).
+class RuleClient {
+ public:
+  RuleClient() = default;
+
+  /// Dials and performs the hello handshake.
+  Status ConnectTcp(const std::string& host, int port);
+  Status ConnectUnix(const std::string& path);
+  void Close() { sock_.Close(); }
+  bool connected() const { return sock_.valid(); }
+
+  /// Whether the server runs with a WAL (from the hello ack): positive
+  /// batch acks then mean crash-durable.
+  bool server_durable() const { return server_durable_; }
+
+  /// Installs declarations/rules on the server.
+  Status Load(const std::string& source);
+
+  /// Applies one batch of make/remove/modify ops as a single server-side
+  /// transaction. On OK the ack carries the assigned tuple ids (in
+  /// kOpMake/kOpModify op order), the batch's conflict-set delta, and —
+  /// on a durable server — the WAL LSN the batch is durable at.
+  /// An empty batch is a durability barrier.
+  Status Apply(const WireBatch& batch, WireBatchAck* ack);
+
+  /// Drains the conflict set. concurrent=false is the serial
+  /// recognize-act cycle, true the transactional multi-worker engine.
+  Status Run(bool concurrent, WireRunResult* result);
+
+  /// All tuples of one class.
+  Status DumpClass(const std::string& cls, WireDumpReply* reply);
+
+  Status GetStats(WireStatsReply* reply);
+  Status Ping();
+
+  /// Escape hatch for protocol tests: sends a raw frame and returns the
+  /// reply frame without interpreting it.
+  Status RoundTrip(MsgType type, const std::string& payload,
+                   MsgType* reply_type, std::string* reply_payload);
+
+  Socket& socket() { return sock_; }
+
+ private:
+  Status Handshake();
+  /// Sends `type`+payload, receives the reply; a kError reply decodes
+  /// into its carried Status, any other unexpected type is an error.
+  Status Call(MsgType type, const std::string& payload, MsgType expect,
+              std::string* reply);
+
+  Socket sock_;
+  bool server_durable_ = false;
+};
+
+}  // namespace net
+}  // namespace prodb
+
+#endif  // PRODB_NET_CLIENT_H_

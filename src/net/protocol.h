@@ -1,0 +1,59 @@
+#ifndef PRODB_NET_PROTOCOL_H_
+#define PRODB_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prodb {
+namespace net {
+
+/// The rule-engine wire protocol: length-prefixed frames over a stream
+/// socket (TCP or Unix-domain), persistent connections, one outstanding
+/// request per connection (strict request/reply; pipelining is a client
+/// choice — replies come back in order).
+///
+/// Frame layout (all integers little-endian, fixed width):
+///   [u32 payload_len][u8 type][u8 version][u16 reserved][payload...]
+/// A frame whose declared payload exceeds kMaxFramePayload is
+/// unrecoverable (the stream cannot be resynchronized) — the server
+/// replies kError and closes. A frame that arrives intact but whose
+/// payload fails to decode is recoverable: the server replies kError and
+/// the session continues.
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr uint32_t kMaxFramePayload = 32u << 20;  // 32 MiB
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// First payload word of a kHello frame, so a client that connects to
+/// the wrong port fails fast instead of feeding garbage lengths.
+inline constexpr uint32_t kHelloMagic = 0x50444231;  // "PDB1"
+
+enum class MsgType : uint8_t {
+  // client -> server
+  kHello = 1,  // [u32 magic] — must be the first frame on a connection
+  kLoad = 2,   // [string source] — literalize decls + rules
+  kBatch = 3,  // make/remove/modify ops (see wire.h) -> kBatchAck
+  kRun = 4,    // [u8 mode] 0 = serial recognize-act, 1 = concurrent
+  kDump = 5,   // [string class] -> kDumpReply
+  kStats = 6,  // -> kStatsReply
+  kPing = 7,   // -> kPong
+
+  // server -> client
+  kHelloOk = 64,     // [u8 durable] server ack of hello
+  kOk = 65,          // generic success (kLoad)
+  kError = 66,       // [u8 status_code][string message]
+  kBatchAck = 67,    // durable ack + assigned ids + conflict-set delta
+  kRunResult = 68,   // firings, halted, fired-rule names
+  kDumpReply = 69,   // tuples of one class
+  kStatsReply = 70,  // key=value counter list
+  kPong = 71,
+};
+
+/// Batch op kinds (the OPS5 RHS verbs, §2.1).
+inline constexpr uint8_t kOpMake = 0;    // [string cls][tuple]
+inline constexpr uint8_t kOpRemove = 1;  // [string cls][u32 page][u32 slot]
+inline constexpr uint8_t kOpModify = 2;  // [string cls][id][tuple]
+
+}  // namespace net
+}  // namespace prodb
+
+#endif  // PRODB_NET_PROTOCOL_H_

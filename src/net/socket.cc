@@ -1,0 +1,214 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace prodb {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Status Socket::RecvAll(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      if (got == 0) return Status::NotFound("peer closed");
+      return Status::IOError("peer closed mid-frame");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::SendFrame(MsgType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  std::string buf;
+  buf.resize(kFrameHeaderBytes);
+  EncodeFrameHeader(type, static_cast<uint32_t>(payload.size()), buf.data());
+  buf.append(payload);
+  return SendAll(buf.data(), buf.size());
+}
+
+Status Socket::RecvFrame(MsgType* type, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  PRODB_RETURN_IF_ERROR(RecvAll(header, kFrameHeaderBytes));
+  uint32_t len;
+  if (!DecodeFrameHeader(header, type, &len)) {
+    return Status::InvalidArgument("malformed frame header");
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("declared frame payload of " +
+                                   std::to_string(len) + " exceeds limit");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    Status st = RecvAll(payload->data(), len);
+    // Mid-payload clean close is still a truncated frame.
+    if (st.IsNotFound()) return Status::IOError("peer closed mid-frame");
+    PRODB_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status ListenTcp(const std::string& host, int port, int backlog,
+                 Socket* out, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status ListenUnix(const std::string& path, int backlog, Socket* out) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) return Errno("listen");
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status Accept(const Socket& listener, Socket* out) {
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  *out = Socket(fd);
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, int port, Socket* out) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad connect address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status ConnectUnix(const std::string& path, Socket* out) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect");
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace prodb

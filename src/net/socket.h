@@ -1,0 +1,73 @@
+#ifndef PRODB_NET_SOCKET_H_
+#define PRODB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace prodb {
+namespace net {
+
+/// Thin RAII wrapper over a stream socket fd with the loop hygiene the
+/// serving layer needs everywhere: every syscall retries EINTR, sends use
+/// MSG_NOSIGNAL so a client that vanished mid-reply surfaces as EPIPE
+/// instead of killing the process, and a clean peer close at a frame
+/// boundary is distinguishable (Status::NotFound) from a mid-frame
+/// truncation (Status::IOError).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Releases ownership without closing.
+  int Release();
+  void Close();
+
+  /// Reads exactly n bytes. Status::NotFound when the peer closed before
+  /// the first byte (clean EOF), Status::IOError on mid-read EOF or errno.
+  Status RecvAll(void* buf, size_t n);
+  /// Writes exactly n bytes (MSG_NOSIGNAL; EPIPE -> Status::IOError).
+  Status SendAll(const void* buf, size_t n);
+
+  /// --- Frame helpers ------------------------------------------------------
+
+  /// Sends one frame: header + payload in a single buffered write.
+  Status SendFrame(MsgType type, const std::string& payload);
+  /// Receives one frame. Clean close at a frame boundary -> NotFound.
+  /// A declared payload above kMaxFramePayload -> InvalidArgument with
+  /// the stream left unsynchronized (caller must close); the out-params
+  /// carry the decoded type and length so a server can still report it.
+  Status RecvFrame(MsgType* type, std::string* payload);
+
+ private:
+  int fd_ = -1;
+};
+
+/// --- Connection setup -----------------------------------------------------
+
+/// Binds + listens on host:port (port 0 picks an ephemeral port; the
+/// chosen one is returned through *bound_port via getsockname).
+Status ListenTcp(const std::string& host, int port, int backlog,
+                 Socket* out, int* bound_port);
+/// Binds + listens on a Unix-domain path (unlinked first if stale).
+Status ListenUnix(const std::string& path, int backlog, Socket* out);
+/// Accepts one connection (EINTR-retried).
+Status Accept(const Socket& listener, Socket* out);
+
+Status ConnectTcp(const std::string& host, int port, Socket* out);
+Status ConnectUnix(const std::string& path, Socket* out);
+
+}  // namespace net
+}  // namespace prodb
+
+#endif  // PRODB_NET_SOCKET_H_

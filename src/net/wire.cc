@@ -1,0 +1,366 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace prodb {
+namespace net {
+
+namespace {
+
+template <typename T>
+void PutLe(std::string* out, T v) {
+  char buf[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetLe(const char* d, size_t n, size_t* off, T* v) {
+  if (*off + sizeof(T) > n) return false;
+  T r = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    r |= static_cast<T>(static_cast<unsigned char>(d[*off + i])) << (8 * i);
+  }
+  *v = r;
+  *off += sizeof(T);
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated payload: ") + what);
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) { PutLe(out, v); }
+void PutU16(std::string* out, uint16_t v) { PutLe(out, v); }
+void PutU32(std::string* out, uint32_t v) { PutLe(out, v); }
+void PutU64(std::string* out, uint64_t v) { PutLe(out, v); }
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutTupleId(std::string* out, TupleId id) {
+  PutU32(out, id.page_id);
+  PutU32(out, id.slot_id);
+}
+
+void PutTuple(std::string* out, const Tuple& t) { t.SerializeTo(out); }
+
+bool GetU8(const char* d, size_t n, size_t* off, uint8_t* v) {
+  return GetLe(d, n, off, v);
+}
+bool GetU16(const char* d, size_t n, size_t* off, uint16_t* v) {
+  return GetLe(d, n, off, v);
+}
+bool GetU32(const char* d, size_t n, size_t* off, uint32_t* v) {
+  return GetLe(d, n, off, v);
+}
+bool GetU64(const char* d, size_t n, size_t* off, uint64_t* v) {
+  return GetLe(d, n, off, v);
+}
+
+bool GetString(const char* d, size_t n, size_t* off, std::string* s) {
+  uint32_t len;
+  if (!GetU32(d, n, off, &len)) return false;
+  if (*off + len > n) return false;
+  s->assign(d + *off, len);
+  *off += len;
+  return true;
+}
+
+bool GetTupleId(const char* d, size_t n, size_t* off, TupleId* id) {
+  return GetU32(d, n, off, &id->page_id) && GetU32(d, n, off, &id->slot_id);
+}
+
+bool GetTuple(const char* d, size_t n, size_t* off, Tuple* t) {
+  return Tuple::DeserializeFrom(d, n, off, t);
+}
+
+void EncodeBatch(const WireBatch& batch, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(batch.ops.size()));
+  for (const WireOp& op : batch.ops) {
+    PutU8(out, op.kind);
+    PutString(out, op.cls);
+    switch (op.kind) {
+      case kOpMake:
+        PutTuple(out, op.tuple);
+        break;
+      case kOpRemove:
+        PutTupleId(out, op.id);
+        break;
+      case kOpModify:
+        PutTupleId(out, op.id);
+        PutTuple(out, op.tuple);
+        break;
+    }
+  }
+}
+
+Status DecodeBatch(const std::string& payload, WireBatch* out) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint32_t count;
+  if (!GetU32(d, n, &off, &count)) return Truncated("batch op count");
+  // An op is at least 1 (kind) + 4 (cls len) + 4 bytes of body.
+  if (count > n / 5) {
+    return Status::InvalidArgument("batch op count exceeds payload size");
+  }
+  out->ops.clear();
+  out->ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireOp op;
+    if (!GetU8(d, n, &off, &op.kind)) return Truncated("op kind");
+    if (!GetString(d, n, &off, &op.cls)) return Truncated("op class");
+    switch (op.kind) {
+      case kOpMake:
+        if (!GetTuple(d, n, &off, &op.tuple)) return Truncated("make tuple");
+        break;
+      case kOpRemove:
+        if (!GetTupleId(d, n, &off, &op.id)) return Truncated("remove id");
+        break;
+      case kOpModify:
+        if (!GetTupleId(d, n, &off, &op.id)) return Truncated("modify id");
+        if (!GetTuple(d, n, &off, &op.tuple)) {
+          return Truncated("modify tuple");
+        }
+        break;
+      default:
+        return Status::InvalidArgument("unknown batch op kind " +
+                                       std::to_string(op.kind));
+    }
+    out->ops.push_back(std::move(op));
+  }
+  if (off != n) {
+    return Status::InvalidArgument("trailing bytes after batch ops");
+  }
+  return Status::OK();
+}
+
+void EncodeConflictDeltas(const std::vector<WireConflictDelta>& deltas,
+                          std::string* out) {
+  PutU32(out, static_cast<uint32_t>(deltas.size()));
+  for (const WireConflictDelta& cd : deltas) {
+    PutU8(out, cd.added ? 1 : 0);
+    PutString(out, cd.rule);
+    PutString(out, cd.key);
+  }
+}
+
+Status DecodeConflictDeltas(const char* d, size_t n, size_t* off,
+                            std::vector<WireConflictDelta>* out) {
+  uint32_t count;
+  if (!GetU32(d, n, off, &count)) return Truncated("conflict delta count");
+  if (count > n / 9) {
+    return Status::InvalidArgument("conflict delta count exceeds payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireConflictDelta cd;
+    uint8_t added;
+    if (!GetU8(d, n, off, &added)) return Truncated("conflict delta flag");
+    cd.added = added != 0;
+    if (!GetString(d, n, off, &cd.rule)) return Truncated("conflict rule");
+    if (!GetString(d, n, off, &cd.key)) return Truncated("conflict key");
+    out->push_back(std::move(cd));
+  }
+  return Status::OK();
+}
+
+void EncodeBatchAck(const WireBatchAck& ack, std::string* out) {
+  PutU64(out, ack.txn_id);
+  PutU64(out, ack.durable_lsn);
+  PutU8(out, ack.durable ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(ack.insert_ids.size()));
+  for (TupleId id : ack.insert_ids) PutTupleId(out, id);
+  EncodeConflictDeltas(ack.conflict, out);
+}
+
+Status DecodeBatchAck(const std::string& payload, WireBatchAck* out) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint8_t durable;
+  uint32_t id_count;
+  if (!GetU64(d, n, &off, &out->txn_id) ||
+      !GetU64(d, n, &off, &out->durable_lsn) ||
+      !GetU8(d, n, &off, &durable) || !GetU32(d, n, &off, &id_count)) {
+    return Truncated("batch ack header");
+  }
+  out->durable = durable != 0;
+  if (id_count > n / 8) {
+    return Status::InvalidArgument("ack id count exceeds payload");
+  }
+  out->insert_ids.clear();
+  out->insert_ids.reserve(id_count);
+  for (uint32_t i = 0; i < id_count; ++i) {
+    TupleId id;
+    if (!GetTupleId(d, n, &off, &id)) return Truncated("ack insert id");
+    out->insert_ids.push_back(id);
+  }
+  return DecodeConflictDeltas(d, n, &off, &out->conflict);
+}
+
+void EncodeRunResult(const WireRunResult& r, std::string* out) {
+  PutU64(out, r.firings);
+  PutU8(out, r.halted ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(r.fired.size()));
+  for (const std::string& name : r.fired) PutString(out, name);
+}
+
+Status DecodeRunResult(const std::string& payload, WireRunResult* out) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint8_t halted;
+  uint32_t count;
+  if (!GetU64(d, n, &off, &out->firings) || !GetU8(d, n, &off, &halted) ||
+      !GetU32(d, n, &off, &count)) {
+    return Truncated("run result header");
+  }
+  out->halted = halted != 0;
+  if (count > n / 4) {
+    return Status::InvalidArgument("fired-rule count exceeds payload");
+  }
+  out->fired.clear();
+  out->fired.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!GetString(d, n, &off, &name)) return Truncated("fired rule name");
+    out->fired.push_back(std::move(name));
+  }
+  return Status::OK();
+}
+
+void EncodeDumpReply(const WireDumpReply& r, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(r.tuples.size()));
+  for (const auto& [id, tuple] : r.tuples) {
+    PutTupleId(out, id);
+    PutTuple(out, tuple);
+  }
+}
+
+Status DecodeDumpReply(const std::string& payload, WireDumpReply* out) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint32_t count;
+  if (!GetU32(d, n, &off, &count)) return Truncated("dump count");
+  if (count > n / 8) {
+    return Status::InvalidArgument("dump count exceeds payload");
+  }
+  out->tuples.clear();
+  out->tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TupleId id;
+    Tuple t;
+    if (!GetTupleId(d, n, &off, &id) || !GetTuple(d, n, &off, &t)) {
+      return Truncated("dump tuple");
+    }
+    out->tuples.emplace_back(id, std::move(t));
+  }
+  return Status::OK();
+}
+
+void EncodeStatsReply(const WireStatsReply& r, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(r.counters.size()));
+  for (const auto& [key, value] : r.counters) {
+    PutString(out, key);
+    PutU64(out, value);
+  }
+}
+
+Status DecodeStatsReply(const std::string& payload, WireStatsReply* out) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint32_t count;
+  if (!GetU32(d, n, &off, &count)) return Truncated("stats count");
+  if (count > n / 12) {
+    return Status::InvalidArgument("stats count exceeds payload");
+  }
+  out->counters.clear();
+  out->counters.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    uint64_t value;
+    if (!GetString(d, n, &off, &key) || !GetU64(d, n, &off, &value)) {
+      return Truncated("stats entry");
+    }
+    out->counters.emplace_back(std::move(key), value);
+  }
+  return Status::OK();
+}
+
+void EncodeError(const Status& st, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(st.code()));
+  PutString(out, st.message());
+}
+
+Status DecodeError(const std::string& payload) {
+  const char* d = payload.data();
+  size_t n = payload.size(), off = 0;
+  uint8_t code;
+  std::string message;
+  if (!GetU8(d, n, &off, &code) || !GetString(d, n, &off, &message)) {
+    return Status::Corruption("malformed error payload");
+  }
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(message);
+    case Status::Code::kIOError:
+      return Status::IOError(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kAborted:
+      return Status::Aborted(message);
+    case Status::Code::kDeadlock:
+      return Status::Deadlock(message);
+    case Status::Code::kConflict:
+      return Status::Conflict(message);
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(message);
+    case Status::Code::kInternal:
+      return Status::Internal(message);
+  }
+  return Status::Internal("unknown remote status code " +
+                          std::to_string(code) + ": " + message);
+}
+
+void EncodeFrameHeader(MsgType type, uint32_t payload_len, char out[8]) {
+  std::string s;
+  s.reserve(kFrameHeaderBytes);
+  PutU32(&s, payload_len);
+  PutU8(&s, static_cast<uint8_t>(type));
+  PutU8(&s, kProtocolVersion);
+  PutU16(&s, 0);
+  std::memcpy(out, s.data(), kFrameHeaderBytes);
+}
+
+bool DecodeFrameHeader(const char in[8], MsgType* type,
+                       uint32_t* payload_len) {
+  size_t off = 0;
+  uint8_t raw_type, version;
+  uint16_t reserved;
+  if (!GetU32(in, kFrameHeaderBytes, &off, payload_len) ||
+      !GetU8(in, kFrameHeaderBytes, &off, &raw_type) ||
+      !GetU8(in, kFrameHeaderBytes, &off, &version) ||
+      !GetU16(in, kFrameHeaderBytes, &off, &reserved)) {
+    return false;
+  }
+  if (version != kProtocolVersion) return false;
+  *type = static_cast<MsgType>(raw_type);
+  return true;
+}
+
+}  // namespace net
+}  // namespace prodb

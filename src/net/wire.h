@@ -1,0 +1,128 @@
+#ifndef PRODB_NET_WIRE_H_
+#define PRODB_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "net/protocol.h"
+
+namespace prodb {
+namespace net {
+
+/// --- Primitive codecs ----------------------------------------------------
+/// Append-style encoders and bounds-checked cursor decoders. Decoders
+/// return false on truncation; payload-level Decode* functions wrap that
+/// in a Status so the session can reply kError with a reason.
+
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, const std::string& s);
+void PutTupleId(std::string* out, TupleId id);
+void PutTuple(std::string* out, const Tuple& t);
+
+bool GetU8(const char* d, size_t n, size_t* off, uint8_t* v);
+bool GetU16(const char* d, size_t n, size_t* off, uint16_t* v);
+bool GetU32(const char* d, size_t n, size_t* off, uint32_t* v);
+bool GetU64(const char* d, size_t n, size_t* off, uint64_t* v);
+bool GetString(const char* d, size_t n, size_t* off, std::string* s);
+bool GetTupleId(const char* d, size_t n, size_t* off, TupleId* id);
+bool GetTuple(const char* d, size_t n, size_t* off, Tuple* t);
+
+/// --- Messages ------------------------------------------------------------
+
+/// One client batch op. kOpMake ignores `id`; kOpRemove ignores `tuple`;
+/// kOpModify replaces the tuple at `id` (delete + insert, one WM event).
+struct WireOp {
+  uint8_t kind = kOpMake;
+  std::string cls;
+  TupleId id{0, 0};
+  Tuple tuple;
+};
+
+struct WireBatch {
+  std::vector<WireOp> ops;
+};
+
+/// One conflict-set mutation observed during a batch's maintenance.
+/// `key` is the instantiation's identity (rule index + tuple ids) —
+/// stable across processes for identical WM histories, which is what the
+/// byte-identical server-vs-in-process tests assert. Recency is local
+/// execution state and deliberately not serialized.
+struct WireConflictDelta {
+  bool added = false;
+  std::string rule;  // empty for removes (identity is the key)
+  std::string key;
+};
+
+struct WireBatchAck {
+  uint64_t txn_id = 0;
+  /// Every record of this batch is durable at or below this LSN (0 when
+  /// the server runs without a WAL — `durable` says which).
+  uint64_t durable_lsn = 0;
+  bool durable = false;
+  /// Assigned TupleIds for each kOpMake/kOpModify, in op order — the
+  /// client's handles for later removes/modifies.
+  std::vector<TupleId> insert_ids;
+  std::vector<WireConflictDelta> conflict;
+};
+
+struct WireRunResult {
+  uint64_t firings = 0;
+  bool halted = false;
+  std::vector<std::string> fired;  // rule names in firing/commit order
+};
+
+struct WireDumpReply {
+  std::vector<std::pair<TupleId, Tuple>> tuples;
+};
+
+struct WireStatsReply {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// --- Payload codecs ------------------------------------------------------
+
+void EncodeBatch(const WireBatch& batch, std::string* out);
+Status DecodeBatch(const std::string& payload, WireBatch* out);
+
+/// The conflict-delta section alone, exposed so tests can compare the
+/// exact bytes a server ack carries against an in-process capture.
+void EncodeConflictDeltas(const std::vector<WireConflictDelta>& deltas,
+                          std::string* out);
+Status DecodeConflictDeltas(const char* d, size_t n, size_t* off,
+                            std::vector<WireConflictDelta>* out);
+
+void EncodeBatchAck(const WireBatchAck& ack, std::string* out);
+Status DecodeBatchAck(const std::string& payload, WireBatchAck* out);
+
+void EncodeRunResult(const WireRunResult& r, std::string* out);
+Status DecodeRunResult(const std::string& payload, WireRunResult* out);
+
+void EncodeDumpReply(const WireDumpReply& r, std::string* out);
+Status DecodeDumpReply(const std::string& payload, WireDumpReply* out);
+
+void EncodeStatsReply(const WireStatsReply& r, std::string* out);
+Status DecodeStatsReply(const std::string& payload, WireStatsReply* out);
+
+void EncodeError(const Status& st, std::string* out);
+/// Reconstructs the Status an kError payload carries (best effort: the
+/// code round-trips, the message is the server's).
+Status DecodeError(const std::string& payload);
+
+/// --- Frame header --------------------------------------------------------
+
+void EncodeFrameHeader(MsgType type, uint32_t payload_len, char out[8]);
+/// False when the header bytes are malformed (bad version).
+bool DecodeFrameHeader(const char in[8], MsgType* type,
+                       uint32_t* payload_len);
+
+}  // namespace net
+}  // namespace prodb
+
+#endif  // PRODB_NET_WIRE_H_

@@ -367,7 +367,7 @@ TEST(ShardedMatchTest, WorkingMemoryShardedApplyMatchesSerial) {
   ShardingOptions so;
   so.num_shards = 4;
   so.threads = 4;
-  sharded.wm->ConfigureSharding(so);
+  ASSERT_TRUE(sharded.wm->ConfigureSharding(so).ok());
 
   ChangeSet cs1, cs2;
   for (int i = 0; i < 64; ++i) {
@@ -384,6 +384,103 @@ TEST(ShardedMatchTest, WorkingMemoryShardedApplyMatchesSerial) {
   }
   EXPECT_EQ(CanonicalConflictSet(*sharded.matcher),
             CanonicalConflictSet(*serial.matcher));
+}
+
+// Regression: ConfigureSharding used to silently accept a mid-stream
+// call, re-routing deltas after the matcher had already partitioned its
+// state under the old map — silent divergence. It must refuse instead.
+TEST(ShardedMatchTest, ConfigureShardingMidStreamIsAnError) {
+  const char* program = R"(
+(literalize A k v)
+(p some (A ^k <x> ^v <u>) --> (remove 1))
+)";
+  MatcherHarness h;
+  auto factory = [](Catalog* c) { return std::make_unique<ReteNetwork>(c); };
+  ASSERT_TRUE(h.Init(program, factory).ok());
+
+  ASSERT_TRUE(h.wm->Insert("A", Tuple{Value(1), Value(2)}).ok());
+
+  ShardingOptions so;
+  so.num_shards = 4;
+  so.threads = 4;
+  Status st = h.wm->ConfigureSharding(so);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+
+  // The refused call changed nothing: the WM keeps working serially.
+  ASSERT_TRUE(h.wm->Insert("A", Tuple{Value(2), Value(3)}).ok());
+  EXPECT_EQ(h.matcher->conflict_set().size(), 2u);
+
+  // Every mutation flavor arms the guard, not just Insert.
+  MatcherHarness h2;
+  ASSERT_TRUE(h2.Init(program, factory).ok());
+  ChangeSet cs;
+  cs.AddInsert("A", Tuple{Value(9), Value(9)});
+  ASSERT_TRUE(h2.wm->Apply(&cs).ok());
+  EXPECT_TRUE(h2.wm->ConfigureSharding(so).IsInvalidArgument());
+}
+
+// The WAL-forced serial fallback of the sharded WM apply is counted:
+// a multi-delta Apply on a sharded WM over a WAL-attached catalog takes
+// the serial walk and bumps sharded_apply_serialized once per batch
+// (DESIGN.md "Sharded match × durability"). Without a WAL the parallel
+// path runs and the counter stays zero.
+TEST(ShardedMatchTest, WalForcedSerialApplyIsCounted) {
+  const char* program = R"(
+(literalize A k v)
+(literalize B k v)
+(p pair (A ^k <x>) (B ^k <x>) --> (remove 1))
+)";
+  ShardingOptions so;
+  so.num_shards = 4;
+  so.threads = 4;
+
+  auto make_batch = [] {
+    ChangeSet cs;
+    for (int i = 0; i < 16; ++i) {
+      cs.AddInsert(i % 2 ? "A" : "B", Tuple{Value(i % 4), Value(i)});
+    }
+    return cs;
+  };
+
+  // WAL-attached: serial fallback, counted per multi-delta batch.
+  {
+    CatalogOptions copts;
+    copts.default_storage = StorageKind::kPaged;
+    copts.enable_wal = true;
+    auto catalog = std::make_unique<Catalog>(copts);
+    std::vector<Rule> rules;
+    ASSERT_TRUE(LoadProgram(program, catalog.get(), &rules).ok());
+    ReteNetwork matcher(catalog.get());
+    for (const Rule& r : rules) ASSERT_TRUE(matcher.AddRule(r).ok());
+    WorkingMemory wm(catalog.get(), &matcher);
+    ASSERT_TRUE(wm.ConfigureSharding(so).ok());
+
+    ChangeSet cs = make_batch();
+    ASSERT_TRUE(wm.Apply(&cs).ok());
+    EXPECT_EQ(matcher.stats().sharded_apply_serialized.load(), 1u);
+    ChangeSet cs2 = make_batch();
+    ASSERT_TRUE(wm.Apply(&cs2).ok());
+    EXPECT_EQ(matcher.stats().sharded_apply_serialized.load(), 2u);
+
+    // Single-delta batches never took the parallel path to begin with.
+    ChangeSet one;
+    one.AddInsert("A", Tuple{Value(99), Value(99)});
+    ASSERT_TRUE(wm.Apply(&one).ok());
+    EXPECT_EQ(matcher.stats().sharded_apply_serialized.load(), 2u);
+  }
+
+  // No WAL: parallel apply engages, nothing to count.
+  {
+    MatcherHarness h;
+    auto factory = [](Catalog* c) {
+      return std::make_unique<ReteNetwork>(c);
+    };
+    ASSERT_TRUE(h.Init(program, factory).ok());
+    ASSERT_TRUE(h.wm->ConfigureSharding(so).ok());
+    ChangeSet cs = make_batch();
+    ASSERT_TRUE(h.wm->Apply(&cs).ok());
+    EXPECT_EQ(h.matcher->stats().sharded_apply_serialized.load(), 0u);
+  }
 }
 
 }  // namespace

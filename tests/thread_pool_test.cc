@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <stdexcept>
 #include <string>
 
@@ -99,6 +101,58 @@ TEST(ThreadPoolTest, ParallelForRethrowsAfterDrainingAllIndices) {
   pool.Submit([&count] { ++count; });
   EXPECT_NO_THROW(pool.Wait());
   EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerThreadDoesNotDeadlock) {
+  // Regression: ParallelFor called from a task running ON the pool used
+  // to enqueue its indices behind the caller and block on the latch —
+  // with a single worker that worker waits on tasks only it can run, a
+  // guaranteed deadlock. The fix runs the loop inline when the calling
+  // thread is one of the pool's own workers. Deadline-guarded so a
+  // regression fails the test instead of hanging the suite.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  std::promise<void> done;
+  pool.Submit([&] {
+    pool.ParallelFor(4, [&](size_t) { ++inner; });
+    done.set_value();
+  });
+  auto status = done.get_future().wait_for(std::chrono::seconds(10));
+  ASSERT_EQ(status, std::future_status::ready)
+      << "re-entrant ParallelFor deadlocked the pool";
+  pool.Wait();
+  EXPECT_EQ(inner.load(), 4);
+
+  // Nested fan-out on a multi-worker pool: outer ParallelFor indices run
+  // on workers, each fans out again. Inline execution keeps every index
+  // accounted for exactly once.
+  ThreadPool big(4);
+  std::vector<std::atomic<int>> hits(64);
+  big.ParallelFor(8, [&](size_t outer) {
+    big.ParallelFor(8, [&](size_t j) { ++hits[outer * 8 + j]; });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+
+  // The exception contract survives the inline path.
+  ThreadPool one(1);
+  std::promise<std::string> caught;
+  one.Submit([&] {
+    try {
+      one.ParallelFor(4, [&](size_t i) {
+        if (i == 2) throw std::runtime_error("inline boom");
+      });
+      caught.set_value("no throw");
+    } catch (const std::runtime_error& e) {
+      caught.set_value(e.what());
+    }
+  });
+  auto fut = caught.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), "inline boom");
+  one.Wait();
 }
 
 TEST(ThreadPoolTest, ParallelForComposesWithConcurrentSubmit) {

@@ -12,8 +12,14 @@ reported but never gate. Wall-clock noise on shared runners is real;
 the default threshold (+25%) is deliberately loose — this gate exists
 to catch algorithmic regressions, not scheduler jitter.
 
+A row whose measured real time is zero (a benchmark that crashed or was
+interrupted leaves such stubs) is skipped with a note instead of gating:
+a zero denominator used to turn into an infinite ratio and a spurious
+FAIL on an otherwise healthy run.
+
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold 1.25]
                         [--summary-out FILE]
+       bench_compare.py --self-test
 Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
 
 --summary-out writes the comparison as a GitHub-flavored markdown table;
@@ -51,10 +57,57 @@ def load_suites(path):
     return suites
 
 
+def self_test():
+    """End-to-end check of the gate against synthetic fixtures; returns 0
+    on success. CI runs this before trusting the real comparison, so a
+    broken gate fails loudly instead of silently passing regressions."""
+    import tempfile
+
+    def bench(name, ns):
+        return {"name": name, "run_type": "iteration",
+                "time_unit": "ns", "real_time": ns}
+
+    def run(base_rows, fresh_rows, threshold=1.25):
+        with tempfile.TemporaryDirectory() as d:
+            bp, fp = f"{d}/base.json", f"{d}/fresh.json"
+            with open(bp, "w") as f:
+                json.dump({"bench_x": {"benchmarks": base_rows}}, f)
+            with open(fp, "w") as f:
+                json.dump({"bench_x": {"benchmarks": fresh_rows}}, f)
+            return main([bp, fp, "--threshold", str(threshold)])
+
+    cases = [
+        # (description, expected exit, baseline rows, fresh rows)
+        ("identical runs pass", 0, [bench("a", 100)], [bench("a", 100)]),
+        ("real regression fails", 1, [bench("a", 100)], [bench("a", 200)]),
+        ("improvement passes", 0, [bench("a", 200)], [bench("a", 100)]),
+        ("baseline-only benchmark is skipped", 0, [bench("a", 100)], []),
+        ("fresh-only benchmark is skipped", 0, [], [bench("a", 100)]),
+        ("zero-time baseline is skipped, not an inf-ratio FAIL", 0,
+         [bench("a", 0), bench("b", 100)],
+         [bench("a", 100), bench("b", 100)]),
+        ("zero-time fresh row is skipped", 0,
+         [bench("a", 100)], [bench("a", 0)]),
+    ]
+    for desc, expected, base_rows, fresh_rows in cases:
+        got = run(base_rows, fresh_rows)
+        if got != expected:
+            print(f"bench_compare --self-test: FAIL: {desc}: "
+                  f"exit {got}, expected {expected}", file=sys.stderr)
+            return 1
+    print(f"bench_compare --self-test: PASS ({len(cases)} cases)")
+    return 0
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the gate against built-in fixtures and exit",
+    )
     ap.add_argument(
         "--threshold",
         type=float,
@@ -67,6 +120,11 @@ def main(argv):
         help="also write the comparison as a markdown table to FILE",
     )
     args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        ap.error("baseline and fresh files are required (or --self-test)")
 
     try:
         base = load_suites(args.baseline)
@@ -92,8 +150,21 @@ def main(argv):
             md.append(f"| {suite}/{name} | — | {f_rows[name]:.0f}ns | — | new |")
         for name in sorted(set(b_rows) & set(f_rows)):
             b_ns, f_ns = b_rows[name], f_rows[name]
+            if b_ns <= 0 or f_ns <= 0:
+                # A zero measurement is a broken row (crashed or
+                # interrupted run), not a result — comparing against it
+                # would gate on an infinite or zero ratio.
+                print(
+                    f"  [skip ] {suite}/{name}: zero-time measurement "
+                    f"({b_ns:.0f}ns -> {f_ns:.0f}ns), not gated"
+                )
+                md.append(
+                    f"| {suite}/{name} | {b_ns:.0f}ns | {f_ns:.0f}ns "
+                    f"| — | skipped (zero time) |"
+                )
+                continue
             compared += 1
-            ratio = f_ns / b_ns if b_ns > 0 else float("inf")
+            ratio = f_ns / b_ns
             # FASTER is informational symmetry with SLOWER: a win beyond
             # the same margin the gate allows for losses.
             if ratio > args.threshold:
